@@ -1,0 +1,309 @@
+package precinct
+
+// Benchmarks regenerating every figure of the paper's evaluation section
+// at a reduced scale (fewer simulated seconds and nodes than the
+// paper-scale `precinct-bench` run, so `go test -bench=.` stays tractable).
+// Each benchmark reports the figure's headline metrics through
+// b.ReportMetric, so the shape — who wins and by roughly what factor — is
+// visible straight from the bench output. The ablation benchmarks cover
+// the design choices DESIGN.md calls out: GD-LD weights, replica regions,
+// TTR smoothing and en-route answering.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchConfig shrinks experiments enough to iterate quickly while keeping
+// the comparisons meaningful.
+func benchConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Seed:     1,
+		Duration: 300,
+		Warmup:   100,
+		Nodes:    40,
+		Items:    200,
+	}
+}
+
+// lastY returns the final point of a series (the largest cache size /
+// node count — where the paper's gaps are widest).
+func lastY(s Series) float64 {
+	return s.Y[len(s.Y)-1]
+}
+
+func BenchmarkFig4LatencyVsCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig4, _, err := Fig4And5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig4.Series[0]), "gdld-latency-s")
+		b.ReportMetric(lastY(fig4.Series[1]), "gdsize-latency-s")
+	}
+}
+
+func BenchmarkFig5ByteHitRatioVsCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig5, err := Fig4And5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig5.Series[0]), "gdld-bhr")
+		b.ReportMetric(lastY(fig5.Series[1]), "gdsize-bhr")
+	}
+}
+
+func BenchmarkFig6ConsistencyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig6, _, _, err := Fig6To8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Ratio 1 (highest update rate), where plain-push is worst.
+		b.ReportMetric(fig6.Series[0].Y[0], "plainpush-msgs")
+		b.ReportMetric(fig6.Series[1].Y[0], "pullevery-msgs")
+		b.ReportMetric(fig6.Series[2].Y[0], "adaptive-msgs")
+	}
+}
+
+func BenchmarkFig7FalseHitRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig7, _, err := Fig6To8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig7.Series[0].Y[0], "plainpush-fhr")
+		b.ReportMetric(fig7.Series[1].Y[0], "pullevery-fhr")
+		b.ReportMetric(fig7.Series[2].Y[0], "adaptive-fhr")
+	}
+}
+
+func BenchmarkFig8ConsistencyLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, fig8, err := Fig6To8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig8.Series[0].Y[0], "plainpush-latency-s")
+		b.ReportMetric(fig8.Series[1].Y[0], "pullevery-latency-s")
+		b.ReportMetric(fig8.Series[2].Y[0], "adaptive-latency-s")
+	}
+}
+
+func BenchmarkFig9aEnergyVsNodes(b *testing.B) {
+	cfg := ExperimentConfig{Seed: 1, Duration: 400}
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig9a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Series: PReCinCt theory, PReCinCt sim, Flooding theory,
+		// Flooding sim; report the largest node count.
+		b.ReportMetric(lastY(fig.Series[1]), "precinct-mJ")
+		b.ReportMetric(lastY(fig.Series[3]), "flooding-mJ")
+	}
+}
+
+func BenchmarkFig9bEnergyVsRegions(b *testing.B) {
+	cfg := ExperimentConfig{Seed: 1, Duration: 400}
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig9b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Series[1].Y[0], "regions1-mJ")
+		b.ReportMetric(lastY(fig.Series[1]), "regions25-mJ")
+	}
+}
+
+func BenchmarkExtRetrievalSchemes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := ExtRetrievalSchemes(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Series[0]), "precinct-mJ")
+		b.ReportMetric(lastY(fig.Series[1]), "flooding-mJ")
+		b.ReportMetric(lastY(fig.Series[2]), "ring-mJ")
+	}
+}
+
+// benchScenario is the shared base of the ablation benchmarks.
+func benchScenario() Scenario {
+	s := DefaultScenario()
+	s.Nodes = 40
+	s.Items = 200
+	s.Duration = 300
+	s.Warmup = 100
+	return s
+}
+
+func BenchmarkAblationGDLDWeights(b *testing.B) {
+	// Zero out one GD-LD utility term at a time; the latency deltas show
+	// which term carries the policy.
+	variants := []struct {
+		name       string
+		wr, wd, ws float64
+	}{
+		{"full", 1, 1.0 / 400, 4096},
+		{"no-popularity", 0, 1.0 / 400, 4096},
+		{"no-distance", 1, 0, 4096},
+		{"no-size", 1, 1.0 / 400, 0},
+	}
+	for i := 0; i < b.N; i++ {
+		var scenarios []Scenario
+		for _, v := range variants {
+			s := benchScenario()
+			s.Name = "gdld/" + v.name
+			s.GDLDWeights = Weights{WR: v.wr, WD: v.wd, WS: v.ws}
+			scenarios = append(scenarios, s)
+		}
+		results, err := Sweep(scenarios, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for vi, v := range variants {
+			b.ReportMetric(results[vi].Report.MeanLatency, v.name+"-latency-s")
+		}
+	}
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var scenarios []Scenario
+		for _, repl := range []bool{true, false} {
+			s := benchScenario()
+			s.Name = fmt.Sprintf("replication=%v", repl)
+			s.Replication = repl
+			// Crash a third of the peers mid-run.
+			for n := 0; n < s.Nodes/3; n++ {
+				s.Faults = append(s.Faults, Fault{At: 150, Node: n * 3, Kind: "crash"})
+			}
+			scenarios = append(scenarios, s)
+		}
+		results, err := Sweep(scenarios, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail := func(r Report) float64 {
+			if r.Requests == 0 {
+				return 1
+			}
+			return float64(r.Completed) / float64(r.Requests)
+		}
+		b.ReportMetric(avail(results[0].Report), "with-replicas-avail")
+		b.ReportMetric(avail(results[1].Report), "without-replicas-avail")
+	}
+}
+
+func BenchmarkAblationTTRAlpha(b *testing.B) {
+	alphas := []float64{0, 0.5, 0.9}
+	for i := 0; i < b.N; i++ {
+		var scenarios []Scenario
+		for _, a := range alphas {
+			s := benchScenario()
+			s.Name = fmt.Sprintf("alpha=%.1f", a)
+			s.Consistency = "push-adaptive-pull"
+			s.UpdateInterval = 60
+			s.TTRAlpha = a
+			scenarios = append(scenarios, s)
+		}
+		results, err := Sweep(scenarios, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ai, a := range alphas {
+			b.ReportMetric(results[ai].Report.FalseHitRatio, fmt.Sprintf("alpha%.1f-fhr", a))
+			b.ReportMetric(float64(results[ai].Report.PollsIssued), fmt.Sprintf("alpha%.1f-polls", a))
+		}
+	}
+}
+
+func BenchmarkAblationEnRoute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var scenarios []Scenario
+		for _, enroute := range []bool{true, false} {
+			s := benchScenario()
+			s.Name = fmt.Sprintf("enroute=%v", enroute)
+			s.EnRoute = enroute
+			scenarios = append(scenarios, s)
+		}
+		results, err := Sweep(scenarios, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Report.MeanLatency, "enroute-latency-s")
+		b.ReportMetric(results[1].Report.MeanLatency, "no-enroute-latency-s")
+	}
+}
+
+func BenchmarkAblationBeaconStaleness(b *testing.B) {
+	// The paper argues routing to regions is "robust to errors in
+	// location measurement": availability should degrade only mildly as
+	// neighbor position knowledge goes stale.
+	intervals := []float64{0, 2, 10}
+	for i := 0; i < b.N; i++ {
+		var scenarios []Scenario
+		for _, iv := range intervals {
+			s := benchScenario()
+			s.Name = fmt.Sprintf("beacon=%.0fs", iv)
+			s.BeaconInterval = iv
+			scenarios = append(scenarios, s)
+		}
+		results, err := Sweep(scenarios, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for vi, iv := range intervals {
+			r := results[vi].Report
+			avail := 1.0
+			if r.Requests > 0 {
+				avail = float64(r.Completed) / float64(r.Requests)
+			}
+			b.ReportMetric(avail, fmt.Sprintf("beacon%.0fs-avail", iv))
+		}
+	}
+}
+
+func BenchmarkAblationAdaptiveRegions(b *testing.B) {
+	// Dynamic region management (the paper's future work) vs the static
+	// 9-region grid, on a deliberately mismatched initial partition
+	// (4 regions for 40 peers).
+	for i := 0; i < b.N; i++ {
+		static := benchScenario()
+		static.Name = "static-4-regions"
+		static.Regions = 4
+		adaptive := static
+		adaptive.Name = "adaptive"
+		adaptive.AdaptiveRegions = true
+		adaptive.AdaptiveInterval = 30
+		adaptive.AdaptiveSplitAbove = 12
+		adaptive.AdaptiveMergeBelow = 3
+		results, err := Sweep([]Scenario{static, adaptive}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Report.EnergyPerRequest, "static-mJ")
+		b.ReportMetric(results[1].Report.EnergyPerRequest, "adaptive-mJ")
+	}
+}
+
+func BenchmarkAblationVoronoiPartition(b *testing.B) {
+	// The paper's general region shape (center + perimeter) vs the
+	// rectangular grid, on identical workloads.
+	for i := 0; i < b.N; i++ {
+		grid := benchScenario()
+		grid.Name = "grid"
+		voronoi := benchScenario()
+		voronoi.Name = "voronoi"
+		voronoi.VoronoiRegions = true
+		results, err := Sweep([]Scenario{grid, voronoi}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Report.MeanLatency, "grid-latency-s")
+		b.ReportMetric(results[1].Report.MeanLatency, "voronoi-latency-s")
+	}
+}

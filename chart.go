@@ -1,0 +1,96 @@
+package precinct
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII scatter/line chart for terminal
+// inspection: one mark per series ('a', 'b', …), linear axes fitted to
+// the data. Width and height are the plot area in characters; sensible
+// minimums are enforced.
+func (f Figure) Chart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	mark := byte('a')
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row = height - 1 - row // origin bottom-left
+			if grid[row][col] != ' ' && grid[row][col] != mark {
+				grid[row][col] = '*' // overlapping series
+			} else {
+				grid[row][col] = mark
+			}
+		}
+		mark++
+	}
+
+	yLabelW := 10
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3g", yLabelW, maxY)
+		case height - 1:
+			label = fmt.Sprintf("%*.3g", yLabelW, minY)
+		default:
+			label = strings.Repeat(" ", yLabelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g  (%s)\n",
+		strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX, f.XLabel)
+	legend := make([]string, 0, len(f.Series))
+	mark = 'a'
+	for _, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Label))
+		mark++
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", yLabelW), strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,68 @@
+// Command precinct-analysis prints the Section 5 closed-form energy
+// curves: per-request energy of the flooding scheme (Equation 11) and of
+// PReCinCt (Equation 13) across node counts and region counts, without
+// running any simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"precinct/internal/analysis"
+	"precinct/internal/energy"
+)
+
+func main() {
+	area := flag.Float64("area", 600, "service area side in meters")
+	rng := flag.Float64("range", 250, "radio range in meters")
+	regions := flag.Int("regions", 9, "number of regions")
+	reqBytes := flag.Int("request-bytes", 128, "request message size on the air")
+	repBytes := flag.Int("reply-bytes", 4096, "reply message size on the air")
+	flag.Parse()
+
+	base := analysis.Params{
+		Model:        energy.DefaultModel(),
+		N:            20,
+		AreaSide:     *area,
+		Range:        *rng,
+		Regions:      *regions,
+		RequestBytes: *reqBytes,
+		ReplyBytes:   *repBytes,
+	}
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "precinct-analysis:", err)
+		os.Exit(1)
+	}
+
+	nodes := []int{20, 40, 60, 80, 120, 160}
+	fl, err := analysis.FloodingVsNodes(base, nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precinct-analysis:", err)
+		os.Exit(1)
+	}
+	pc, err := analysis.PReCinCtVsNodes(base, nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precinct-analysis:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Energy per request (mJ), %gx%g m area, %g m range, %d regions\n",
+		*area, *area, *rng, *regions)
+	fmt.Printf("%8s  %16s  %16s  %8s\n", "nodes", "flooding (eq11)", "precinct (eq13)", "ratio")
+	for i := range nodes {
+		fmt.Printf("%8d  %16.2f  %16.2f  %8.2f\n",
+			nodes[i], fl[i].Y, pc[i].Y, fl[i].Y/pc[i].Y)
+	}
+
+	regionCounts := []int{1, 4, 9, 16, 25, 36}
+	rc, err := analysis.PReCinCtVsRegions(base, regionCounts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precinct-analysis:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPReCinCt energy per request vs region count (N=%d)\n", base.N)
+	fmt.Printf("%8s  %16s\n", "regions", "energy (mJ)")
+	for _, p := range rc {
+		fmt.Printf("%8.0f  %16.2f\n", p.X, p.Y)
+	}
+}

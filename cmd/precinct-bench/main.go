@@ -1,0 +1,144 @@
+// Command precinct-bench regenerates the paper's evaluation figures as
+// text tables: Figures 4 and 5 (GD-LD vs GD-Size over cache sizes),
+// Figures 6–8 (consistency schemes over update rates), Figures 9(a) and
+// 9(b) (simulated vs analytical energy), and the companion-paper
+// retrieval-scheme comparison.
+//
+// Examples:
+//
+//	precinct-bench                # everything at paper scale
+//	precinct-bench -fig 6         # only Figures 6-8 (one sweep)
+//	precinct-bench -quick         # reduced duration for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"precinct"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4, 5, 6, 7, 8, 9a, 9b, ext, speed, zipf or all")
+	quick := flag.Bool("quick", false, "shrink durations for a fast approximate run")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render ASCII charts instead of aligned tables")
+	flag.Parse()
+
+	cfg := precinct.ExperimentConfig{Seed: *seed, Workers: *workers}
+	if *quick {
+		cfg.Duration = 600
+		cfg.Warmup = 150
+	}
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+		os.Exit(1)
+	}
+	show := func(f precinct.Figure) {
+		switch {
+		case *csv:
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		case *chart:
+			fmt.Println(f.Chart(60, 16))
+		default:
+			fmt.Println(f)
+		}
+	}
+	timer := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := func(ids ...string) bool {
+		if *fig == "all" {
+			// "all" covers the paper's figures; the extension sweeps
+			// (speed, zipf) run only when asked for by name.
+			for _, id := range ids {
+				if id == "speed" || id == "zipf" {
+					return false
+				}
+			}
+			return true
+		}
+		for _, id := range ids {
+			if *fig == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("4", "5") {
+		timer("figures 4-5", func() {
+			f4, f5, err := precinct.Fig4And5(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f4)
+			show(f5)
+		})
+	}
+	if want("6", "7", "8") {
+		timer("figures 6-8", func() {
+			f6, f7, f8, err := precinct.Fig6To8(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f6)
+			show(f7)
+			show(f8)
+		})
+	}
+	if want("9a") {
+		timer("figure 9a", func() {
+			f, err := precinct.Fig9a(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f)
+		})
+	}
+	if want("9b") {
+		timer("figure 9b", func() {
+			f, err := precinct.Fig9b(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f)
+		})
+	}
+	if want("ext") {
+		timer("retrieval comparison", func() {
+			f, err := precinct.ExtRetrievalSchemes(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f)
+		})
+	}
+	if want("speed") {
+		timer("speed sweep", func() {
+			lat, fail, err := precinct.ExtSpeedSweep(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(lat)
+			show(fail)
+		})
+	}
+	if want("zipf") {
+		timer("zipf sweep", func() {
+			f, err := precinct.ExtZipfSweep(cfg)
+			if err != nil {
+				die(err)
+			}
+			show(f)
+		})
+	}
+}

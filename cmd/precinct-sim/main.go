@@ -1,0 +1,178 @@
+// Command precinct-sim runs one PReCinCt simulation scenario and prints
+// its metrics. The scenario comes from flags, from a JSON config file
+// (-config), or both — explicitly set flags override the file.
+//
+// Examples:
+//
+//	precinct-sim -nodes 80 -speed 6 -policy gd-ld -cache-frac 0.015
+//	precinct-sim -consistency push-adaptive-pull -update-interval 60
+//	precinct-sim -retrieval flooding -static -area 600 -cache-frac -1
+//	precinct-sim -config scenario.json -seed 7
+//	precinct-sim -save-config scenario.json -nodes 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"precinct"
+)
+
+func main() {
+	def := precinct.DefaultScenario()
+
+	configFile := flag.String("config", "", "load the scenario from a JSON file (explicit flags override it)")
+	saveConfig := flag.String("save-config", "", "write the effective scenario as JSON and exit")
+	seed := flag.Int64("seed", def.Seed, "random seed")
+	nodes := flag.Int("nodes", def.Nodes, "number of mobile peers")
+	area := flag.Float64("area", def.AreaSide, "service area side in meters")
+	regions := flag.Int("regions", def.Regions, "number of grid regions")
+	static := flag.Bool("static", false, "static placement instead of random waypoint")
+	mobModel := flag.String("mobility", "", "mobility model: waypoint | static | random-walk | gauss-markov (overrides -static)")
+	speed := flag.Float64("speed", def.MaxSpeed, "waypoint max speed in m/s")
+	pause := flag.Float64("pause", def.Pause, "waypoint pause time in s")
+	rng := flag.Float64("range", def.Range, "radio range in meters")
+	loss := flag.Float64("loss", 0, "frame loss probability")
+	beacon := flag.Float64("beacon", 0, "neighbor position beacon interval in s (0 = perfect knowledge)")
+	items := flag.Int("items", def.Items, "catalog size")
+	theta := flag.Float64("zipf", def.ZipfTheta, "request Zipf skew")
+	reqInt := flag.Float64("request-interval", def.RequestInterval, "mean request gap per peer in s")
+	updInt := flag.Float64("update-interval", def.UpdateInterval, "mean update gap per peer in s (0 disables)")
+	retrieval := flag.String("retrieval", def.Retrieval, "precinct | flooding | expanding-ring")
+	consistencyF := flag.String("consistency", def.Consistency, "none | plain-push | pull-every-time | push-adaptive-pull")
+	alpha := flag.Float64("ttr-alpha", def.TTRAlpha, "TTR smoothing factor in [0,1)")
+	policy := flag.String("policy", def.Policy, "gd-ld | gd-size | lru | lfu")
+	cacheFrac := flag.Float64("cache-frac", def.CacheFraction, "cache size as fraction of catalog (negative disables)")
+	enRoute := flag.Bool("enroute", def.EnRoute, "en-route cache answering")
+	replication := flag.Bool("replication", def.Replication, "maintain replica regions")
+	adaptive := flag.Bool("adaptive", false, "dynamic region management")
+	warmup := flag.Float64("warmup", def.Warmup, "warmup time in s (excluded from metrics)")
+	duration := flag.Float64("duration", def.Duration, "total simulated time in s")
+	churn := flag.Float64("churn", 0, "mean seconds between churn departures (0 disables)")
+	churnDown := flag.Float64("churn-downtime", 60, "seconds a churned peer stays away")
+	churnGraceful := flag.Float64("churn-graceful", 0.8, "fraction of graceful departures")
+	traceFile := flag.String("trace", "", "write a JSONL protocol event trace to this file")
+	verbose := flag.Bool("v", false, "print protocol and radio counters too")
+	flag.Parse()
+
+	s := def
+	if *configFile != "" {
+		loaded, err := precinct.LoadScenarioFile(*configFile)
+		if err != nil {
+			die(err)
+		}
+		s = loaded
+	}
+
+	// Apply only the flags the user explicitly set, so a config file's
+	// values survive unless overridden on the command line.
+	overrides := map[string]func(){
+		"seed":             func() { s.Seed = *seed },
+		"nodes":            func() { s.Nodes = *nodes },
+		"area":             func() { s.AreaSide = *area },
+		"regions":          func() { s.Regions = *regions },
+		"static":           func() { s.Mobile = !*static },
+		"mobility":         func() { s.MobilityModel = *mobModel },
+		"speed":            func() { s.MaxSpeed = *speed },
+		"pause":            func() { s.Pause = *pause },
+		"range":            func() { s.Range = *rng },
+		"loss":             func() { s.LossRate = *loss },
+		"beacon":           func() { s.BeaconInterval = *beacon },
+		"items":            func() { s.Items = *items },
+		"zipf":             func() { s.ZipfTheta = *theta },
+		"request-interval": func() { s.RequestInterval = *reqInt },
+		"update-interval":  func() { s.UpdateInterval = *updInt },
+		"retrieval":        func() { s.Retrieval = *retrieval },
+		"consistency":      func() { s.Consistency = *consistencyF },
+		"ttr-alpha":        func() { s.TTRAlpha = *alpha },
+		"policy":           func() { s.Policy = *policy },
+		"cache-frac":       func() { s.CacheFraction = *cacheFrac },
+		"enroute":          func() { s.EnRoute = *enRoute },
+		"replication":      func() { s.Replication = *replication },
+		"adaptive":         func() { s.AdaptiveRegions = *adaptive },
+		"warmup":           func() { s.Warmup = *warmup },
+		"duration":         func() { s.Duration = *duration },
+		"churn":            func() { s.ChurnInterval = *churn },
+		"churn-downtime":   func() { s.ChurnDowntime = *churnDown },
+		"churn-graceful":   func() { s.ChurnGraceful = *churnGraceful },
+	}
+	if *configFile == "" {
+		// Without a config file every flag applies (each default equals
+		// the scenario default anyway).
+		for _, apply := range overrides {
+			apply()
+		}
+	} else {
+		flag.Visit(func(f *flag.Flag) {
+			if apply, ok := overrides[f.Name]; ok {
+				apply()
+			}
+		})
+	}
+
+	if *saveConfig != "" {
+		if err := precinct.SaveScenarioFile(s, *saveConfig); err != nil {
+			die(err)
+		}
+		fmt.Println("wrote", *saveConfig)
+		return
+	}
+
+	var res precinct.Result
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			die(ferr)
+		}
+		res, err = precinct.RunTraced(s, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		res, err = precinct.Run(s)
+	}
+	if err != nil {
+		die(err)
+	}
+	report(s, res, *verbose)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "precinct-sim:", err)
+	os.Exit(1)
+}
+
+func report(s precinct.Scenario, res precinct.Result, verbose bool) {
+	r := res.Report
+	fmt.Printf("scenario: %d nodes, %.0f m area, %d regions, retrieval=%s, consistency=%s, policy=%s\n",
+		s.Nodes, s.AreaSide, s.Regions, s.Retrieval, s.Consistency, s.Policy)
+	fmt.Printf("requests:           %d (completed %d, failed %d)\n", r.Requests, r.Completed, r.Failures)
+	classes := make([]string, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		if lat, ok := r.MeanLatencyByClass[c]; ok {
+			fmt.Printf("  %-17s %d (mean %.3f s)\n", c+":", r.ByClass[c], lat)
+		} else {
+			fmt.Printf("  %-17s %d\n", c+":", r.ByClass[c])
+		}
+	}
+	fmt.Printf("latency:            mean %.3f s, p50 %.3f s, p95 %.3f s, max %.3f s\n",
+		r.MeanLatency, r.P50Latency, r.P95Latency, r.MaxLatency)
+	fmt.Printf("byte hit ratio:     %.4f\n", r.ByteHitRatio)
+	fmt.Printf("false hit ratio:    %.4f\n", r.FalseHitRatio)
+	fmt.Printf("control messages:   %d\n", r.ControlMessages)
+	fmt.Printf("search messages:    %d\n", r.SearchMessages)
+	fmt.Printf("maintenance msgs:   %d\n", r.MaintenanceMessages)
+	fmt.Printf("updates / polls:    %d / %d\n", r.UpdatesIssued, r.PollsIssued)
+	fmt.Printf("energy:             %.1f mJ total, %.2f mJ/request\n", r.EnergyTotal, r.EnergyPerRequest)
+	if verbose {
+		fmt.Printf("protocol: %+v\n", res.Protocol)
+		fmt.Printf("radio:    %+v\n", res.Radio)
+	}
+}

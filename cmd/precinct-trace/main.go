@@ -1,0 +1,88 @@
+// Command precinct-trace analyzes a JSONL protocol trace produced by
+// precinct-sim -trace (or precinct.RunTraced): request outcomes, latency,
+// the busiest peers, and a time-bucketed activity timeline.
+//
+//	precinct-sim -trace run.jsonl ...
+//	precinct-trace -timeline 60 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"precinct/internal/trace"
+)
+
+func main() {
+	timeline := flag.Float64("timeline", 0, "print an activity timeline with this bucket width in seconds")
+	topN := flag.Int("top", 5, "how many of the busiest peers to list")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	events, err := trace.Read(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precinct-trace:", err)
+		os.Exit(1)
+	}
+	a := trace.Analyze(events)
+
+	fmt.Printf("events:      %d over [%.1f s, %.1f s]\n", a.Events, a.Start, a.End)
+	fmt.Printf("requests:    %d issued, %d completed, %d failed\n", a.Requests, a.Completed, a.Failed)
+	if a.Completed > 0 {
+		fmt.Printf("latency:     mean %.3f s, max %.3f s\n", a.MeanLatency, a.MaxLatency)
+		fmt.Printf("stale:       %d served stale\n", a.StaleServed)
+		classes := make([]string, 0, len(a.ByClass))
+		for c := range a.ByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("  %-10s %d\n", c+":", a.ByClass[c])
+		}
+	}
+
+	if len(a.Nodes) > 0 && *topN > 0 {
+		byRequests := make([]trace.NodeActivity, len(a.Nodes))
+		copy(byRequests, a.Nodes)
+		sort.Slice(byRequests, func(i, j int) bool {
+			return byRequests[i].Requests > byRequests[j].Requests
+		})
+		if len(byRequests) > *topN {
+			byRequests = byRequests[:*topN]
+		}
+		fmt.Printf("\nbusiest peers (of %d active):\n", len(a.Nodes))
+		fmt.Printf("%6s %9s %10s %7s %8s %9s %10s\n",
+			"node", "requests", "completed", "failed", "updates", "handoffs", "crossings")
+		for _, n := range byRequests {
+			fmt.Printf("%6d %9d %10d %7d %8d %9d %10d\n",
+				n.Node, n.Requests, n.Completed, n.Failed, n.Updates, n.Handoffs, n.Crossings)
+		}
+	}
+
+	if *timeline > 0 {
+		buckets, err := trace.Timeline(events, *timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntimeline (%.0f s buckets):\n", *timeline)
+		fmt.Printf("%10s %9s %10s %7s %9s\n", "t", "requests", "completed", "failed", "handoffs")
+		for _, b := range buckets {
+			fmt.Printf("%10.0f %9d %10d %7d %9d\n",
+				b.Start, b.Requests, b.Completed, b.Failed, b.Handoffs)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package precinct
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s := DefaultScenario()
+	s.Name = "round-trip"
+	s.Nodes = 42
+	s.Consistency = "push-adaptive-pull"
+	s.Faults = []Fault{{At: 10, Node: 3, Kind: "crash"}}
+	var buf bytes.Buffer
+	if err := SaveScenario(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Nodes != 42 || got.Consistency != s.Consistency {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Faults) != 1 || got.Faults[0].Node != 3 {
+		t.Errorf("faults lost: %+v", got.Faults)
+	}
+}
+
+func TestLoadScenarioPartialDocumentKeepsDefaults(t *testing.T) {
+	doc := `{"Nodes": 20, "Policy": "gd-size"}`
+	s, err := LoadScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 20 || s.Policy != "gd-size" {
+		t.Errorf("overrides not applied: %+v", s)
+	}
+	def := DefaultScenario()
+	if s.AreaSide != def.AreaSide || s.RequestInterval != def.RequestInterval {
+		t.Errorf("defaults not preserved: %+v", s)
+	}
+}
+
+func TestLoadScenarioRejectsUnknownFields(t *testing.T) {
+	doc := `{"Nodes": 20, "Nodez": 30}`
+	if _, err := LoadScenario(strings.NewReader(doc)); err == nil {
+		t.Error("typo field accepted")
+	}
+}
+
+func TestLoadScenarioRejectsGarbage(t *testing.T) {
+	if _, err := LoadScenario(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestScenarioFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	s := DefaultScenario()
+	s.Name = "file-trip"
+	if err := SaveScenarioFile(s, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "file-trip" {
+		t.Errorf("Name = %q", got.Name)
+	}
+	if _, err := LoadScenarioFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	doc := `{"Nodes": 25, "Items": 60, "Duration": 150, "Warmup": 30}`
+	s, err := LoadScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Completed == 0 {
+		t.Error("loaded scenario served nothing")
+	}
+}

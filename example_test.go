@@ -1,0 +1,81 @@
+package precinct_test
+
+import (
+	"fmt"
+	"log"
+
+	"precinct"
+)
+
+// small returns a fast scenario for the examples.
+func small() precinct.Scenario {
+	s := precinct.DefaultScenario()
+	s.Nodes = 25
+	s.Items = 60
+	s.Duration = 150
+	s.Warmup = 30
+	return s
+}
+
+// ExampleRun simulates the paper's default environment at a small scale
+// and checks that the cooperative cache is serving requests.
+func ExampleRun() {
+	res, err := precinct.Run(small())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answered requests:", res.Report.Completed > 0)
+	fmt.Println("cache produced hits:", res.Report.ByteHitRatio > 0)
+	// Output:
+	// answered requests: true
+	// cache produced hits: true
+}
+
+// ExampleSweep compares two cache replacement policies on identical
+// workload and mobility traces.
+func ExampleSweep() {
+	gdld := small()
+	gdld.Policy = "gd-ld"
+	gdsize := small()
+	gdsize.Policy = "gd-size"
+
+	results, err := precinct.Sweep([]precinct.Scenario{gdld, gdsize}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("runs:", len(results))
+	fmt.Println("same workload:", results[0].Report.Requests == results[1].Report.Requests)
+	// Output:
+	// runs: 2
+	// same workload: true
+}
+
+// ExampleReplicate averages a scenario across seeds and reports a 95%
+// confidence interval for the mean latency.
+func ExampleReplicate() {
+	_, mean, err := precinct.Replicate(small(), []int64{1, 2, 3}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("latency measured:", mean.MeanLatency > 0)
+	// Output:
+	// latency measured: true
+}
+
+// ExampleScenario_faults injects a crash wave and observes that replica
+// regions keep the affected keys reachable.
+func ExampleScenario_faults() {
+	s := small()
+	s.Nodes = 40 // keep the network connected through the crash wave
+	for i := 0; i < s.Nodes/5; i++ {
+		s.Faults = append(s.Faults, precinct.Fault{At: 60, Node: i * 5, Kind: "crash"})
+	}
+	res, err := precinct.Run(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avail := float64(res.Report.Completed) / float64(res.Report.Requests)
+	fmt.Println("survived the crash wave:", avail > 0.5)
+	// Output:
+	// survived the crash wave: true
+}

@@ -1,0 +1,66 @@
+// Cache policy comparison: sweep the dynamic cache size and compare the
+// paper's GD-LD replacement policy with GD-Size, LRU and LFU — an
+// extended version of the paper's Figures 4 and 5 that also shows the
+// classical policies the paper leaves out.
+//
+//	go run ./examples/cachepolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"precinct"
+)
+
+func main() {
+	policies := []string{"gd-ld", "gd-size", "lru", "lfu"}
+	fractions := []float64{0.005, 0.010, 0.015, 0.020, 0.025}
+
+	// One scenario per (policy, cache size) pair, all sharing a seed so
+	// the workload and mobility traces are identical across policies.
+	var scenarios []precinct.Scenario
+	for _, policy := range policies {
+		for _, frac := range fractions {
+			sc := precinct.DefaultScenario()
+			sc.Name = fmt.Sprintf("%s @ %.1f%%", policy, frac*100)
+			sc.Policy = policy
+			sc.CacheFraction = frac
+			sc.Duration = 1200
+			sc.Warmup = 300
+			scenarios = append(scenarios, sc)
+		}
+	}
+
+	// Sweep runs scenarios in parallel across the machine's cores; each
+	// individual simulation stays deterministic.
+	results, err := precinct.Sweep(scenarios, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Latency per request (s) by cache size (% of database):")
+	printTable(policies, fractions, results, func(r precinct.Report) float64 {
+		return r.MeanLatency
+	})
+	fmt.Println("\nByte hit ratio by cache size:")
+	printTable(policies, fractions, results, func(r precinct.Report) float64 {
+		return r.ByteHitRatio
+	})
+}
+
+func printTable(policies []string, fractions []float64, results []precinct.Result, metric func(precinct.Report) float64) {
+	fmt.Printf("%8s", "cache%")
+	for _, p := range policies {
+		fmt.Printf("  %10s", p)
+	}
+	fmt.Println()
+	for fi, frac := range fractions {
+		fmt.Printf("%8.1f", frac*100)
+		for pi := range policies {
+			r := results[pi*len(fractions)+fi].Report
+			fmt.Printf("  %10.4f", metric(r))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,521 @@
+package precinct
+
+import (
+	"fmt"
+	"strings"
+
+	"precinct/internal/analysis"
+	"precinct/internal/energy"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced table/figure: the same rows/series the paper
+// plots, as numbers.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as an aligned text table, one row per X
+// value, one column per series.
+func (f Figure) String() string {
+	out := fmt.Sprintf("%s: %s\n%12s", f.ID, f.Title, f.XLabel)
+	for _, s := range f.Series {
+		out += fmt.Sprintf("  %22s", s.Label)
+	}
+	out += "\n"
+	if len(f.Series) == 0 {
+		return out
+	}
+	for i := range f.Series[0].X {
+		out += fmt.Sprintf("%12.3g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf("  %22.6g", s.Y[i])
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// CSV renders the figure as comma-separated values: a header of
+// x-label and series labels, then one row per x value. Series are
+// aligned by index; shorter series leave trailing cells empty.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	rows := 0
+	for _, s := range f.Series {
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if i < len(f.Series[0].X) {
+			fmt.Fprintf(&b, "%g", f.Series[0].X[i])
+		}
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// ExperimentConfig controls how much work a figure reproduction does.
+// The zero value is replaced by paper-scale defaults; benchmarks shrink
+// Duration/Nodes to keep iterations fast.
+type ExperimentConfig struct {
+	// Seed feeds every scenario of the experiment.
+	Seed int64
+	// Workers bounds sweep parallelism (<= 0: GOMAXPROCS).
+	Workers int
+	// Duration and Warmup override the simulated time when positive.
+	Duration float64
+	Warmup   float64
+	// Nodes overrides the scenario node count when positive.
+	Nodes int
+	// Items overrides the catalog size when positive.
+	Items int
+}
+
+func (c ExperimentConfig) apply(s *Scenario) {
+	if c.Seed != 0 {
+		s.Seed = c.Seed
+	}
+	if c.Duration > 0 {
+		s.Duration = c.Duration
+	}
+	if c.Warmup >= 0 && c.Warmup < s.Duration {
+		if c.Warmup > 0 {
+			s.Warmup = c.Warmup
+		}
+	}
+	if s.Warmup >= s.Duration {
+		s.Warmup = s.Duration / 4
+	}
+	if c.Nodes > 0 {
+		s.Nodes = c.Nodes
+	}
+	if c.Items > 0 {
+		s.Items = c.Items
+	}
+}
+
+// CachePercents are the cache sizes (fraction of the database) Figures 4
+// and 5 sweep.
+var CachePercents = []float64{0.005, 0.010, 0.015, 0.020, 0.025}
+
+// cacheScenario is the Figures 4/5 environment: 80 nodes at 6 m/s.
+func cacheScenario(policy string, frac float64) Scenario {
+	s := DefaultScenario()
+	s.Name = fmt.Sprintf("cache/%s/%.3f", policy, frac)
+	s.Nodes = 80
+	s.MaxSpeed = 6
+	s.Policy = policy
+	s.CacheFraction = frac
+	s.UpdateInterval = 0
+	s.Consistency = "none"
+	return s
+}
+
+// Fig4And5 reproduces Figure 4 (latency vs cache size) and Figure 5
+// (byte hit ratio vs cache size) for GD-LD vs GD-Size from one sweep.
+func Fig4And5(cfg ExperimentConfig) (fig4, fig5 Figure, err error) {
+	policies := []string{"GD-LD", "GD-Size"}
+	keys := []string{"gd-ld", "gd-size"}
+	var scenarios []Scenario
+	for _, key := range keys {
+		for _, frac := range CachePercents {
+			s := cacheScenario(key, frac)
+			cfg.apply(&s)
+			scenarios = append(scenarios, s)
+		}
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	fig4 = Figure{ID: "fig4", Title: "Variation of latency with cache size (80 nodes, 6 m/s)",
+		XLabel: "cache %", YLabel: "latency/request (s)"}
+	fig5 = Figure{ID: "fig5", Title: "Variation of byte hit ratio with cache size",
+		XLabel: "cache %", YLabel: "byte hit ratio"}
+	idx := 0
+	for pi := range keys {
+		lat := Series{Label: policies[pi]}
+		bhr := Series{Label: policies[pi]}
+		for _, frac := range CachePercents {
+			r := results[idx].Report
+			idx++
+			lat.X = append(lat.X, frac*100)
+			lat.Y = append(lat.Y, r.MeanLatency)
+			bhr.X = append(bhr.X, frac*100)
+			bhr.Y = append(bhr.Y, r.ByteHitRatio)
+		}
+		fig4.Series = append(fig4.Series, lat)
+		fig5.Series = append(fig5.Series, bhr)
+	}
+	return fig4, fig5, nil
+}
+
+// UpdateRatios are the T_update/T_request points of Figures 6–8.
+var UpdateRatios = []float64{1, 2, 3, 4, 5}
+
+// consistencyScenario is the Figures 6–8 environment.
+func consistencyScenario(scheme string, ratio float64) Scenario {
+	s := DefaultScenario()
+	s.Name = fmt.Sprintf("consistency/%s/%.0f", scheme, ratio)
+	s.Nodes = 80
+	s.MaxSpeed = 6
+	s.Consistency = scheme
+	s.UpdateInterval = s.RequestInterval * ratio
+	return s
+}
+
+// Fig6To8 reproduces Figure 6 (control message overhead), Figure 7 (false
+// hit ratio) and Figure 8 (latency) versus the update rate for the three
+// consistency schemes, from one sweep.
+func Fig6To8(cfg ExperimentConfig) (fig6, fig7, fig8 Figure, err error) {
+	labels := []string{"Plain-Push", "Pull-Every-time", "Push-with-Adaptive-Pull"}
+	keys := []string{"plain-push", "pull-every-time", "push-adaptive-pull"}
+	var scenarios []Scenario
+	for _, key := range keys {
+		for _, ratio := range UpdateRatios {
+			s := consistencyScenario(key, ratio)
+			cfg.apply(&s)
+			scenarios = append(scenarios, s)
+		}
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, Figure{}, Figure{}, err
+	}
+	fig6 = Figure{ID: "fig6", Title: "Effect of update rate on control message overhead",
+		XLabel: "Tupd/Treq", YLabel: "control messages"}
+	fig7 = Figure{ID: "fig7", Title: "Effect of update rate on false hit ratio",
+		XLabel: "Tupd/Treq", YLabel: "false hit ratio"}
+	fig8 = Figure{ID: "fig8", Title: "Effect of update rate on latency per request",
+		XLabel: "Tupd/Treq", YLabel: "latency/request (s)"}
+	idx := 0
+	for si := range keys {
+		ctrl := Series{Label: labels[si]}
+		fhr := Series{Label: labels[si]}
+		lat := Series{Label: labels[si]}
+		for _, ratio := range UpdateRatios {
+			r := results[idx].Report
+			idx++
+			ctrl.X = append(ctrl.X, ratio)
+			ctrl.Y = append(ctrl.Y, float64(r.ControlMessages))
+			fhr.X = append(fhr.X, ratio)
+			fhr.Y = append(fhr.Y, r.FalseHitRatio)
+			lat.X = append(lat.X, ratio)
+			lat.Y = append(lat.Y, r.MeanLatency)
+		}
+		fig6.Series = append(fig6.Series, ctrl)
+		fig7.Series = append(fig7.Series, fhr)
+		fig8.Series = append(fig8.Series, lat)
+	}
+	return fig6, fig7, fig8, nil
+}
+
+// Fig9aNodes are the node counts of Figure 9(a).
+var Fig9aNodes = []int{20, 40, 60, 80}
+
+// validationScenario is the Section 6.2.3 static validation topology:
+// 600×600 m, no dynamic cache, no updates, no warmup.
+func validationScenario(retrieval string, nodes, regions int) Scenario {
+	s := DefaultScenario()
+	s.Name = fmt.Sprintf("validate/%s/n%d/r%d", retrieval, nodes, regions)
+	s.Mobile = false
+	s.AreaSide = 600
+	s.Nodes = nodes
+	s.Regions = regions
+	s.Retrieval = retrieval
+	s.CacheFraction = -1
+	s.UpdateInterval = 0
+	s.Consistency = "none"
+	s.Replication = false
+	s.EnRoute = false
+	s.Warmup = 0
+	s.Duration = 1000
+	return s
+}
+
+// analysisParams mirrors the validation scenario in the closed forms.
+func analysisParams(s Scenario) analysis.Params {
+	return analysis.Params{
+		Model:        energy.DefaultModel(),
+		N:            s.Nodes,
+		AreaSide:     s.AreaSide,
+		Range:        s.Range,
+		Regions:      s.Regions,
+		RequestBytes: 64 + 64, // control payload + radio header
+		ReplyBytes:   (s.MinItemSize+s.MaxItemSize)/2 + 64,
+	}
+}
+
+// Fig9a reproduces Figure 9(a): energy per request versus node count for
+// flooding and PReCinCt, simulation next to the Section 5 theory.
+func Fig9a(cfg ExperimentConfig) (Figure, error) {
+	nodes := Fig9aNodes
+	if cfg.Nodes > 0 {
+		// A nodes override caps the sweep for cheap benchmark runs.
+		nodes = nil
+		for _, n := range Fig9aNodes {
+			if n <= cfg.Nodes {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) == 0 {
+			nodes = []int{cfg.Nodes}
+		}
+	}
+	var scenarios []Scenario
+	for _, scheme := range []string{"precinct", "flooding"} {
+		for _, n := range nodes {
+			s := validationScenario(scheme, n, 9)
+			c := cfg
+			c.Nodes = 0 // node count is the x axis; don't override
+			c.apply(&s)
+			scenarios = append(scenarios, s)
+		}
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "fig9a", Title: "Energy per request vs nodes (600x600 static)",
+		XLabel: "nodes", YLabel: "energy/request (mJ)"}
+	simPC := Series{Label: "PReCinCt sim"}
+	simFL := Series{Label: "Flooding sim"}
+	idx := 0
+	for _, n := range nodes {
+		r := results[idx].Report
+		idx++
+		simPC.X = append(simPC.X, float64(n))
+		simPC.Y = append(simPC.Y, r.EnergyPerRequest)
+	}
+	for _, n := range nodes {
+		r := results[idx].Report
+		idx++
+		simFL.X = append(simFL.X, float64(n))
+		simFL.Y = append(simFL.Y, r.EnergyPerRequest)
+	}
+	base := analysisParams(validationScenario("precinct", nodes[0], 9))
+	thPC, err := analysis.PReCinCtVsNodes(base, nodes)
+	if err != nil {
+		return Figure{}, err
+	}
+	thFL, err := analysis.FloodingVsNodes(base, nodes)
+	if err != nil {
+		return Figure{}, err
+	}
+	theoryPC := Series{Label: "PReCinCt theory"}
+	theoryFL := Series{Label: "Flooding theory"}
+	for i := range thPC {
+		theoryPC.X = append(theoryPC.X, thPC[i].X)
+		theoryPC.Y = append(theoryPC.Y, thPC[i].Y)
+		theoryFL.X = append(theoryFL.X, thFL[i].X)
+		theoryFL.Y = append(theoryFL.Y, thFL[i].Y)
+	}
+	fig.Series = []Series{theoryPC, simPC, theoryFL, simFL}
+	return fig, nil
+}
+
+// Fig9bRegions are the region counts of Figure 9(b).
+var Fig9bRegions = []int{1, 4, 9, 16, 25}
+
+// Fig9b reproduces Figure 9(b): PReCinCt energy per request versus the
+// number of regions at 20 nodes, simulation next to theory.
+func Fig9b(cfg ExperimentConfig) (Figure, error) {
+	nodes := 20
+	if cfg.Nodes > 0 {
+		nodes = cfg.Nodes
+	}
+	var scenarios []Scenario
+	for _, k := range Fig9bRegions {
+		s := validationScenario("precinct", nodes, k)
+		c := cfg
+		c.Nodes = 0
+		c.apply(&s)
+		scenarios = append(scenarios, s)
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "fig9b", Title: "Energy per request vs number of regions (static)",
+		XLabel: "regions", YLabel: "energy/request (mJ)"}
+	simS := Series{Label: "PReCinCt sim"}
+	for i, k := range Fig9bRegions {
+		simS.X = append(simS.X, float64(k))
+		simS.Y = append(simS.Y, results[i].Report.EnergyPerRequest)
+	}
+	base := analysisParams(validationScenario("precinct", nodes, 9))
+	th, err := analysis.PReCinCtVsRegions(base, Fig9bRegions)
+	if err != nil {
+		return Figure{}, err
+	}
+	thS := Series{Label: "PReCinCt theory"}
+	for _, p := range th {
+		thS.X = append(thS.X, p.X)
+		thS.Y = append(thS.Y, p.Y)
+	}
+	fig.Series = []Series{thS, simS}
+	return fig, nil
+}
+
+// ExtSpeedSweep measures latency and failure rate across the maximum
+// node speeds the paper simulates (2–20 m/s, Section 6.1), an extension
+// series the paper describes but does not plot.
+func ExtSpeedSweep(cfg ExperimentConfig) (latFig, failFig Figure, err error) {
+	speeds := []float64{2, 8, 12, 16, 20}
+	var scenarios []Scenario
+	for _, v := range speeds {
+		s := DefaultScenario()
+		s.Name = fmt.Sprintf("speed/%.0f", v)
+		s.MaxSpeed = v
+		cfg.apply(&s)
+		scenarios = append(scenarios, s)
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	latFig = Figure{ID: "ext-speed-latency", Title: "Latency per request vs max speed",
+		XLabel: "m/s", YLabel: "latency (s)"}
+	failFig = Figure{ID: "ext-speed-failures", Title: "Failure rate vs max speed",
+		XLabel: "m/s", YLabel: "failure rate"}
+	lat := Series{Label: "PReCinCt"}
+	fail := Series{Label: "PReCinCt"}
+	for i, v := range speeds {
+		r := results[i].Report
+		lat.X = append(lat.X, v)
+		lat.Y = append(lat.Y, r.MeanLatency)
+		fail.X = append(fail.X, v)
+		rate := 0.0
+		if r.Requests > 0 {
+			rate = float64(r.Failures) / float64(r.Requests)
+		}
+		fail.Y = append(fail.Y, rate)
+	}
+	latFig.Series = []Series{lat}
+	failFig.Series = []Series{fail}
+	return latFig, failFig, nil
+}
+
+// ExtZipfSweep measures the byte hit ratio across request skews — the
+// knob that controls how much a cooperative cache can possibly help.
+func ExtZipfSweep(cfg ExperimentConfig) (Figure, error) {
+	thetas := []float64{0, 0.4, 0.8, 1.2}
+	policies := []string{"gd-ld", "gd-size"}
+	labels := []string{"GD-LD", "GD-Size"}
+	var scenarios []Scenario
+	for _, policy := range policies {
+		for _, theta := range thetas {
+			s := DefaultScenario()
+			s.Name = fmt.Sprintf("zipf/%s/%.1f", policy, theta)
+			s.Policy = policy
+			s.ZipfTheta = theta
+			cfg.apply(&s)
+			scenarios = append(scenarios, s)
+		}
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "ext-zipf", Title: "Byte hit ratio vs request skew",
+		XLabel: "theta", YLabel: "byte hit ratio"}
+	idx := 0
+	for pi := range policies {
+		s := Series{Label: labels[pi]}
+		for _, theta := range thetas {
+			s.X = append(s.X, theta)
+			s.Y = append(s.Y, results[idx].Report.ByteHitRatio)
+			idx++
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ExtRetrievalSchemes reproduces the comparison the paper inherits from
+// its companion workshop paper [11]: energy per request for PReCinCt,
+// flooding and expanding ring across node counts on the mobile topology.
+func ExtRetrievalSchemes(cfg ExperimentConfig) (Figure, error) {
+	counts := []int{40, 80, 120, 160}
+	if cfg.Nodes > 0 {
+		counts = nil
+		for _, n := range []int{40, 80, 120, 160} {
+			if n <= cfg.Nodes {
+				counts = append(counts, n)
+			}
+		}
+		if len(counts) == 0 {
+			counts = []int{cfg.Nodes}
+		}
+	}
+	schemes := []string{"precinct", "flooding", "expanding-ring"}
+	labels := []string{"PReCinCt", "Flooding", "Expanding ring"}
+	var scenarios []Scenario
+	for _, scheme := range schemes {
+		for _, n := range counts {
+			s := DefaultScenario()
+			s.Name = fmt.Sprintf("ext/%s/n%d", scheme, n)
+			s.Retrieval = scheme
+			s.Nodes = n
+			s.UpdateInterval = 0
+			s.Consistency = "none"
+			c := cfg
+			c.Nodes = 0
+			c.apply(&s)
+			scenarios = append(scenarios, s)
+		}
+	}
+	results, err := Sweep(scenarios, cfg.Workers)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "ext", Title: "Energy per request vs nodes by retrieval scheme (mobile)",
+		XLabel: "nodes", YLabel: "energy/request (mJ)"}
+	idx := 0
+	for si := range schemes {
+		s := Series{Label: labels[si]}
+		for _, n := range counts {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, results[idx].Report.EnergyPerRequest)
+			idx++
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

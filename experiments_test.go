@@ -1,0 +1,239 @@
+package precinct
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps figure tests fast: the goal here is plumbing
+// correctness (labels, axes, series alignment), not statistical quality.
+func tinyConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Seed:     3,
+		Duration: 120,
+		Warmup:   30,
+		Nodes:    25,
+		Items:    60,
+	}
+}
+
+func TestFig4And5Structure(t *testing.T) {
+	fig4, fig5, err := Fig4And5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{fig4, fig5} {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s: %d series, want 2", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != len(CachePercents) || len(s.Y) != len(s.X) {
+				t.Fatalf("%s %s: x/y lengths %d/%d", fig.ID, s.Label, len(s.X), len(s.Y))
+			}
+			for i, x := range s.X {
+				if x != CachePercents[i]*100 {
+					t.Errorf("%s: x[%d] = %v", fig.ID, i, x)
+				}
+			}
+		}
+	}
+	// Byte hit ratio must increase with cache size for both policies.
+	for _, s := range fig5.Series {
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("fig5 %s: byte hit ratio did not grow with cache size: %v", s.Label, s.Y)
+		}
+	}
+	// The rendered table mentions both policies.
+	text := fig4.String()
+	if !strings.Contains(text, "GD-LD") || !strings.Contains(text, "GD-Size") {
+		t.Errorf("figure text missing series labels:\n%s", text)
+	}
+}
+
+func TestFig6To8Structure(t *testing.T) {
+	fig6, fig7, fig8, err := Fig6To8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{fig6, fig7, fig8} {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s: %d series", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Y) != len(UpdateRatios) {
+				t.Fatalf("%s %s: %d points", fig.ID, s.Label, len(s.Y))
+			}
+		}
+	}
+	// Plain-push must be the most expensive at the highest update rate
+	// even at tiny scale.
+	if fig6.Series[0].Y[0] <= fig6.Series[2].Y[0] {
+		t.Errorf("plain-push (%v) should exceed adaptive (%v)", fig6.Series[0].Y[0], fig6.Series[2].Y[0])
+	}
+}
+
+func TestFig9aStructure(t *testing.T) {
+	cfg := ExperimentConfig{Seed: 3, Duration: 150, Nodes: 40}
+	fig, err := Fig9a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series, want 4 (theory+sim per scheme)", len(fig.Series))
+	}
+	// Flooding must dominate PReCinCt in both theory and simulation at
+	// the largest plotted node count.
+	last := len(fig.Series[0].Y) - 1
+	theoryPC, simPC := fig.Series[0].Y[last], fig.Series[1].Y[last]
+	theoryFL, simFL := fig.Series[2].Y[last], fig.Series[3].Y[last]
+	if theoryFL <= theoryPC {
+		t.Error("theory: flooding should exceed precinct")
+	}
+	if simFL <= simPC {
+		t.Error("simulation: flooding should exceed precinct")
+	}
+}
+
+func TestFig9bStructure(t *testing.T) {
+	cfg := ExperimentConfig{Seed: 3, Duration: 150}
+	fig, err := Fig9b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(fig.Series))
+	}
+	theory := fig.Series[0]
+	for i := 1; i < len(theory.Y); i++ {
+		if theory.Y[i] >= theory.Y[i-1] {
+			t.Errorf("theory curve not decreasing at %v regions", theory.X[i])
+		}
+	}
+	// Simulation: more regions should not cost substantially more
+	// energy (allow noise at tiny scale).
+	sim := fig.Series[1]
+	if sim.Y[len(sim.Y)-1] > sim.Y[0]*1.5 {
+		t.Errorf("sim energy grew with regions: %v", sim.Y)
+	}
+}
+
+func TestExtRetrievalSchemesStructure(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := ExtRetrievalSchemes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(fig.Series))
+	}
+	last := len(fig.Series[0].Y) - 1
+	if fig.Series[1].Y[last] <= fig.Series[0].Y[last] {
+		t.Errorf("flooding energy (%v) should exceed precinct (%v)",
+			fig.Series[1].Y[last], fig.Series[0].Y[last])
+	}
+}
+
+func TestFigureStringRendering(t *testing.T) {
+	fig := Figure{
+		ID: "test", Title: "A test figure", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	out := fig.String()
+	for _, want := range []string{"test", "A test figure", "a", "b", "10", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	empty := Figure{ID: "e", Title: "empty"}
+	if empty.String() == "" {
+		t.Error("empty figure renders nothing")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "t", XLabel: "x, label",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: `b"q`, X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != `"x, label",a,"b""q"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,30" || lines[2] != "2,20,40" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+	if got := (Figure{XLabel: "x"}).CSV(); got != "x\n" {
+		t.Errorf("empty figure CSV = %q", got)
+	}
+}
+
+func TestExtSpeedSweepStructure(t *testing.T) {
+	lat, fail, err := ExtSpeedSweep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat.Series) != 1 || len(fail.Series) != 1 {
+		t.Fatal("speed sweep series count wrong")
+	}
+	if len(lat.Series[0].X) != 5 {
+		t.Fatalf("speed points: %v", lat.Series[0].X)
+	}
+	for _, rate := range fail.Series[0].Y {
+		if rate < 0 || rate > 1 {
+			t.Errorf("failure rate %v out of [0,1]", rate)
+		}
+	}
+}
+
+func TestExtZipfSweepStructure(t *testing.T) {
+	fig, err := ExtZipfSweep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatal("zipf sweep series count wrong")
+	}
+	// Higher skew should give a higher byte hit ratio for GD-LD.
+	s := fig.Series[0]
+	if s.Y[len(s.Y)-1] <= s.Y[0] {
+		t.Errorf("byte hit ratio did not grow with skew: %v", s.Y)
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	fig := Figure{
+		ID: "c", Title: "chart test", XLabel: "n",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+			{Label: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+		},
+	}
+	out := fig.Chart(40, 10)
+	for _, want := range []string{"a=up", "b=down", "chart test", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The crossing midpoint overlaps: a '*' appears.
+	if !strings.Contains(out, "*") {
+		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+	if !strings.Contains((Figure{ID: "e"}).Chart(40, 10), "no data") {
+		t.Error("empty figure chart should say so")
+	}
+	// Degenerate sizes are clamped, flat series don't divide by zero.
+	flat := Figure{Series: []Series{{Label: "f", X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	if flat.Chart(1, 1) == "" {
+		t.Error("flat chart empty")
+	}
+}

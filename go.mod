@@ -1,0 +1,3 @@
+module precinct
+
+go 1.22

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"precinct/internal/energy"
+)
+
+func baseParams() Params {
+	return Params{
+		Model:        energy.DefaultModel(),
+		N:            40,
+		AreaSide:     600,
+		Range:        250,
+		Regions:      9,
+		RequestBytes: 128,
+		ReplyBytes:   4096,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.AreaSide = 0 },
+		func(p *Params) { p.Range = -1 },
+		func(p *Params) { p.Regions = 0 },
+		func(p *Params) { p.RequestBytes = 0 },
+		func(p *Params) { p.ReplyBytes = -5 },
+		func(p *Params) { p.Model = energy.Model{} },
+	}
+	for i, m := range mutations {
+		p := baseParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDensityAndZeta(t *testing.T) {
+	p := baseParams()
+	wantDensity := 40.0 / (600 * 600)
+	if got := p.Density(); math.Abs(got-wantDensity) > 1e-15 {
+		t.Errorf("Density = %v, want %v", got, wantDensity)
+	}
+	wantZeta := wantDensity * math.Pi * 250 * 250
+	if got := p.Zeta(); math.Abs(got-wantZeta) > 1e-9 {
+		t.Errorf("Zeta = %v, want %v", got, wantZeta)
+	}
+}
+
+func TestTotalBroadcastEquation8(t *testing.T) {
+	p := baseParams()
+	m := p.Model
+	want := m.BroadcastSend.Cost(128) + p.Zeta()*m.BroadcastRecv.Cost(128)
+	if got := p.TotalBroadcast(128); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalBroadcast = %v, want %v", got, want)
+	}
+}
+
+func TestIntermediatesScale(t *testing.T) {
+	p := baseParams()
+	// 600 m area, 250 m range: mean distance ~313 m => ~1.25 hops =>
+	// ~0.25 intermediate nodes.
+	i := p.Intermediates()
+	if i < 0 || i > 1 {
+		t.Errorf("Intermediates = %v, want small for 600 m area", i)
+	}
+	// Bigger area: more intermediates.
+	p.AreaSide = 2400
+	if p.Intermediates() <= i {
+		t.Error("Intermediates should grow with area")
+	}
+	// Tiny area: zero.
+	p.AreaSide = 100
+	if p.Intermediates() != 0 {
+		t.Errorf("Intermediates for tiny area = %v, want 0", p.Intermediates())
+	}
+}
+
+func TestFloodingGrowsLinearlyInN(t *testing.T) {
+	p := baseParams()
+	p.N = 20
+	e20 := p.FloodingEnergy()
+	p.N = 80
+	e80 := p.FloodingEnergy()
+	// Broadcast term is O(N * zeta(N)) = O(N²): quadratic-ish growth;
+	// at minimum it must grow superlinearly.
+	if e80 < 4*e20 {
+		t.Errorf("flooding energy grew too slowly: E(20)=%v E(80)=%v", e20, e80)
+	}
+}
+
+func TestPReCinCtBeatsFloodingAtScale(t *testing.T) {
+	// The paper's headline: PReCinCt consumes much less energy than
+	// flooding, increasingly so with node count.
+	for _, n := range []int{20, 40, 60, 80} {
+		p := baseParams()
+		p.N = n
+		if p.PReCinCtEnergy() >= p.FloodingEnergy() {
+			t.Errorf("N=%d: PReCinCt %v >= flooding %v", n, p.PReCinCtEnergy(), p.FloodingEnergy())
+		}
+	}
+	// And the advantage grows with N.
+	p20, p80 := baseParams(), baseParams()
+	p20.N, p80.N = 20, 80
+	r20 := p20.FloodingEnergy() / p20.PReCinCtEnergy()
+	r80 := p80.FloodingEnergy() / p80.PReCinCtEnergy()
+	if r80 <= r20 {
+		t.Errorf("advantage should grow with N: ratio(20)=%v ratio(80)=%v", r20, r80)
+	}
+}
+
+func TestPReCinCtDecreasesWithRegions(t *testing.T) {
+	// Figure 9(b): more regions => smaller per-region floods => less
+	// energy.
+	p := baseParams()
+	p.N = 20
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 4, 9, 16, 25} {
+		p.Regions = k
+		e := p.PReCinCtEnergy()
+		if e >= prev {
+			t.Errorf("energy did not decrease at %d regions: %v >= %v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	nodes := []int{20, 40, 60, 80}
+	fl, err := FloodingVsNodes(baseParams(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := PReCinCtVsNodes(baseParams(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl) != 4 || len(pc) != 4 {
+		t.Fatalf("curve lengths %d, %d", len(fl), len(pc))
+	}
+	for i := range fl {
+		if fl[i].X != float64(nodes[i]) {
+			t.Errorf("x value %v, want %d", fl[i].X, nodes[i])
+		}
+		if fl[i].Y <= pc[i].Y {
+			t.Errorf("at N=%d flooding (%v) should exceed PReCinCt (%v)", nodes[i], fl[i].Y, pc[i].Y)
+		}
+	}
+	regs, err := PReCinCtVsRegions(baseParams(), []int{1, 4, 9, 16, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(regs); i++ {
+		if regs[i].Y >= regs[i-1].Y {
+			t.Errorf("region curve not decreasing at %v", regs[i].X)
+		}
+	}
+	if _, err := FloodingVsNodes(baseParams(), []int{0}); err == nil {
+		t.Error("invalid node count accepted")
+	}
+	if _, err := PReCinCtVsNodes(baseParams(), []int{-2}); err == nil {
+		t.Error("invalid node count accepted")
+	}
+	if _, err := PReCinCtVsRegions(baseParams(), []int{0}); err == nil {
+		t.Error("invalid region count accepted")
+	}
+}
+
+func TestNodesPerRegion(t *testing.T) {
+	p := baseParams()
+	if got := p.NodesPerRegion(); math.Abs(got-40.0/9.0) > 1e-12 {
+		t.Errorf("NodesPerRegion = %v", got)
+	}
+}

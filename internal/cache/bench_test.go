@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"precinct/internal/workload"
+)
+
+func benchCache(b *testing.B, p Policy) {
+	b.Helper()
+	c, err := New(64*1024, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := workload.Key(rng.Intn(1000))
+		if _, ok := c.Get(k, float64(i)); !ok {
+			c.Put(Entry{
+				Key: k, Size: 512 + rng.Intn(4096),
+				RegionDist: rng.Float64() * 1000,
+			}, float64(i))
+		}
+	}
+}
+
+func BenchmarkGDLDMixedWorkload(b *testing.B) {
+	p, _ := NewGDLD(DefaultWeights())
+	benchCache(b, p)
+}
+
+func BenchmarkGDSizeMixedWorkload(b *testing.B) { benchCache(b, GDSize{}) }
+func BenchmarkLRUMixedWorkload(b *testing.B)    { benchCache(b, LRU{}) }
+func BenchmarkLFUMixedWorkload(b *testing.B)    { benchCache(b, LFU{}) }
+
+func BenchmarkEvictionHeavy(b *testing.B) {
+	p, _ := NewGDLD(DefaultWeights())
+	c, _ := New(8*1024, p) // tiny cache: almost every Put evicts
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(Entry{Key: workload.Key(i), Size: 1024 + rng.Intn(2048)}, float64(i))
+	}
+}

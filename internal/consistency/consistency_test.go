@@ -1,0 +1,172 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"precinct/internal/cache"
+)
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []Scheme{None, PlainPush, PullEveryTime, PushAdaptivePull} {
+		parsed, err := ParseScheme(s.String())
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", s.String(), err)
+		}
+		if parsed != s {
+			t.Errorf("round trip %v -> %v", s, parsed)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("bogus scheme parsed")
+	}
+	if Scheme(42).String() != "scheme(42)" {
+		t.Error("unknown scheme String")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(PushAdaptivePull).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Scheme: Scheme(-1), Alpha: 0.5, InitialTTR: 30},
+		{Scheme: Scheme(9), Alpha: 0.5, InitialTTR: 30},
+		{Scheme: PlainPush, Alpha: -0.1, InitialTTR: 30},
+		{Scheme: PlainPush, Alpha: 1.0, InitialTTR: 30},
+		{Scheme: PlainPush, Alpha: 0.5, InitialTTR: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSmoothTTR(t *testing.T) {
+	// Equation 2 with alpha=0.5: midpoint of prev and interval.
+	if got := SmoothTTR(0.5, 100, 50); got != 75 {
+		t.Errorf("SmoothTTR = %v, want 75", got)
+	}
+	// alpha=0: pure latest interval.
+	if got := SmoothTTR(0, 100, 50); got != 50 {
+		t.Errorf("SmoothTTR(alpha=0) = %v, want 50", got)
+	}
+}
+
+func TestApplyUpdateBumpsVersion(t *testing.T) {
+	cfg := DefaultConfig(PushAdaptivePull)
+	it := &cache.StoredItem{Key: 1, TTR: cfg.InitialTTR}
+	v1, _ := ApplyUpdate(it, 10, cfg)
+	v2, _ := ApplyUpdate(it, 40, cfg)
+	if v1 != 1 || v2 != 2 {
+		t.Errorf("versions %d, %d; want 1, 2", v1, v2)
+	}
+	if it.UpdatedAt != 40 {
+		t.Errorf("UpdatedAt = %v", it.UpdatedAt)
+	}
+}
+
+func TestApplyUpdateTTRTracksIntervals(t *testing.T) {
+	cfg := Config{Scheme: PushAdaptivePull, Alpha: 0.5, InitialTTR: 30}
+	it := &cache.StoredItem{Key: 1, TTR: 30}
+	// Updates every 10 seconds: TTR should converge toward 10.
+	now := 0.0
+	ApplyUpdate(it, now, cfg)
+	for i := 0; i < 20; i++ {
+		now += 10
+		ApplyUpdate(it, now, cfg)
+	}
+	if math.Abs(it.TTR-10) > 1 {
+		t.Errorf("TTR = %v, want ~10 after steady 10 s updates", it.TTR)
+	}
+}
+
+func TestApplyUpdateFasterUpdatesShrinkTTR(t *testing.T) {
+	cfg := Config{Scheme: PushAdaptivePull, Alpha: 0.5, InitialTTR: 30}
+	slow := &cache.StoredItem{Key: 1, TTR: 30}
+	fast := &cache.StoredItem{Key: 2, TTR: 30}
+	nowS, nowF := 0.0, 0.0
+	ApplyUpdate(slow, nowS, cfg)
+	ApplyUpdate(fast, nowF, cfg)
+	for i := 0; i < 10; i++ {
+		nowS += 100
+		nowF += 5
+		ApplyUpdate(slow, nowS, cfg)
+		ApplyUpdate(fast, nowF, cfg)
+	}
+	if fast.TTR >= slow.TTR {
+		t.Errorf("frequently updated item TTR (%v) should be below rarely updated (%v)", fast.TTR, slow.TTR)
+	}
+}
+
+func TestApplyUpdateNegativeIntervalClamped(t *testing.T) {
+	cfg := DefaultConfig(PushAdaptivePull)
+	it := &cache.StoredItem{Key: 1, TTR: 30, UpdatedAt: 100, Version: 3}
+	// An update stamped "before" the last one (possible with reordered
+	// delivery) must not produce a negative TTR.
+	ApplyUpdate(it, 50, cfg)
+	if it.TTR < 0 {
+		t.Errorf("TTR went negative: %v", it.TTR)
+	}
+}
+
+func TestApplyUpdateZeroTTRReseeded(t *testing.T) {
+	cfg := Config{Scheme: PushAdaptivePull, Alpha: 0.5, InitialTTR: 30}
+	it := &cache.StoredItem{Key: 1, TTR: 0, UpdatedAt: 10, Version: 1}
+	ApplyUpdate(it, 20, cfg)
+	if it.TTR <= 0 {
+		t.Errorf("TTR not reseeded: %v", it.TTR)
+	}
+}
+
+func TestFreshSemantics(t *testing.T) {
+	e := &cache.Entry{TTRExpiry: 100}
+	if !Fresh(None, e, 500) {
+		t.Error("None must always trust the cache")
+	}
+	if !Fresh(PlainPush, e, 500) {
+		t.Error("PlainPush trusts the cache (invalidation-based)")
+	}
+	if Fresh(PullEveryTime, e, 0) {
+		t.Error("PullEveryTime must never trust the cache")
+	}
+	if !Fresh(PushAdaptivePull, e, 99) {
+		t.Error("adaptive: fresh before TTR expiry")
+	}
+	if Fresh(PushAdaptivePull, e, 100) {
+		t.Error("adaptive: stale at TTR expiry")
+	}
+}
+
+// Property: SmoothTTR output always lies between its two inputs.
+func TestSmoothTTRBounded(t *testing.T) {
+	f := func(alphaRaw uint8, prevRaw, intervalRaw uint16) bool {
+		alpha := float64(alphaRaw) / 256 // [0, 1)
+		prev := float64(prevRaw)
+		interval := float64(intervalRaw)
+		got := SmoothTTR(alpha, prev, interval)
+		lo, hi := math.Min(prev, interval), math.Max(prev, interval)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: version is strictly monotone under ApplyUpdate.
+func TestVersionMonotone(t *testing.T) {
+	cfg := DefaultConfig(PushAdaptivePull)
+	it := &cache.StoredItem{Key: 1, TTR: 30}
+	var last uint64
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		now += 7
+		v, _ := ApplyUpdate(it, now, cfg)
+		if v != last+1 {
+			t.Fatalf("version jumped %d -> %d", last, v)
+		}
+		last = v
+	}
+}

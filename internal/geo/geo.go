@@ -1,0 +1,223 @@
+// Package geo provides the planar geometry primitives used throughout the
+// simulator: points, rectangles, distance computations, and the segment
+// orientation predicates needed by GPSR's perimeter mode.
+//
+// All coordinates are in meters. The service area follows the usual screen
+// convention with the origin at the lower-left corner and axes increasing
+// right and up; nothing in the package depends on that orientation beyond
+// documentation.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as neighbor scans.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Midpoint returns the point halfway between p and q.
+func (p Point) Midpoint(q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product of p and q treated as
+// vectors. Positive means q is counter-clockwise from p.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Angle returns the angle of the vector from p to q in radians, in
+// (-pi, pi], measured counter-clockwise from the positive x axis.
+func (p Point) Angle(q Point) float64 { return math.Atan2(q.Y-p.Y, q.X-p.X) }
+
+// Equal reports whether p and q coincide exactly.
+func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and Max
+// the upper-right corner; a point on the Min edges is inside, a point on
+// the Max edges is inside as well (closed rectangle), which keeps grid
+// partitions free of unowned boundary points at the area border.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points, fixing the
+// corner order if needed.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v - %v]", r.Min, r.Max) }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return r.Min.Midpoint(r.Max) }
+
+// Contains reports whether p lies inside the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Vertices returns the four corners of r in counter-clockwise order
+// starting from Min.
+func (r Rect) Vertices() [4]Point {
+	return [4]Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Orientation classifies the turn a→b→c.
+type Orientation int
+
+// Turn directions returned by Orient.
+const (
+	Collinear        Orientation = 0
+	Clockwise        Orientation = -1
+	CounterClockwise Orientation = 1
+)
+
+// Orient returns the orientation of the ordered triple (a, b, c).
+func Orient(a, b, c Point) Orientation {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > 0:
+		return CounterClockwise
+	case v < 0:
+		return Clockwise
+	default:
+		return Collinear
+	}
+}
+
+// onSegment reports whether q lies on segment a-b given that a, q, b are
+// collinear.
+func onSegment(a, b, q Point) bool {
+	return math.Min(a.X, b.X) <= q.X && q.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= q.Y && q.Y <= math.Max(a.Y, b.Y)
+}
+
+// SegmentsIntersect reports whether the closed segments p1-p2 and q1-q2
+// share at least one point. It handles all collinear and endpoint-touching
+// cases; GPSR's perimeter mode uses it to detect crossings of the
+// source-destination line.
+func SegmentsIntersect(p1, p2, q1, q2 Point) bool {
+	o1 := Orient(p1, p2, q1)
+	o2 := Orient(p1, p2, q2)
+	o3 := Orient(q1, q2, p1)
+	o4 := Orient(q1, q2, p2)
+
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	switch {
+	case o1 == Collinear && onSegment(p1, p2, q1):
+		return true
+	case o2 == Collinear && onSegment(p1, p2, q2):
+		return true
+	case o3 == Collinear && onSegment(q1, q2, p1):
+		return true
+	case o4 == Collinear && onSegment(q1, q2, p2):
+		return true
+	}
+	return false
+}
+
+// SegmentIntersection returns the intersection point of the two segments
+// and true when they cross at a single point. For overlapping collinear
+// segments or disjoint segments it returns the zero point and false.
+func SegmentIntersection(p1, p2, q1, q2 Point) (Point, bool) {
+	r := p2.Sub(p1)
+	s := q2.Sub(q1)
+	denom := r.Cross(s)
+	if denom == 0 {
+		return Point{}, false // parallel or collinear
+	}
+	qp := q1.Sub(p1)
+	t := qp.Cross(s) / denom
+	u := qp.Cross(r) / denom
+	if t < 0 || t > 1 || u < 0 || u > 1 {
+		return Point{}, false
+	}
+	return p1.Add(r.Scale(t)), true
+}
+
+// NormalizeAngle maps an angle in radians to [0, 2*pi).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// CCWAngleFrom returns the counter-clockwise angle to sweep from direction
+// `from` to direction `to`, in [0, 2*pi). Both arguments are angles in
+// radians. GPSR's right-hand rule selects the neighbor with the smallest
+// such sweep measured clockwise, i.e. the largest counter-clockwise sweep,
+// so both callers share this primitive.
+func CCWAngleFrom(from, to float64) float64 {
+	return NormalizeAngle(to - from)
+}

@@ -1,0 +1,289 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, 2)
+	if got := p.Add(q); !got.Equal(Pt(4, 6)) {
+		t.Errorf("Add = %v, want (4,6)", got)
+	}
+	if got := p.Sub(q); !got.Equal(Pt(2, 2)) {
+		t.Errorf("Sub = %v, want (2,2)", got)
+	}
+	if got := p.Scale(2); !got.Equal(Pt(6, 8)) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := p.Norm(); !almostEqual(got, 5) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Pt(0, 0).Dist(p); !almostEqual(got, 5) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := Pt(0, 0).Dist2(p); !almostEqual(got, 25) {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := p.Midpoint(q); !got.Equal(Pt(2, 3)) {
+		t.Errorf("Midpoint = %v, want (2,3)", got)
+	}
+}
+
+func TestDotAndCross(t *testing.T) {
+	a := Pt(1, 0)
+	b := Pt(0, 1)
+	if got := a.Dot(b); got != 0 {
+		t.Errorf("Dot = %v, want 0", got)
+	}
+	if got := a.Cross(b); got != 1 {
+		t.Errorf("Cross = %v, want 1", got)
+	}
+	if got := b.Cross(a); got != -1 {
+		t.Errorf("Cross = %v, want -1", got)
+	}
+}
+
+func TestAngle(t *testing.T) {
+	cases := []struct {
+		from, to Point
+		want     float64
+	}{
+		{Pt(0, 0), Pt(1, 0), 0},
+		{Pt(0, 0), Pt(0, 1), math.Pi / 2},
+		{Pt(0, 0), Pt(-1, 0), math.Pi},
+		{Pt(0, 0), Pt(0, -1), -math.Pi / 2},
+		{Pt(1, 1), Pt(2, 2), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.from.Angle(c.to); !almostEqual(got, c.want) {
+			t.Errorf("Angle(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(10, 20), Pt(0, 0))
+	if !r.Min.Equal(Pt(0, 0)) || !r.Max.Equal(Pt(10, 20)) {
+		t.Fatalf("NewRect did not normalize corners: %v", r)
+	}
+	if got := r.Width(); got != 10 {
+		t.Errorf("Width = %v, want 10", got)
+	}
+	if got := r.Height(); got != 20 {
+		t.Errorf("Height = %v, want 20", got)
+	}
+	if got := r.Area(); got != 200 {
+		t.Errorf("Area = %v, want 200", got)
+	}
+	if got := r.Center(); !got.Equal(Pt(5, 10)) {
+		t.Errorf("Center = %v, want (5,10)", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	inside := []Point{Pt(5, 5), Pt(0, 0), Pt(10, 10), Pt(0, 10), Pt(10, 0)}
+	for _, p := range inside {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	outside := []Point{Pt(-0.001, 5), Pt(10.001, 5), Pt(5, -1), Pt(5, 11)}
+	for _, p := range outside {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	cases := []struct{ in, want Point }{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(12, 15), Pt(10, 10)},
+		{Pt(4, -2), Pt(4, 0)},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); !got.Equal(c.want) {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(5, 5))
+	b := NewRect(Pt(3, 3), Pt(10, 8))
+	u := a.Union(b)
+	if !u.Min.Equal(Pt(0, 0)) || !u.Max.Equal(Pt(10, 8)) {
+		t.Errorf("Union = %v, want [(0,0)-(10,8)]", u)
+	}
+}
+
+func TestRectVertices(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 3))
+	v := r.Vertices()
+	want := [4]Point{Pt(0, 0), Pt(2, 0), Pt(2, 3), Pt(0, 3)}
+	if v != want {
+		t.Errorf("Vertices = %v, want %v", v, want)
+	}
+}
+
+func TestOrient(t *testing.T) {
+	if got := Orient(Pt(0, 0), Pt(1, 0), Pt(1, 1)); got != CounterClockwise {
+		t.Errorf("Orient ccw = %v", got)
+	}
+	if got := Orient(Pt(0, 0), Pt(1, 0), Pt(1, -1)); got != Clockwise {
+		t.Errorf("Orient cw = %v", got)
+	}
+	if got := Orient(Pt(0, 0), Pt(1, 0), Pt(2, 0)); got != Collinear {
+		t.Errorf("Orient collinear = %v", got)
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		p1, p2, q1, q2 Point
+		want           bool
+	}{
+		// plain crossing
+		{Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0), true},
+		// disjoint
+		{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3), false},
+		// shared endpoint
+		{Pt(0, 0), Pt(1, 1), Pt(1, 1), Pt(2, 0), true},
+		// collinear overlapping
+		{Pt(0, 0), Pt(3, 0), Pt(1, 0), Pt(4, 0), true},
+		// collinear disjoint
+		{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0), false},
+		// T junction
+		{Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(1, 2), true},
+		// parallel
+		{Pt(0, 0), Pt(2, 0), Pt(0, 1), Pt(2, 1), false},
+	}
+	for i, c := range cases {
+		if got := SegmentsIntersect(c.p1, c.p2, c.q1, c.q2); got != c.want {
+			t.Errorf("case %d: SegmentsIntersect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectionPoint(t *testing.T) {
+	p, ok := SegmentIntersection(Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0))
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !almostEqual(p.X, 1) || !almostEqual(p.Y, 1) {
+		t.Errorf("intersection = %v, want (1,1)", p)
+	}
+	if _, ok := SegmentIntersection(Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)); ok {
+		t.Error("parallel segments should not intersect at a point")
+	}
+	if _, ok := SegmentIntersection(Pt(0, 0), Pt(1, 1), Pt(3, 3), Pt(4, 4)); ok {
+		t.Error("collinear disjoint segments should return false")
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{2 * math.Pi, 0},
+		{5 * math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEqual(got, c.want) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCCWAngleFrom(t *testing.T) {
+	if got := CCWAngleFrom(0, math.Pi/2); !almostEqual(got, math.Pi/2) {
+		t.Errorf("CCWAngleFrom = %v, want pi/2", got)
+	}
+	if got := CCWAngleFrom(math.Pi/2, 0); !almostEqual(got, 3*math.Pi/2) {
+		t.Errorf("CCWAngleFrom = %v, want 3pi/2", got)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Constrain magnitudes so floating-point error stays bounded.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		c := Pt(clamp(cx), clamp(cy))
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist2 agrees with Dist squared.
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e4) }
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp always yields a point inside the rectangle, and is the
+// identity on points already inside.
+func TestClampProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRect(Pt(0, 0), Pt(100, 50))
+	for i := 0; i < 1000; i++ {
+		p := Pt(rng.Float64()*400-150, rng.Float64()*300-100)
+		q := r.Clamp(p)
+		if !r.Contains(q) {
+			t.Fatalf("Clamp(%v) = %v not inside %v", p, q, r)
+		}
+		if r.Contains(p) && !q.Equal(p) {
+			t.Fatalf("Clamp moved interior point %v to %v", p, q)
+		}
+	}
+}
+
+// Property: orientation flips sign when the triple is reversed.
+func TestOrientAntisymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return Orient(a, b, c) == -Orient(c, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SegmentsIntersect is symmetric in its two segments.
+func TestSegmentsIntersectSymmetry(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h int8) bool {
+		p1, p2 := Pt(float64(a), float64(b)), Pt(float64(c), float64(d))
+		q1, q2 := Pt(float64(e), float64(f2)), Pt(float64(g), float64(h))
+		return SegmentsIntersect(p1, p2, q1, q2) == SegmentsIntersect(q1, q2, p1, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

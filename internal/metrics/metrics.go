@@ -1,0 +1,244 @@
+// Package metrics collects the performance measures the paper reports:
+// average latency per request, byte hit ratio, control message overhead,
+// false hit ratio, and energy per request, together with the supporting
+// counters (hit classes, failures, message breakdowns).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HitClass says where a request was ultimately satisfied.
+type HitClass int
+
+// Hit classes, ordered by increasing cost.
+const (
+	// LocalHit: served from the requesting peer's own cache.
+	LocalHit HitClass = iota
+	// RegionalHit: served by another peer in the requester's region
+	// (cumulative cache).
+	RegionalHit
+	// EnRouteHit: served by a peer on the path to the home region.
+	EnRouteHit
+	// RemoteHit: served by the home (or replica) region.
+	RemoteHit
+	// Failure: the request got no answer.
+	Failure
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (h HitClass) String() string {
+	switch h {
+	case LocalHit:
+		return "local"
+	case RegionalHit:
+		return "regional"
+	case EnRouteHit:
+		return "en-route"
+	case RemoteHit:
+		return "remote"
+	case Failure:
+		return "failure"
+	default:
+		return fmt.Sprintf("class(%d)", int(h))
+	}
+}
+
+// Collector accumulates one run's observations. Not safe for concurrent
+// use; one simulation run owns one collector.
+type Collector struct {
+	latencies     []float64
+	latSumByClass [numClasses]float64
+	byClass       [numClasses]uint64
+	staleByClass  [numClasses]uint64
+
+	bytesRequested int64
+	bytesFromCache int64 // served from local or regional caches
+
+	controlMessages     uint64 // consistency-maintenance messages
+	searchMessages      uint64 // retrieval traffic
+	maintenanceMessages uint64 // region upkeep: key handoffs, relocations
+
+	validHits uint64 // hits served as valid
+	staleHits uint64 // hits served as valid that were actually stale
+
+	updatesIssued uint64
+	pollsIssued   uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Request records a completed (or failed) request.
+//
+//	latency: seconds from issue to answer (ignored for failures)
+//	size:    item size in bytes
+//	class:   where the request was satisfied
+//	stale:   the answer was served as valid but was out of date
+func (c *Collector) Request(latency float64, size int, class HitClass, stale bool) {
+	c.byClass[class]++
+	c.bytesRequested += int64(size)
+	if class == Failure {
+		return
+	}
+	c.latencies = append(c.latencies, latency)
+	c.latSumByClass[class] += latency
+	if class == LocalHit || class == RegionalHit {
+		c.bytesFromCache += int64(size)
+	}
+	// The false-hit ratio covers cache hits served as valid; data
+	// fetched from the authoritative home/replica region is not a
+	// "hit" in the paper's sense.
+	if class == LocalHit || class == RegionalHit || class == EnRouteHit {
+		if stale {
+			c.staleHits++
+			c.staleByClass[class]++
+		} else {
+			c.validHits++
+		}
+	} else if stale {
+		c.staleByClass[class]++
+	}
+}
+
+// ControlMessages adds n consistency-maintenance messages (invalidation
+// pushes, update pushes, polls, poll replies).
+func (c *Collector) ControlMessages(n int) { c.controlMessages += uint64(n) }
+
+// SearchMessages adds n retrieval messages (request forwarding, regional
+// floods, responses).
+func (c *Collector) SearchMessages(n int) { c.searchMessages += uint64(n) }
+
+// MaintenanceMessages adds n region-upkeep messages (key handoffs on
+// inter-region mobility, key relocation after region-table changes).
+func (c *Collector) MaintenanceMessages(n int) { c.maintenanceMessages += uint64(n) }
+
+// UpdateIssued counts one data update entering the system.
+func (c *Collector) UpdateIssued() { c.updatesIssued++ }
+
+// PollIssued counts one validation poll sent to a home region.
+func (c *Collector) PollIssued() { c.pollsIssued++ }
+
+// Completed returns the number of answered requests.
+func (c *Collector) Completed() uint64 {
+	var total uint64
+	for cl := HitClass(0); cl < Failure; cl++ {
+		total += c.byClass[cl]
+	}
+	return total
+}
+
+// Report is an immutable summary of a run.
+type Report struct {
+	Requests  uint64
+	Completed uint64
+	Failures  uint64
+	ByClass   map[string]uint64
+	// StaleByClass counts false hits by serving class.
+	StaleByClass map[string]uint64
+	// MeanLatencyByClass is the mean latency of completed requests per
+	// serving class.
+	MeanLatencyByClass map[string]float64
+
+	MeanLatency float64 // seconds
+	P50Latency  float64
+	P95Latency  float64
+	MaxLatency  float64
+
+	ByteHitRatio  float64 // bytes served from local+regional cache / bytes requested
+	FalseHitRatio float64 // stale cache hits / cache hits served as valid
+
+	ControlMessages     uint64
+	SearchMessages      uint64
+	MaintenanceMessages uint64
+	UpdatesIssued       uint64
+	PollsIssued         uint64
+
+	// EnergyTotal and EnergyPerRequest are filled by the caller from the
+	// energy meter (the collector does not see the radio).
+	EnergyTotal      float64 // mJ
+	EnergyPerRequest float64 // mJ
+}
+
+// Snapshot derives the report from the collected observations.
+func (c *Collector) Snapshot() Report {
+	r := Report{
+		Completed:           c.Completed(),
+		Failures:            c.byClass[Failure],
+		ByClass:             make(map[string]uint64, int(numClasses)),
+		ControlMessages:     c.controlMessages,
+		SearchMessages:      c.searchMessages,
+		MaintenanceMessages: c.maintenanceMessages,
+		UpdatesIssued:       c.updatesIssued,
+		PollsIssued:         c.pollsIssued,
+	}
+	r.Requests = r.Completed + r.Failures
+	r.StaleByClass = make(map[string]uint64, int(numClasses))
+	r.MeanLatencyByClass = make(map[string]float64, int(numClasses))
+	for cl := HitClass(0); cl < numClasses; cl++ {
+		r.ByClass[cl.String()] = c.byClass[cl]
+		r.StaleByClass[cl.String()] = c.staleByClass[cl]
+		if cl != Failure && c.byClass[cl] > 0 {
+			r.MeanLatencyByClass[cl.String()] = c.latSumByClass[cl] / float64(c.byClass[cl])
+		}
+	}
+	if len(c.latencies) > 0 {
+		sorted := make([]float64, len(c.latencies))
+		copy(sorted, c.latencies)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, l := range sorted {
+			sum += l
+		}
+		r.MeanLatency = sum / float64(len(sorted))
+		r.P50Latency = percentile(sorted, 0.50)
+		r.P95Latency = percentile(sorted, 0.95)
+		r.MaxLatency = sorted[len(sorted)-1]
+	}
+	if c.bytesRequested > 0 {
+		r.ByteHitRatio = float64(c.bytesFromCache) / float64(c.bytesRequested)
+	}
+	if served := c.validHits + c.staleHits; served > 0 {
+		r.FalseHitRatio = float64(c.staleHits) / float64(served)
+	}
+	return r
+}
+
+// percentile interpolates the p-quantile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WithEnergy returns a copy of the report with energy fields filled from
+// the given network-wide total.
+func (r Report) WithEnergy(totalMilliJoules float64) Report {
+	r.EnergyTotal = totalMilliJoules
+	if r.Requests > 0 {
+		r.EnergyPerRequest = totalMilliJoules / float64(r.Requests)
+	}
+	return r
+}
+
+// String renders a compact human-readable summary.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"requests=%d (failures=%d) latency mean=%.3fs p95=%.3fs byteHit=%.3f falseHit=%.4f ctrlMsgs=%d searchMsgs=%d energy/req=%.2fmJ",
+		r.Requests, r.Failures, r.MeanLatency, r.P95Latency,
+		r.ByteHitRatio, r.FalseHitRatio, r.ControlMessages, r.SearchMessages, r.EnergyPerRequest)
+}

@@ -1,0 +1,254 @@
+// Package mobility provides node movement models for the simulator: the
+// random waypoint model the paper evaluates under (uniform destination in
+// the service area, uniform speed up to a maximum, fixed pause between
+// legs — Section 6.1 uses a 5 s pause and maximum speeds of 2–20 m/s) and
+// a static placement model for the Section 6.2.3 validation topology.
+//
+// Positions are computed lazily and on demand: a model answers "where is
+// node i at time t" for non-decreasing t, which is exactly the access
+// pattern of a discrete-event simulation. Each node consumes its own
+// random stream, so trajectories do not depend on the interleaving of
+// position queries across nodes.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"precinct/internal/geo"
+	"precinct/internal/sim"
+)
+
+// Model answers position queries for a fixed set of nodes. Queries must
+// use non-decreasing time per node; models may advance internal state.
+type Model interface {
+	// Len returns the number of nodes.
+	Len() int
+	// Position returns the location of the node at simulation time now.
+	Position(node int, now float64) geo.Point
+}
+
+// Static places nodes once and never moves them.
+type Static struct {
+	pos []geo.Point
+}
+
+// NewStatic wraps explicit positions.
+func NewStatic(pos []geo.Point) (*Static, error) {
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("mobility: static model needs at least one node")
+	}
+	cp := make([]geo.Point, len(pos))
+	copy(cp, pos)
+	return &Static{pos: cp}, nil
+}
+
+// NewUniformStatic places n nodes uniformly at random in the area.
+func NewUniformStatic(n int, area geo.Rect, rng *rand.Rand) (*Static, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if area.Width() <= 0 || area.Height() <= 0 {
+		return nil, fmt.Errorf("mobility: degenerate area %v", area)
+	}
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Pt(
+			area.Min.X+rng.Float64()*area.Width(),
+			area.Min.Y+rng.Float64()*area.Height(),
+		)
+	}
+	return &Static{pos: pos}, nil
+}
+
+// NewGridStatic places n nodes on a jittered grid covering the area. The
+// jitter fraction (0..0.5) perturbs each node within its grid cell; zero
+// yields a perfect lattice. Grid placement guarantees connectivity for
+// validation topologies where random placement might partition the net.
+func NewGridStatic(n int, area geo.Rect, jitter float64, rng *rand.Rand) (*Static, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if jitter < 0 || jitter > 0.5 {
+		return nil, fmt.Errorf("mobility: jitter must be in [0, 0.5], got %v", jitter)
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	cw := area.Width() / float64(cols)
+	ch := area.Height() / float64(rows)
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		r, c := i/cols, i%cols
+		cx := area.Min.X + (float64(c)+0.5)*cw
+		cy := area.Min.Y + (float64(r)+0.5)*ch
+		if jitter > 0 {
+			cx += (rng.Float64()*2 - 1) * jitter * cw
+			cy += (rng.Float64()*2 - 1) * jitter * ch
+		}
+		pos[i] = area.Clamp(geo.Pt(cx, cy))
+	}
+	return &Static{pos: pos}, nil
+}
+
+// Len implements Model.
+func (s *Static) Len() int { return len(s.pos) }
+
+// Position implements Model.
+func (s *Static) Position(node int, _ float64) geo.Point { return s.pos[node] }
+
+// WaypointConfig parameterizes the random waypoint model.
+type WaypointConfig struct {
+	Area     geo.Rect
+	MinSpeed float64 // m/s, must be > 0 to avoid the well-known speed-decay pathology
+	MaxSpeed float64 // m/s
+	Pause    float64 // seconds spent at each waypoint
+}
+
+// DefaultWaypointConfig mirrors the paper's mobile scenarios: 1200×1200 m
+// area, 5 s pause. MaxSpeed is scenario-specific (2–20 m/s); 6 m/s is the
+// cache-replacement experiments' setting.
+func DefaultWaypointConfig() WaypointConfig {
+	return WaypointConfig{
+		Area:     geo.NewRect(geo.Pt(0, 0), geo.Pt(1200, 1200)),
+		MinSpeed: 0.5,
+		MaxSpeed: 6,
+		Pause:    5,
+	}
+}
+
+// waypointNode is the per-node trajectory state, valid at time `at`.
+type waypointNode struct {
+	pos        geo.Point
+	at         float64
+	dest       geo.Point
+	speed      float64
+	pauseUntil float64 // > at while the node is pausing at pos
+	rng        *rand.Rand
+}
+
+// Waypoint implements the random waypoint model.
+type Waypoint struct {
+	cfg   WaypointConfig
+	nodes []waypointNode
+}
+
+// NewWaypoint creates n nodes placed uniformly in the area, each starting
+// with an independent first leg. Streams are derived per node from rng, so
+// node i's trajectory is a pure function of (seed, i).
+func NewWaypoint(n int, cfg WaypointConfig, rng *sim.RNG) (*Waypoint, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if cfg.Area.Width() <= 0 || cfg.Area.Height() <= 0 {
+		return nil, fmt.Errorf("mobility: degenerate area %v", cfg.Area)
+	}
+	if cfg.MinSpeed <= 0 || cfg.MaxSpeed < cfg.MinSpeed {
+		return nil, fmt.Errorf("mobility: invalid speed range [%v, %v]", cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	if cfg.Pause < 0 {
+		return nil, fmt.Errorf("mobility: negative pause %v", cfg.Pause)
+	}
+	w := &Waypoint{cfg: cfg, nodes: make([]waypointNode, n)}
+	for i := range w.nodes {
+		s := rng.Stream(fmt.Sprintf("mobility/%d", i))
+		nd := &w.nodes[i]
+		nd.rng = s
+		nd.pos = w.randomPoint(s)
+		nd.at = 0
+		w.newLeg(nd)
+	}
+	return w, nil
+}
+
+func (w *Waypoint) randomPoint(rng *rand.Rand) geo.Point {
+	return geo.Pt(
+		w.cfg.Area.Min.X+rng.Float64()*w.cfg.Area.Width(),
+		w.cfg.Area.Min.Y+rng.Float64()*w.cfg.Area.Height(),
+	)
+}
+
+// newLeg draws a fresh destination and speed for the node. Destinations
+// coinciding with the current position are resampled; should resampling
+// ever fail (probability zero for non-degenerate areas) the node simply
+// pauses in place for one more pause period.
+func (w *Waypoint) newLeg(nd *waypointNode) {
+	for attempt := 0; attempt < 8; attempt++ {
+		dest := w.randomPoint(nd.rng)
+		if dest.Dist(nd.pos) > 1e-9 {
+			nd.dest = dest
+			nd.speed = w.cfg.MinSpeed + nd.rng.Float64()*(w.cfg.MaxSpeed-w.cfg.MinSpeed)
+			return
+		}
+	}
+	nd.dest = nd.pos
+	nd.speed = w.cfg.MinSpeed
+	nd.pauseUntil = nd.at + w.cfg.Pause + 1e-3
+}
+
+// Len implements Model.
+func (w *Waypoint) Len() int { return len(w.nodes) }
+
+// Position implements Model. Time must be non-decreasing per node.
+func (w *Waypoint) Position(node int, now float64) geo.Point {
+	nd := &w.nodes[node]
+	if now < nd.at {
+		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.at))
+	}
+	for nd.at < now {
+		if nd.pauseUntil > nd.at { // pausing at a waypoint
+			end := nd.pauseUntil
+			if end > now {
+				end = now
+			}
+			nd.at = end
+			if nd.at >= nd.pauseUntil {
+				w.newLeg(nd)
+			}
+			continue
+		}
+		remaining := nd.pos.Dist(nd.dest)
+		if remaining <= 1e-12 {
+			// Arrived (or zero-length leg): start pausing.
+			nd.pauseUntil = nd.at + w.cfg.Pause
+			if w.cfg.Pause == 0 {
+				w.newLeg(nd)
+				// Guard against pathological zero progress.
+				if nd.pos.Dist(nd.dest) <= 1e-12 {
+					nd.at = now
+				}
+			}
+			continue
+		}
+		arrival := nd.at + remaining/nd.speed
+		if arrival <= now {
+			nd.pos = nd.dest
+			nd.at = arrival
+			nd.pauseUntil = arrival + w.cfg.Pause
+			if w.cfg.Pause == 0 {
+				w.newLeg(nd)
+			}
+			continue
+		}
+		dir := nd.dest.Sub(nd.pos).Scale(1 / remaining)
+		nd.pos = nd.pos.Add(dir.Scale(nd.speed * (now - nd.at)))
+		nd.at = now
+	}
+	return nd.pos
+}
+
+// Speed returns the node's current speed in m/s (0 while pausing). It
+// advances the node to time now first.
+func (w *Waypoint) Speed(node int, now float64) float64 {
+	w.Position(node, now)
+	nd := &w.nodes[node]
+	if nd.pauseUntil > nd.at {
+		return 0
+	}
+	return nd.speed
+}
+
+// Config returns the model parameters.
+func (w *Waypoint) Config() WaypointConfig { return w.cfg }

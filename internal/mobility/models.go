@@ -1,0 +1,289 @@
+package mobility
+
+// Additional mobility models beyond random waypoint. The paper's future
+// work calls for "experiments ... under different mobility models"; these
+// two are the standard alternatives in the MANET literature:
+//
+//   - Random walk ("random direction" variant): nodes pick a direction and
+//     speed, walk for a fixed step duration, then repick; the area
+//     boundary reflects them. Unlike random waypoint it has no density
+//     buildup in the middle of the area.
+//   - Gauss-Markov: velocity is a mean-reverting AR(1) process, producing
+//     smooth trajectories whose temporal correlation is tunable; edges
+//     steer the mean direction back toward the area.
+//
+// Both follow the same lazy-advancement, stream-per-node design as the
+// waypoint model, so position queries stay deterministic regardless of
+// interleaving.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"precinct/internal/geo"
+	"precinct/internal/sim"
+)
+
+// WalkConfig parameterizes the random walk model.
+type WalkConfig struct {
+	Area     geo.Rect
+	MinSpeed float64 // m/s
+	MaxSpeed float64 // m/s
+	// StepTime is how long a node keeps one direction/speed, seconds.
+	StepTime float64
+}
+
+// DefaultWalkConfig walks in the paper's area with moderate steps.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{
+		Area:     geo.NewRect(geo.Pt(0, 0), geo.Pt(1200, 1200)),
+		MinSpeed: 0.5,
+		MaxSpeed: 6,
+		StepTime: 20,
+	}
+}
+
+type walkNode struct {
+	pos   geo.Point
+	at    float64
+	vel   geo.Point // velocity vector, m/s
+	until float64   // end of the current step
+	rng   *rand.Rand
+}
+
+// Walk implements the random walk (random direction) model.
+type Walk struct {
+	cfg   WalkConfig
+	nodes []walkNode
+}
+
+// NewWalk creates n walkers placed uniformly in the area.
+func NewWalk(n int, cfg WalkConfig, rng *sim.RNG) (*Walk, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if cfg.Area.Width() <= 0 || cfg.Area.Height() <= 0 {
+		return nil, fmt.Errorf("mobility: degenerate area %v", cfg.Area)
+	}
+	if cfg.MinSpeed <= 0 || cfg.MaxSpeed < cfg.MinSpeed {
+		return nil, fmt.Errorf("mobility: invalid speed range [%v, %v]", cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	if cfg.StepTime <= 0 {
+		return nil, fmt.Errorf("mobility: step time must be positive, got %v", cfg.StepTime)
+	}
+	w := &Walk{cfg: cfg, nodes: make([]walkNode, n)}
+	for i := range w.nodes {
+		nd := &w.nodes[i]
+		nd.rng = rng.Stream(fmt.Sprintf("walk/%d", i))
+		nd.pos = geo.Pt(
+			cfg.Area.Min.X+nd.rng.Float64()*cfg.Area.Width(),
+			cfg.Area.Min.Y+nd.rng.Float64()*cfg.Area.Height(),
+		)
+		w.newStep(nd)
+	}
+	return w, nil
+}
+
+func (w *Walk) newStep(nd *walkNode) {
+	speed := w.cfg.MinSpeed + nd.rng.Float64()*(w.cfg.MaxSpeed-w.cfg.MinSpeed)
+	theta := nd.rng.Float64() * 2 * math.Pi
+	nd.vel = geo.Pt(speed*math.Cos(theta), speed*math.Sin(theta))
+	nd.until = nd.at + w.cfg.StepTime
+}
+
+// Len implements Model.
+func (w *Walk) Len() int { return len(w.nodes) }
+
+// Position implements Model. Time must be non-decreasing per node.
+func (w *Walk) Position(node int, now float64) geo.Point {
+	nd := &w.nodes[node]
+	if now < nd.at {
+		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.at))
+	}
+	for nd.at < now {
+		end := nd.until
+		if end > now {
+			end = now
+		}
+		dt := end - nd.at
+		nd.pos, nd.vel = reflectMove(w.cfg.Area, nd.pos, nd.vel, dt)
+		nd.at = end
+		if nd.at >= nd.until {
+			w.newStep(nd)
+		}
+	}
+	return nd.pos
+}
+
+// reflectMove advances pos by vel*dt, reflecting off the area's walls.
+// It returns the new position and (possibly flipped) velocity.
+func reflectMove(area geo.Rect, pos, vel geo.Point, dt float64) (geo.Point, geo.Point) {
+	p := pos.Add(vel.Scale(dt))
+	// Reflect until inside; each axis independently. The loop handles
+	// paths longer than the area size.
+	for i := 0; i < 64; i++ {
+		moved := false
+		if p.X < area.Min.X {
+			p.X = 2*area.Min.X - p.X
+			vel.X = -vel.X
+			moved = true
+		} else if p.X > area.Max.X {
+			p.X = 2*area.Max.X - p.X
+			vel.X = -vel.X
+			moved = true
+		}
+		if p.Y < area.Min.Y {
+			p.Y = 2*area.Min.Y - p.Y
+			vel.Y = -vel.Y
+			moved = true
+		} else if p.Y > area.Max.Y {
+			p.Y = 2*area.Max.Y - p.Y
+			vel.Y = -vel.Y
+			moved = true
+		}
+		if !moved {
+			return p, vel
+		}
+	}
+	// Pathological speeds: clamp as a last resort.
+	return area.Clamp(p), vel
+}
+
+// GaussMarkovConfig parameterizes the Gauss-Markov model.
+type GaussMarkovConfig struct {
+	Area geo.Rect
+	// MeanSpeed is the long-run speed the process reverts to, m/s.
+	MeanSpeed float64
+	// SpeedSigma is the speed noise standard deviation, m/s.
+	SpeedSigma float64
+	// Alpha in [0,1) is the memory parameter: 0 = memoryless (random
+	// walk-like), values near 1 = nearly straight-line motion.
+	Alpha float64
+	// UpdateInterval is the discretization step, seconds.
+	UpdateInterval float64
+}
+
+// DefaultGaussMarkovConfig gives smooth 6 m/s trajectories in the paper's
+// area.
+func DefaultGaussMarkovConfig() GaussMarkovConfig {
+	return GaussMarkovConfig{
+		Area:           geo.NewRect(geo.Pt(0, 0), geo.Pt(1200, 1200)),
+		MeanSpeed:      6,
+		SpeedSigma:     1.5,
+		Alpha:          0.85,
+		UpdateInterval: 1,
+	}
+}
+
+type gmNode struct {
+	pos       geo.Point
+	at        float64
+	speed     float64
+	direction float64
+	nextDraw  float64
+	rng       *rand.Rand
+}
+
+// GaussMarkov implements the Gauss-Markov mobility model.
+type GaussMarkov struct {
+	cfg   GaussMarkovConfig
+	nodes []gmNode
+}
+
+// NewGaussMarkov creates n nodes placed uniformly with random initial
+// headings.
+func NewGaussMarkov(n int, cfg GaussMarkovConfig, rng *sim.RNG) (*GaussMarkov, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if cfg.Area.Width() <= 0 || cfg.Area.Height() <= 0 {
+		return nil, fmt.Errorf("mobility: degenerate area %v", cfg.Area)
+	}
+	if cfg.MeanSpeed <= 0 || cfg.SpeedSigma < 0 {
+		return nil, fmt.Errorf("mobility: invalid speed parameters (mean %v, sigma %v)", cfg.MeanSpeed, cfg.SpeedSigma)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("mobility: alpha must be in [0, 1), got %v", cfg.Alpha)
+	}
+	if cfg.UpdateInterval <= 0 {
+		return nil, fmt.Errorf("mobility: update interval must be positive, got %v", cfg.UpdateInterval)
+	}
+	g := &GaussMarkov{cfg: cfg, nodes: make([]gmNode, n)}
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		nd.rng = rng.Stream(fmt.Sprintf("gauss-markov/%d", i))
+		nd.pos = geo.Pt(
+			cfg.Area.Min.X+nd.rng.Float64()*cfg.Area.Width(),
+			cfg.Area.Min.Y+nd.rng.Float64()*cfg.Area.Height(),
+		)
+		nd.speed = cfg.MeanSpeed
+		nd.direction = nd.rng.Float64() * 2 * math.Pi
+		nd.nextDraw = cfg.UpdateInterval
+	}
+	return g, nil
+}
+
+// meanDirection steers nodes near an edge back toward the middle, the
+// standard Gauss-Markov edge treatment.
+func (g *GaussMarkov) meanDirection(p geo.Point, current float64) float64 {
+	margin := 0.1 * math.Min(g.cfg.Area.Width(), g.cfg.Area.Height())
+	nearLeft := p.X < g.cfg.Area.Min.X+margin
+	nearRight := p.X > g.cfg.Area.Max.X-margin
+	nearBottom := p.Y < g.cfg.Area.Min.Y+margin
+	nearTop := p.Y > g.cfg.Area.Max.Y-margin
+	if !nearLeft && !nearRight && !nearBottom && !nearTop {
+		return current
+	}
+	return p.Angle(g.cfg.Area.Center())
+}
+
+func (g *GaussMarkov) redraw(nd *gmNode) {
+	a := g.cfg.Alpha
+	noise := math.Sqrt(1 - a*a)
+	meanDir := g.meanDirection(nd.pos, nd.direction)
+	nd.speed = a*nd.speed + (1-a)*g.cfg.MeanSpeed + noise*g.cfg.SpeedSigma*nd.rng.NormFloat64()
+	if nd.speed < 0 {
+		nd.speed = 0
+	}
+	const dirSigma = 0.6 // radians of heading noise at alpha=0
+	nd.direction = a*nd.direction + (1-a)*meanDir + noise*dirSigma*nd.rng.NormFloat64()
+}
+
+// Len implements Model.
+func (g *GaussMarkov) Len() int { return len(g.nodes) }
+
+// Position implements Model. Time must be non-decreasing per node.
+func (g *GaussMarkov) Position(node int, now float64) geo.Point {
+	nd := &g.nodes[node]
+	if now < nd.at {
+		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.at))
+	}
+	for nd.at < now {
+		end := nd.nextDraw
+		if end > now {
+			end = now
+		}
+		dt := end - nd.at
+		vel := geo.Pt(nd.speed*math.Cos(nd.direction), nd.speed*math.Sin(nd.direction))
+		var newVel geo.Point
+		nd.pos, newVel = reflectMove(g.cfg.Area, nd.pos, vel, dt)
+		if !newVel.Equal(vel) {
+			// A wall reflection flipped the velocity; fold it back
+			// into the heading.
+			nd.direction = math.Atan2(newVel.Y, newVel.X)
+		}
+		nd.at = end
+		if nd.at >= nd.nextDraw {
+			g.redraw(nd)
+			nd.nextDraw = nd.at + g.cfg.UpdateInterval
+		}
+	}
+	return nd.pos
+}
+
+// Speed returns the node's current speed, advancing it to now first.
+func (g *GaussMarkov) Speed(node int, now float64) float64 {
+	g.Position(node, now)
+	return g.nodes[node].speed
+}

@@ -1,0 +1,269 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"precinct/internal/geo"
+	"precinct/internal/sim"
+)
+
+func TestNewWalkValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	cfg := DefaultWalkConfig()
+	if _, err := NewWalk(0, cfg, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := cfg
+	bad.MinSpeed = 0
+	if _, err := NewWalk(3, bad, rng); err == nil {
+		t.Error("MinSpeed=0 accepted")
+	}
+	bad = cfg
+	bad.MaxSpeed = 0.1
+	if _, err := NewWalk(3, bad, rng); err == nil {
+		t.Error("Max < Min accepted")
+	}
+	bad = cfg
+	bad.StepTime = 0
+	if _, err := NewWalk(3, bad, rng); err == nil {
+		t.Error("StepTime=0 accepted")
+	}
+	bad = cfg
+	bad.Area = geo.NewRect(geo.Pt(0, 0), geo.Pt(0, 0))
+	if _, err := NewWalk(3, bad, rng); err == nil {
+		t.Error("degenerate area accepted")
+	}
+}
+
+func TestWalkStaysInArea(t *testing.T) {
+	cfg := WalkConfig{Area: testArea, MinSpeed: 2, MaxSpeed: 20, StepTime: 10}
+	w, err := NewWalk(8, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step <= 1000; step++ {
+		now := float64(step)
+		for i := 0; i < w.Len(); i++ {
+			p := w.Position(i, now)
+			if !testArea.Contains(p) {
+				t.Fatalf("walker %d left the area at t=%v: %v", i, now, p)
+			}
+		}
+	}
+}
+
+func TestWalkSpeedBound(t *testing.T) {
+	cfg := WalkConfig{Area: testArea, MinSpeed: 1, MaxSpeed: 10, StepTime: 5}
+	w, err := NewWalk(5, cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]geo.Point, w.Len())
+	for i := range prev {
+		prev[i] = w.Position(i, 0)
+	}
+	const dt = 0.5
+	for step := 1; step <= 2000; step++ {
+		now := float64(step) * dt
+		for i := 0; i < w.Len(); i++ {
+			p := w.Position(i, now)
+			if p.Dist(prev[i]) > cfg.MaxSpeed*dt+1e-6 {
+				t.Fatalf("walker %d moved too fast", i)
+			}
+			prev[i] = p
+		}
+	}
+}
+
+func TestWalkActuallyMoves(t *testing.T) {
+	cfg := WalkConfig{Area: testArea, MinSpeed: 3, MaxSpeed: 6, StepTime: 10}
+	w, _ := NewWalk(6, cfg, sim.NewRNG(5))
+	moved := 0
+	for i := 0; i < w.Len(); i++ {
+		a := w.Position(i, 0)
+		if w.Position(i, 100).Dist(a) > 1 {
+			moved++
+		}
+	}
+	if moved < 4 {
+		t.Errorf("only %d/6 walkers moved", moved)
+	}
+}
+
+func TestWalkDeterministicAcrossQueryPatterns(t *testing.T) {
+	cfg := WalkConfig{Area: testArea, MinSpeed: 1, MaxSpeed: 8, StepTime: 7}
+	a, _ := NewWalk(4, cfg, sim.NewRNG(6))
+	b, _ := NewWalk(4, cfg, sim.NewRNG(6))
+	for step := 1; step <= 500; step++ {
+		for i := 0; i < 4; i++ {
+			b.Position(i, float64(step)*0.41)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pa := a.Position(i, 205)
+		pb := b.Position(i, 205)
+		if pa.Dist(pb) > 1e-6 {
+			t.Fatalf("walker %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestWalkPanicsOnBackwardTime(t *testing.T) {
+	w, _ := NewWalk(1, DefaultWalkConfig(), sim.NewRNG(7))
+	w.Position(0, 50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on backward time")
+		}
+	}()
+	w.Position(0, 10)
+}
+
+func TestReflectMove(t *testing.T) {
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	// Straight move inside.
+	p, v := reflectMove(area, geo.Pt(50, 50), geo.Pt(10, 0), 1)
+	if !p.Equal(geo.Pt(60, 50)) || !v.Equal(geo.Pt(10, 0)) {
+		t.Errorf("interior move: %v %v", p, v)
+	}
+	// Bounce off the right wall.
+	p, v = reflectMove(area, geo.Pt(95, 50), geo.Pt(10, 0), 1)
+	if math.Abs(p.X-95) > 1e-9 || v.X != -10 {
+		t.Errorf("right-wall bounce: %v %v", p, v)
+	}
+	// Corner bounce flips both axes.
+	p, v = reflectMove(area, geo.Pt(98, 98), geo.Pt(10, 10), 1)
+	if v.X != -10 || v.Y != -10 {
+		t.Errorf("corner bounce velocity: %v", v)
+	}
+	if !area.Contains(p) {
+		t.Errorf("corner bounce left area: %v", p)
+	}
+	// Extreme displacement still ends inside.
+	p, _ = reflectMove(area, geo.Pt(50, 50), geo.Pt(1e6, 1e6), 1)
+	if !area.Contains(p) {
+		t.Errorf("extreme move escaped: %v", p)
+	}
+}
+
+func TestNewGaussMarkovValidation(t *testing.T) {
+	rng := sim.NewRNG(8)
+	cfg := DefaultGaussMarkovConfig()
+	if _, err := NewGaussMarkov(0, cfg, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := cfg
+	bad.MeanSpeed = 0
+	if _, err := NewGaussMarkov(3, bad, rng); err == nil {
+		t.Error("MeanSpeed=0 accepted")
+	}
+	bad = cfg
+	bad.Alpha = 1
+	if _, err := NewGaussMarkov(3, bad, rng); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	bad = cfg
+	bad.SpeedSigma = -1
+	if _, err := NewGaussMarkov(3, bad, rng); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad = cfg
+	bad.UpdateInterval = 0
+	if _, err := NewGaussMarkov(3, bad, rng); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestGaussMarkovStaysInArea(t *testing.T) {
+	cfg := GaussMarkovConfig{
+		Area: testArea, MeanSpeed: 10, SpeedSigma: 3, Alpha: 0.8, UpdateInterval: 1,
+	}
+	g, err := NewGaussMarkov(8, cfg, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step <= 2000; step++ {
+		now := float64(step) * 0.5
+		for i := 0; i < g.Len(); i++ {
+			p := g.Position(i, now)
+			if !testArea.Contains(p) {
+				t.Fatalf("node %d left the area at t=%v: %v", i, now, p)
+			}
+		}
+	}
+}
+
+func TestGaussMarkovSpeedRevertsToMean(t *testing.T) {
+	cfg := GaussMarkovConfig{
+		Area: testArea, MeanSpeed: 8, SpeedSigma: 1, Alpha: 0.7, UpdateInterval: 1,
+	}
+	g, _ := NewGaussMarkov(20, cfg, sim.NewRNG(10))
+	var sum float64
+	var count int
+	for step := 100; step <= 1100; step += 10 {
+		for i := 0; i < g.Len(); i++ {
+			sum += g.Speed(i, float64(step))
+			count++
+		}
+	}
+	mean := sum / float64(count)
+	if math.Abs(mean-8) > 1.5 {
+		t.Errorf("long-run mean speed %v, want ~8", mean)
+	}
+}
+
+func TestGaussMarkovSmoothness(t *testing.T) {
+	// High alpha should give straighter trajectories than low alpha:
+	// compare net displacement over total path length.
+	straightness := func(alpha float64) float64 {
+		cfg := GaussMarkovConfig{
+			Area: testArea, MeanSpeed: 6, SpeedSigma: 0.5, Alpha: alpha, UpdateInterval: 1,
+		}
+		g, _ := NewGaussMarkov(10, cfg, sim.NewRNG(11))
+		var total float64
+		for i := 0; i < g.Len(); i++ {
+			start := g.Position(i, 0)
+			var path float64
+			prev := start
+			for step := 1; step <= 60; step++ {
+				p := g.Position(i, float64(step))
+				path += p.Dist(prev)
+				prev = p
+			}
+			if path > 0 {
+				total += prev.Dist(start) / path
+			}
+		}
+		return total / float64(g.Len())
+	}
+	low := straightness(0.05)
+	high := straightness(0.95)
+	if high <= low {
+		t.Errorf("alpha=0.95 straightness (%v) should exceed alpha=0.05 (%v)", high, low)
+	}
+}
+
+func TestGaussMarkovDeterministic(t *testing.T) {
+	cfg := DefaultGaussMarkovConfig()
+	a, _ := NewGaussMarkov(4, cfg, sim.NewRNG(12))
+	b, _ := NewGaussMarkov(4, cfg, sim.NewRNG(12))
+	for i := 0; i < 4; i++ {
+		pa := a.Position(i, 500)
+		pb := b.Position(i, 500)
+		if pa.Dist(pb) > 1e-9 {
+			t.Fatalf("node %d diverged", i)
+		}
+	}
+}
+
+func TestGaussMarkovPanicsOnBackwardTime(t *testing.T) {
+	g, _ := NewGaussMarkov(1, DefaultGaussMarkovConfig(), sim.NewRNG(13))
+	g.Position(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on backward time")
+		}
+	}()
+	g.Position(0, 99)
+}

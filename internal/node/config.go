@@ -1,0 +1,175 @@
+// Package node implements the peer protocol layer of the simulator: the
+// PReCinCt search process (local cache → regional broadcast → GPSR route
+// to the home region → localized flood → routed response), the flooding
+// and expanding-ring retrieval baselines, the cooperative-cache admission
+// control and replacement hooks, the three consistency schemes' message
+// choreography, inter-region mobility key handoff, and the replica-region
+// fault-tolerance mechanism.
+package node
+
+import (
+	"fmt"
+
+	"precinct/internal/cache"
+	"precinct/internal/consistency"
+)
+
+// RetrievalScheme selects the data retrieval protocol.
+type RetrievalScheme int
+
+// The retrieval schemes the paper compares.
+const (
+	// PReCinCt is the paper's region-based scheme.
+	PReCinCt RetrievalScheme = iota
+	// Flooding broadcasts every request through the whole network.
+	Flooding
+	// ExpandingRing floods with growing TTLs until the data is found.
+	ExpandingRing
+)
+
+// String implements fmt.Stringer.
+func (s RetrievalScheme) String() string {
+	switch s {
+	case PReCinCt:
+		return "precinct"
+	case Flooding:
+		return "flooding"
+	case ExpandingRing:
+		return "expanding-ring"
+	default:
+		return fmt.Sprintf("retrieval(%d)", int(s))
+	}
+}
+
+// ParseRetrievalScheme converts a name back to a scheme.
+func ParseRetrievalScheme(name string) (RetrievalScheme, error) {
+	switch name {
+	case "precinct":
+		return PReCinCt, nil
+	case "flooding":
+		return Flooding, nil
+	case "expanding-ring":
+		return ExpandingRing, nil
+	default:
+		return PReCinCt, fmt.Errorf("node: unknown retrieval scheme %q", name)
+	}
+}
+
+// Config parameterizes the protocol layer of one simulation run.
+type Config struct {
+	Retrieval   RetrievalScheme
+	Consistency consistency.Config
+
+	// Policy is the dynamic-cache replacement policy shared by all
+	// peers (policies are stateless).
+	Policy cache.Policy
+	// CacheBytes is the dynamic cache capacity per peer in bytes.
+	// Zero disables dynamic caching (the Section 5 validation setup).
+	CacheBytes int64
+
+	// EnRoute lets peers on the path to the home region answer requests
+	// from their caches (Section 3.1).
+	EnRoute bool
+	// Replication maintains one replica region per key (Section 2.4).
+	Replication bool
+
+	// RegionTTL bounds intra-region floods in hops.
+	RegionTTL int
+	// NetworkTTL bounds network-wide floods (flooding retrieval,
+	// plain-push invalidations).
+	NetworkTTL int
+	// MaxRingTTL caps the expanding-ring search.
+	MaxRingTTL int
+	// MaxRouteHops caps GPSR-routed messages; perimeter walks over a
+	// changing topology can otherwise wander indefinitely.
+	MaxRouteHops int
+
+	// RegionalTimeout is how long a requester waits for an answer from
+	// its own region before contacting the home region, seconds.
+	RegionalTimeout float64
+	// RemoteTimeout is how long it waits for the home (or replica)
+	// region, seconds.
+	RemoteTimeout float64
+	// RingTimeout is the per-round wait of the expanding-ring search,
+	// seconds (scaled by the round's TTL).
+	RingTimeout float64
+
+	// MobilityCheckInterval is how often peers check whether they have
+	// crossed a region boundary, seconds.
+	MobilityCheckInterval float64
+
+	// ControlBytes is the on-air size of small protocol messages
+	// (requests, polls, invalidations, handoff headers).
+	ControlBytes int
+
+	// Warmup discards metrics for requests issued before this sim time,
+	// letting caches fill first. Seconds.
+	Warmup float64
+
+	// Adaptive configures the dynamic region management controller
+	// (disabled by default).
+	Adaptive AdaptiveConfig
+}
+
+// DefaultConfig returns the scenario defaults used by the paper's mobile
+// experiments.
+func DefaultConfig() Config {
+	p, err := cache.NewGDLD(cache.DefaultWeights())
+	if err != nil {
+		panic(err) // default weights are valid by construction
+	}
+	return Config{
+		Retrieval:             PReCinCt,
+		Consistency:           consistency.DefaultConfig(consistency.None),
+		Policy:                p,
+		CacheBytes:            64 * 1024,
+		EnRoute:               true,
+		Replication:           true,
+		RegionTTL:             4,
+		NetworkTTL:            16,
+		MaxRingTTL:            16,
+		MaxRouteHops:          48,
+		RegionalTimeout:       0.15,
+		RemoteTimeout:         1.5,
+		RingTimeout:           0.25,
+		MobilityCheckInterval: 1.0,
+		ControlBytes:          64,
+		Warmup:                200,
+		Adaptive:              DefaultAdaptiveConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Retrieval < PReCinCt || c.Retrieval > ExpandingRing {
+		return fmt.Errorf("node: unknown retrieval scheme %d", int(c.Retrieval))
+	}
+	if err := c.Consistency.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("node: nil cache policy")
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("node: negative cache capacity %d", c.CacheBytes)
+	}
+	if c.RegionTTL <= 0 || c.NetworkTTL <= 0 || c.MaxRingTTL <= 0 || c.MaxRouteHops <= 0 {
+		return fmt.Errorf("node: TTLs and hop caps must be positive")
+	}
+	if c.RegionalTimeout <= 0 || c.RemoteTimeout <= 0 || c.RingTimeout <= 0 {
+		return fmt.Errorf("node: timeouts must be positive")
+	}
+	if c.MobilityCheckInterval <= 0 {
+		return fmt.Errorf("node: mobility check interval must be positive")
+	}
+	if c.ControlBytes <= 0 {
+		return fmt.Errorf("node: control message size must be positive")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("node: negative warmup")
+	}
+	if err := c.Adaptive.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package node
+
+import (
+	"precinct/internal/cache"
+	"precinct/internal/consistency"
+	"precinct/internal/metrics"
+	"precinct/internal/radio"
+	"precinct/internal/trace"
+	"precinct/internal/workload"
+)
+
+// UpdateFrom runs the update path for key k initiated by the given peer:
+// the authoritative version is bumped, then propagated according to the
+// configured consistency scheme.
+func (n *Network) UpdateFrom(origin radio.NodeID, k workload.Key) {
+	p := n.peers[origin]
+	if !p.alive {
+		return
+	}
+	n.truth[k]++
+	newVersion := n.truth[k]
+	if n.recording() {
+		n.coll.UpdateIssued()
+	}
+	n.emit(trace.Event{Kind: trace.UpdateIssued, Node: int(origin), Key: uint32(k)})
+	now := n.sched.Now()
+
+	// The initiator's own copies are freshened immediately.
+	if _, ok := p.store.Get(k); ok {
+		n.applyStoredUpdate(p, k, newVersion, now)
+	}
+	if p.cache != nil {
+		p.cache.Update(k, newVersion, now+n.cfg.Consistency.InitialTTR)
+	}
+
+	switch n.cfg.Consistency.Scheme {
+	case consistency.PlainPush:
+		// Flood the update (which doubles as the invalidation) through
+		// the entire network.
+		m := &message{
+			Kind: kindInvalidate, ID: n.newID(), FloodID: n.newID(), Key: k,
+			Origin: origin, OriginPos: n.ch.Position(origin), OriginRegion: p.regionID,
+			Version: newVersion, TTL: n.cfg.NetworkTTL,
+			Size: n.catalog.Size(k),
+		}
+		p.markSeen(m.FloodID)
+		n.broadcast(origin, m)
+	default:
+		// None, PullEveryTime, PushAdaptivePull: the update travels to
+		// the home region (and the replica region when replication is
+		// on); caches elsewhere converge by pulling.
+		n.pushUpdateToRegion(p, k, newVersion, true)
+		if n.cfg.Replication {
+			n.pushUpdateToRegion(p, k, newVersion, false)
+		}
+	}
+}
+
+// pushUpdateToRegion routes an update toward the key's home (or replica)
+// region and floods it there.
+func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, home bool) {
+	var regionOK bool
+	var regionID = p.regionID
+	var center = n.ch.Position(p.id)
+	if home {
+		if r, ok := p.table().HomeRegion(k); ok {
+			regionID, center, regionOK = r.ID, r.Center(), true
+		}
+	} else {
+		if r, ok := p.table().ReplicaRegion(k); ok {
+			regionID, center, regionOK = r.ID, r.Center(), true
+		}
+	}
+	if !regionOK {
+		return
+	}
+	m := &message{
+		Kind: kindUpdateRoute, ID: n.newID(), Key: k,
+		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
+		TargetRegion: regionID, TargetPos: center,
+		Version: version, Size: n.catalog.Size(k),
+	}
+	if regionID == p.regionID {
+		// Already inside the target region: flood directly.
+		m.Kind = kindUpdateFlood
+		m.TTL = n.cfg.RegionTTL
+		m.FloodID = n.newID()
+		p.markSeen(m.FloodID)
+		n.broadcast(p.id, m)
+		return
+	}
+	n.forwardWithRetry(p, m)
+}
+
+// onUpdateRoute advances an update toward its target region; the first
+// node inside becomes the point of broadcast.
+func (p *Peer) onUpdateRoute(m *message) {
+	if p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		flood := m.clone()
+		flood.Kind = kindUpdateFlood
+		flood.TTL = p.net.cfg.RegionTTL
+		flood.FloodID = p.net.newID()
+		p.markSeen(flood.FloodID)
+		p.applyUpdateMessage(flood)
+		p.net.broadcast(p.id, flood)
+		return
+	}
+	p.net.forwardWithRetry(p, m)
+}
+
+// onUpdateFlood applies an update inside the target region and keeps the
+// localized flood going.
+func (p *Peer) onUpdateFlood(m *message) {
+	if p.markSeen(m.FloodID) {
+		return
+	}
+	if !p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		return
+	}
+	p.applyUpdateMessage(m)
+	if m.TTL > 1 {
+		fwd := m.clone()
+		fwd.TTL--
+		p.net.broadcast(p.id, fwd)
+	}
+}
+
+// applyUpdateMessage installs a pushed update into this peer's store (if
+// it is a holder) and freshens any cached copy.
+func (p *Peer) applyUpdateMessage(m *message) {
+	now := p.net.sched.Now()
+	if _, ok := p.store.Get(m.Key); ok {
+		p.net.applyStoredUpdate(p, m.Key, m.Version, now)
+	}
+	if p.cache != nil {
+		if e, ok := p.cache.Peek(m.Key); ok && e.Version < m.Version {
+			ttr := p.net.holderTTR(p, m.Key)
+			p.cache.Update(m.Key, m.Version, now+ttr)
+		}
+	}
+}
+
+// applyStoredUpdate records an accepted update on a stored item, updating
+// its TTR estimate per Equation 2 and counting it.
+func (n *Network) applyStoredUpdate(p *Peer, k workload.Key, version uint64, now float64) {
+	it, ok := p.store.Get(k)
+	if !ok || version <= it.Version {
+		return
+	}
+	interval := now - it.UpdatedAt
+	if interval < 0 {
+		interval = 0
+	}
+	prev := it.TTR
+	if prev <= 0 {
+		prev = n.cfg.Consistency.InitialTTR
+	}
+	updated := *it
+	updated.TTR = consistency.SmoothTTR(n.cfg.Consistency.Alpha, prev, interval)
+	updated.Version = version
+	updated.UpdatedAt = now
+	p.store.Put(updated)
+	n.stats.UpdatesApplied++
+}
+
+// holderTTR returns the TTR to advertise for a key from this peer's
+// perspective (store TTR when it is a holder, the seed otherwise).
+func (n *Network) holderTTR(p *Peer, k workload.Key) float64 {
+	if it, ok := p.store.Get(k); ok && it.TTR > 0 {
+		return it.TTR
+	}
+	return n.cfg.Consistency.InitialTTR
+}
+
+// onInvalidate handles the Plain-Push network-wide update flood: every
+// peer processes it — holders apply the new version, caches drop or
+// freshen their copy — and keeps flooding.
+func (p *Peer) onInvalidate(m *message) {
+	if p.markSeen(m.FloodID) {
+		return
+	}
+	now := p.net.sched.Now()
+	if _, ok := p.store.Get(m.Key); ok {
+		p.net.applyStoredUpdate(p, m.Key, m.Version, now)
+	}
+	if p.cache != nil {
+		if e, ok := p.cache.Peek(m.Key); ok && e.Version < m.Version {
+			// Plain-Push carries the new data, so the cached copy can
+			// be refreshed in place rather than dropped.
+			p.cache.Update(m.Key, m.Version, cache.NeverExpires)
+		}
+	}
+	if m.TTL > 1 {
+		fwd := m.clone()
+		fwd.TTL--
+		p.net.broadcast(p.id, fwd)
+	}
+}
+
+// sendPoll routes a validation poll toward the key's home region. It
+// reports whether the poll left the requester.
+func (n *Network) sendPoll(p *Peer, req *pendingReq) bool {
+	home, ok := p.table().HomeRegion(req.key)
+	if !ok {
+		return false
+	}
+	if n.recording() {
+		n.coll.PollIssued()
+	}
+	n.emit(trace.Event{Kind: trace.PollIssued, Node: int(p.id), Key: uint32(req.key)})
+	m := &message{
+		Kind: kindPollRoute, ID: req.id, Key: req.key,
+		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
+		TargetRegion: home.ID, TargetPos: home.Center(),
+		CachedVersion: req.cachedVersion,
+	}
+	if home.ID == p.regionID {
+		// The home region is the local region: flood the poll locally.
+		m.Kind = kindPollFlood
+		m.TTL = n.cfg.RegionTTL
+		m.FloodID = n.newID()
+		p.markSeen(m.FloodID)
+		n.broadcast(p.id, m)
+		return true
+	}
+	return n.forwardRouted(p, m)
+}
+
+// onPollRoute advances a poll toward the home region.
+func (p *Peer) onPollRoute(m *message) {
+	if p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		flood := m.clone()
+		flood.Kind = kindPollFlood
+		flood.TTL = p.net.cfg.RegionTTL
+		flood.FloodID = p.net.newID()
+		p.markSeen(flood.FloodID)
+		if p.answerPoll(flood) {
+			return
+		}
+		p.net.broadcast(p.id, flood)
+		return
+	}
+	p.net.forwardRouted(p, m)
+}
+
+// onPollFlood lets holders inside the home region answer the poll.
+func (p *Peer) onPollFlood(m *message) {
+	if p.markSeen(m.FloodID) {
+		return
+	}
+	if !p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		return
+	}
+	if p.answerPoll(m) {
+		return
+	}
+	if m.TTL > 1 {
+		fwd := m.clone()
+		fwd.TTL--
+		p.net.broadcast(p.id, fwd)
+	}
+}
+
+// answerPoll responds to a validation poll when this peer holds the
+// authoritative copy: a small "still valid" answer when the requester's
+// version is current, or the full data when it is stale (conditional-GET
+// semantics, saving the second round trip). Reports whether it answered.
+func (p *Peer) answerPoll(m *message) bool {
+	it, ok := p.store.Get(m.Key)
+	if !ok {
+		return false
+	}
+	p.net.stats.PollsAnswered++
+	if m.CachedVersion >= it.Version {
+		reply := &message{
+			Kind: kindPollReply, ID: m.ID, Key: m.Key,
+			Origin: m.Origin, OriginPos: m.OriginPos,
+			Version: it.Version, TTR: it.TTR,
+		}
+		if p.id == m.Origin {
+			p.onPollReply(reply)
+			return true
+		}
+		p.net.forwardRouted(p, reply)
+		return true
+	}
+	p.answer(m, it.Version, it.TTR, true, false)
+	return true
+}
+
+// onPollReply routes a "still valid" answer back and completes the poll.
+func (p *Peer) onPollReply(m *message) {
+	if p.id != m.Origin {
+		p.net.forwardRouted(p, m)
+		return
+	}
+	n := p.net
+	req, ok := n.pending[m.ID]
+	if !ok {
+		return
+	}
+	now := n.sched.Now()
+	if p.cache != nil {
+		p.cache.Update(m.Key, m.Version, now+m.TTR)
+	}
+	stale := m.Version < req.truthAtIssue
+	if req.pendingReply != nil {
+		// A cache-served answer was waiting on this validation.
+		reply := req.pendingReply
+		stale = reply.Version < req.truthAtIssue
+		n.finish(req, n.classify(p, reply), now-req.issuedAt, stale)
+		n.admitToCache(p, reply, now)
+		return
+	}
+	n.finish(req, metrics.LocalHit, now-req.issuedAt, stale)
+}

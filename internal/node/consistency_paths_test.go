@@ -1,0 +1,302 @@
+package node
+
+import (
+	"testing"
+
+	"precinct/internal/consistency"
+	"precinct/internal/radio"
+	"precinct/internal/workload"
+)
+
+// primeRegionalPair fetches key k at peer a, then finds another peer b in
+// a's region, so that b's next request can be served regionally from a's
+// cache. Returns nil b when no such pair exists in the topology.
+func primeRegionalPair(t *testing.T, h *harness, k workload.Key) (a, b *Peer) {
+	t.Helper()
+	a = h.requesterFor(t, k)
+	h.net.RequestFrom(a.ID(), k)
+	h.sched.Run(h.sched.Now() + 10)
+	if _, ok := a.Cache().Peek(k); !ok {
+		t.Fatal("priming fetch did not cache")
+	}
+	for i := 0; i < h.net.Peers(); i++ {
+		q := h.net.Peer(radio.NodeID(i))
+		if q.ID() != a.ID() && q.RegionID() == a.RegionID() {
+			if _, holds := q.Store().Get(k); !holds {
+				return a, q
+			}
+		}
+	}
+	return a, nil
+}
+
+func TestPullEveryTimeValidatesRegionalAnswers(t *testing.T) {
+	o := defaultHarnessOpts()
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PullEveryTime)
+	}
+	h := build(t, o)
+	k := h.cat.Keys()[0]
+	a, b := primeRegionalPair(t, h, k)
+	if b == nil {
+		t.Skip("no regional pair available")
+	}
+	_ = a
+	before := h.net.Report().PollsIssued
+	h.net.RequestFrom(b.ID(), k)
+	h.sched.Run(h.sched.Now() + 10)
+	rep := h.net.Report()
+	if rep.PollsIssued != before+1 {
+		t.Fatalf("regional answer not validated: polls %d -> %d", before, rep.PollsIssued)
+	}
+	if rep.ByClass["regional"] != 1 {
+		t.Fatalf("validated answer not classified regional: %v", rep.ByClass)
+	}
+	if rep.FalseHitRatio != 0 {
+		t.Errorf("validated regional hit counted stale: %v", rep.FalseHitRatio)
+	}
+}
+
+func TestAdaptivePullServesRegionalWithinTTRWithoutPoll(t *testing.T) {
+	o := defaultHarnessOpts()
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PushAdaptivePull)
+	}
+	h := build(t, o)
+	k := h.cat.Keys()[0]
+	_, b := primeRegionalPair(t, h, k)
+	if b == nil {
+		t.Skip("no regional pair available")
+	}
+	before := h.net.Report().PollsIssued
+	h.net.RequestFrom(b.ID(), k) // within the 30 s initial TTR
+	h.sched.Run(h.sched.Now() + 10)
+	rep := h.net.Report()
+	if rep.PollsIssued != before {
+		t.Fatalf("adaptive pull polled within TTR for a regional answer")
+	}
+	if rep.ByClass["regional"] != 1 {
+		t.Fatalf("expected a regional hit: %v", rep.ByClass)
+	}
+}
+
+func TestAdaptivePullValidatesExpiredRegionalAnswer(t *testing.T) {
+	o := defaultHarnessOpts()
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PushAdaptivePull)
+	}
+	h := build(t, o)
+	k := h.cat.Keys()[0]
+	_, b := primeRegionalPair(t, h, k)
+	if b == nil {
+		t.Skip("no regional pair available")
+	}
+	// Let the cached copy's TTR (30 s initial) expire.
+	h.sched.Run(h.sched.Now() + 60)
+	before := h.net.Report().PollsIssued
+	h.net.RequestFrom(b.ID(), k)
+	h.sched.Run(h.sched.Now() + 10)
+	rep := h.net.Report()
+	if rep.PollsIssued != before+1 {
+		t.Fatalf("expired regional answer served without validation")
+	}
+}
+
+func TestPollTimeoutServesStashedReplyOptimistically(t *testing.T) {
+	// Crash every store holder of k so validation polls go unanswered;
+	// a regional cached answer must still be served (optimistically)
+	// rather than looping or failing.
+	o := defaultHarnessOpts()
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PullEveryTime)
+	}
+	h := build(t, o)
+	k := h.cat.Keys()[0]
+	_, b := primeRegionalPair(t, h, k)
+	if b == nil {
+		t.Skip("no regional pair available")
+	}
+	for i := 0; i < h.net.Peers(); i++ {
+		p := h.net.Peer(radio.NodeID(i))
+		if _, holds := p.Store().Get(k); holds {
+			h.net.Crash(p.ID())
+		}
+	}
+	start := h.sched.Now()
+	h.net.RequestFrom(b.ID(), k)
+	h.sched.Run(start + 30)
+	rep := h.net.Report()
+	if rep.ByClass["regional"] != 1 {
+		t.Fatalf("optimistic serve missing: %v", rep.ByClass)
+	}
+	// Latency includes the validation timeout but is bounded.
+	if rep.MaxLatency > 10 {
+		t.Errorf("optimistic serve took %v s", rep.MaxLatency)
+	}
+}
+
+func TestUpdatePushRetriesOnRoutingFailure(t *testing.T) {
+	// This exercises forwardWithRetry's bookkeeping: updates from a peer
+	// whose GPSR route transiently fails must eventually reach the
+	// holder or be counted as lost — never silently vanish.
+	o := defaultHarnessOpts()
+	o.generator = true
+	o.updateInt = 20
+	o.mobile = true
+	o.nodes = 24 // sparse: routing failures happen
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PushAdaptivePull)
+	}
+	h := build(t, o)
+	h.net.Run(400)
+	st := h.net.Stats()
+	if st.UpdatesApplied == 0 {
+		t.Fatal("no updates applied at all")
+	}
+	// Bookkeeping sanity: lost updates are a small fraction of applied.
+	if st.LostUpdates > st.UpdatesApplied {
+		t.Errorf("lost (%d) exceeds applied (%d)", st.LostUpdates, st.UpdatesApplied)
+	}
+}
+
+func TestHandoffReaimsToLiveCustodian(t *testing.T) {
+	// Kill the original handoff target right after keys leave; the
+	// retry logic must re-aim at another peer of the region instead of
+	// dropping the keys.
+	o := defaultHarnessOpts()
+	o.mobile = true
+	o.maxSpeed = 12
+	o.generator = false
+	h := build(t, o)
+	h.net.Run(300)
+	st := h.net.Stats()
+	if st.Handoffs == 0 {
+		t.Skip("no handoffs in this trace")
+	}
+	if st.LostKeys > st.Handoffs*2 {
+		t.Errorf("too many keys lost: %d lost over %d handoffs", st.LostKeys, st.Handoffs)
+	}
+	// Every catalog key must still have at least one live holder.
+	missing := 0
+	for _, k := range h.cat.Keys() {
+		found := false
+		for i := 0; i < h.net.Peers() && !found; i++ {
+			p := h.net.Peer(radio.NodeID(i))
+			if !p.Alive() {
+				continue
+			}
+			if _, ok := p.Store().Get(k); ok {
+				found = true
+			}
+		}
+		if !found {
+			missing++
+		}
+	}
+	if missing > h.cat.Len()/20 {
+		t.Errorf("%d of %d keys have no holder after mobility", missing, h.cat.Len())
+	}
+}
+
+func TestExpandingRingGrowsTTL(t *testing.T) {
+	o := defaultHarnessOpts()
+	o.nodes = 49
+	o.rows, o.cols = 3, 3
+	o.mutate = func(c *Config) {
+		c.Retrieval = ExpandingRing
+		c.CacheBytes = 0 // force remote search
+	}
+	h := build(t, o)
+	// Pick a requester far from the key's owner so TTL=1 cannot reach.
+	k := h.cat.Keys()[0]
+	var owner *Peer
+	for i := 0; i < h.net.Peers(); i++ {
+		p := h.net.Peer(radio.NodeID(i))
+		if _, ok := p.Store().Get(k); ok {
+			owner = p
+			break
+		}
+	}
+	if owner == nil {
+		t.Fatal("no owner")
+	}
+	var far *Peer
+	bestD := 0.0
+	for i := 0; i < h.net.Peers(); i++ {
+		p := h.net.Peer(radio.NodeID(i))
+		d := h.ch.Position(p.ID()).Dist(h.ch.Position(owner.ID()))
+		if d > bestD {
+			far, bestD = p, d
+		}
+	}
+	before := h.ch.Stats().BroadcastFrames
+	h.net.RequestFrom(far.ID(), k)
+	h.sched.Run(60)
+	rep := h.net.Report()
+	if rep.Completed != 1 {
+		t.Fatalf("expanding ring failed: %+v", rep)
+	}
+	if rep.MeanLatency <= 0 {
+		t.Error("ring rounds should cost latency")
+	}
+	// Several rounds of flooding happened.
+	if h.ch.Stats().BroadcastFrames-before < 10 {
+		t.Error("suspiciously few broadcasts for a far expanding-ring search")
+	}
+}
+
+func TestPlainPushRefreshesHolderAndCaches(t *testing.T) {
+	o := defaultHarnessOpts()
+	o.mutate = func(c *Config) {
+		c.Consistency = consistency.DefaultConfig(consistency.PlainPush)
+	}
+	h := build(t, o)
+	k := h.cat.Keys()[3]
+	p := h.requesterFor(t, k)
+	h.net.RequestFrom(p.ID(), k)
+	h.sched.Run(10)
+	q := h.requesterFor(t, k)
+	h.net.UpdateFrom(q.ID(), k)
+	h.sched.Run(20)
+	// Holder store version caught up.
+	for i := 0; i < h.net.Peers(); i++ {
+		peer := h.net.Peer(radio.NodeID(i))
+		if it, ok := peer.Store().Get(k); ok && it.Version != 2 {
+			t.Errorf("holder %d at version %d after plain push", i, it.Version)
+		}
+	}
+	// Subsequent local hit at p is fresh.
+	h.net.RequestFrom(p.ID(), k)
+	h.sched.Run(30)
+	if fhr := h.net.Report().FalseHitRatio; fhr != 0 {
+		t.Errorf("false hits after plain push flood: %v", fhr)
+	}
+}
+
+func TestConsistencySchemeOrderingSmallScale(t *testing.T) {
+	// The paper's headline ordering must hold even at test scale:
+	// control overhead plain-push > pull >= adaptive.
+	run := func(scheme consistency.Scheme) uint64 {
+		o := defaultHarnessOpts()
+		o.nodes = 49
+		o.rows, o.cols = 3, 3
+		o.generator = true
+		o.updateInt = 30
+		o.seed = 5
+		o.mutate = func(c *Config) {
+			c.Consistency = consistency.DefaultConfig(scheme)
+		}
+		h := build(t, o)
+		rep := h.net.Run(500)
+		return rep.ControlMessages
+	}
+	plain := run(consistency.PlainPush)
+	pull := run(consistency.PullEveryTime)
+	adaptive := run(consistency.PushAdaptivePull)
+	if plain <= pull {
+		t.Errorf("plain-push (%d) should exceed pull-every-time (%d)", plain, pull)
+	}
+	if adaptive > pull {
+		t.Errorf("adaptive (%d) should not exceed pull-every-time (%d)", adaptive, pull)
+	}
+}

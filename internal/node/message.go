@@ -1,0 +1,191 @@
+package node
+
+import (
+	"fmt"
+
+	"precinct/internal/geo"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/routing"
+	"precinct/internal/workload"
+)
+
+// msgKind discriminates protocol messages.
+type msgKind int
+
+const (
+	// Retrieval.
+	kindSearchFlood    msgKind = iota // network-wide flood (flooding / expanding ring)
+	kindRegionalSearch                // broadcast within the requester's region
+	kindRoutedSearch                  // GPSR-routed request toward the home region
+	kindHomeFlood                     // localized flood inside the destination region
+	kindReply                         // GPSR-routed data response
+
+	// Consistency.
+	kindInvalidate  // plain-push network-wide invalidation flood
+	kindUpdateRoute // GPSR-routed update push toward home/replica region
+	kindUpdateFlood // localized flood of an update inside a region
+	kindPollRoute   // GPSR-routed TTR/validation poll
+	kindPollFlood   // localized flood of a poll inside the home region
+	kindPollReply   // GPSR-routed poll answer
+
+	// Region maintenance.
+	kindHandoff     // key transfer on inter-region mobility / relocation
+	kindTableUpdate // region-table version dissemination flood
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k msgKind) String() string {
+	switch k {
+	case kindSearchFlood:
+		return "search-flood"
+	case kindRegionalSearch:
+		return "regional-search"
+	case kindRoutedSearch:
+		return "routed-search"
+	case kindHomeFlood:
+		return "home-flood"
+	case kindReply:
+		return "reply"
+	case kindInvalidate:
+		return "invalidate"
+	case kindUpdateRoute:
+		return "update-route"
+	case kindUpdateFlood:
+		return "update-flood"
+	case kindPollRoute:
+		return "poll-route"
+	case kindPollFlood:
+		return "poll-flood"
+	case kindPollReply:
+		return "poll-reply"
+	case kindHandoff:
+		return "handoff"
+	case kindTableUpdate:
+		return "table-update"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// class returns the accounting bucket of the message kind.
+func (k msgKind) class() trafficClass {
+	switch k {
+	case kindInvalidate, kindUpdateRoute, kindUpdateFlood, kindPollRoute, kindPollFlood, kindPollReply:
+		return classControl
+	case kindHandoff, kindTableUpdate:
+		return classMaintenance
+	default:
+		return classSearch
+	}
+}
+
+type trafficClass int
+
+const (
+	classSearch trafficClass = iota
+	classControl
+	classMaintenance
+)
+
+// handoffItem is one key being transferred between peers.
+type handoffItem struct {
+	Key       workload.Key
+	Size      int
+	Version   uint64
+	UpdatedAt float64
+	TTR       float64
+	Replica   bool
+}
+
+// message is the single protocol payload type; fields are used according
+// to Kind. Messages are copied at every forwarding hop because the
+// routing state mutates hop by hop.
+type message struct {
+	Kind msgKind
+	// ID identifies the request for matching replies to pending
+	// requests.
+	ID uint64
+	// FloodID identifies one flood wave for deduplication; expanding
+	// ring rounds of the same request carry distinct flood IDs.
+	FloodID uint64
+	Key     workload.Key
+
+	// Origin is the peer the answer must return to, and its position at
+	// issue time (the GPSR destination for replies).
+	Origin    radio.NodeID
+	OriginPos geo.Point
+	// OriginRegion is the requester's region at issue time (admission
+	// control and regional-hit classification).
+	OriginRegion region.ID
+
+	// TargetRegion/TargetPos direct region-routed messages.
+	TargetRegion region.ID
+	TargetPos    geo.Point
+	// TargetNode addresses node-routed messages (handoffs) that must
+	// reach one specific peer rather than a region.
+	TargetNode    radio.NodeID
+	HasTargetNode bool
+
+	TTL  int
+	Hops int
+	// Retries counts route-retry attempts for update pushes, which have
+	// no end-to-end timeout to recover them.
+	Retries int
+	// Route is the GPSR packet state for unicast legs.
+	Route routing.State
+
+	// Version and TTR travel on replies, updates and poll replies.
+	Version uint64
+	TTR     float64
+	// Size is the data payload size for replies and updates, bytes.
+	Size int
+
+	// ServerRegion is the region of the peer that answered (replies).
+	ServerRegion region.ID
+	// EnRoute marks replies served by an intermediate peer on the way
+	// to the home region.
+	EnRoute bool
+	// FromStore marks replies served from a static store (authoritative
+	// copy); cache-served replies need validation under Pull-Every-time.
+	FromStore bool
+	// CachedVersion is the requester's version in validation polls, so
+	// the home region can answer "still valid" cheaply.
+	CachedVersion uint64
+
+	// Items carries key transfers (handoff).
+	Items []handoffItem
+
+	// TableIdx is the region-table version being disseminated
+	// (kindTableUpdate).
+	TableIdx int
+}
+
+// wireSize returns the on-air payload size in bytes for accounting and
+// energy purposes. Control-plane messages cost the configured control
+// size; data-bearing messages cost their data size plus the control
+// envelope.
+func (m *message) wireSize(controlBytes int) int {
+	switch m.Kind {
+	case kindReply, kindUpdateRoute, kindUpdateFlood:
+		return controlBytes + m.Size
+	case kindHandoff:
+		total := controlBytes
+		for _, it := range m.Items {
+			total += it.Size
+		}
+		return total
+	default:
+		return controlBytes
+	}
+}
+
+// clone returns a copy of the message for forwarding (the routing state
+// and TTL must not be shared between in-flight copies).
+func (m *message) clone() *message {
+	cp := *m
+	if m.Items != nil {
+		cp.Items = append([]handoffItem(nil), m.Items...)
+	}
+	return &cp
+}

@@ -1,0 +1,596 @@
+package node
+
+import (
+	"fmt"
+
+	"precinct/internal/cache"
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/metrics"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/routing"
+	"precinct/internal/sim"
+	"precinct/internal/trace"
+	"precinct/internal/workload"
+)
+
+// Options wires a Network to its substrates. Scheduler, Channel, Regions,
+// Catalog and Collector are required; Generator is optional (without it no
+// autonomous request/update drivers run — tests inject traffic manually);
+// Meter is optional (energy is then absent from reports).
+type Options struct {
+	Config    Config
+	Scheduler *sim.Scheduler
+	Channel   *radio.Channel
+	Regions   *region.Table
+	Catalog   *workload.Catalog
+	Generator *workload.Generator
+	Collector *metrics.Collector
+	Meter     *energy.Meter
+	RNG       *sim.RNG
+	// Tracer receives structured protocol events when non-nil.
+	Tracer trace.Tracer
+}
+
+// Stats counts protocol-layer events beyond the metrics collector.
+type Stats struct {
+	Handoffs        uint64 // inter-region key transfers initiated
+	LostKeys        uint64 // keys that died with a peer (no custodian anywhere)
+	StrandedKeys    uint64 // handoff copies adopted by a carrier outside the proper region
+	HomelessKeys    uint64 // keys with no holder at placement time
+	Relocations     uint64 // keys moved after region-table changes
+	RoutingFailures uint64 // routed messages dropped (no next hop / link gone)
+	LostUpdates     uint64 // update pushes dropped after exhausting retries
+	PollsAnswered   uint64
+	UpdatesApplied  uint64
+}
+
+// Network owns the peers of one simulation run and implements the message
+// choreography of every scheme.
+type Network struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	ch      *radio.Channel
+	table   *region.Table
+	catalog *workload.Catalog
+	gen     *workload.Generator
+	coll    *metrics.Collector
+	meter   *energy.Meter
+	rng     *sim.RNG
+	tracer  trace.Tracer
+
+	peers []*Peer
+	// tables is the region-table version history: index 0 is the
+	// initial partition, each Separate/Merge appends a clone. Peers
+	// reference a version index and switch when the dissemination
+	// flood reaches them, so a table change propagates like any other
+	// network-wide update rather than instantaneously.
+	tables   []*region.Table
+	truth    []uint64 // authoritative version per key (ground truth for FHR)
+	pending  map[uint64]*pendingReq
+	nextID   uint64
+	stats    Stats
+	adaptive AdaptiveStats
+	started  bool
+}
+
+// New builds the network: peers, initial key placement at home regions
+// (and replica regions when replication is on), and the radio dispatch.
+func New(opts Options) (*Network, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Scheduler == nil || opts.Channel == nil || opts.Regions == nil ||
+		opts.Catalog == nil || opts.Collector == nil {
+		return nil, fmt.Errorf("node: scheduler, channel, regions, catalog and collector are required")
+	}
+	if opts.RNG == nil {
+		opts.RNG = sim.NewRNG(1)
+	}
+	n := &Network{
+		cfg:     opts.Config,
+		sched:   opts.Scheduler,
+		ch:      opts.Channel,
+		table:   opts.Regions,
+		catalog: opts.Catalog,
+		gen:     opts.Generator,
+		coll:    opts.Collector,
+		meter:   opts.Meter,
+		rng:     opts.RNG,
+		tracer:  opts.Tracer,
+		truth:   make([]uint64, opts.Catalog.Len()),
+		pending: make(map[uint64]*pendingReq),
+	}
+	n.tables = []*region.Table{opts.Regions}
+	n.peers = make([]*Peer, n.ch.N())
+	for i := range n.peers {
+		p := &Peer{
+			id:    radio.NodeID(i),
+			net:   n,
+			store: cache.NewStore(),
+			alive: true,
+			seen:  make(map[uint64]float64),
+			rng:   n.rng.Stream(fmt.Sprintf("peer/%d", i)),
+		}
+		if n.cfg.CacheBytes > 0 {
+			c, err := cache.New(n.cfg.CacheBytes, n.cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			p.cache = c
+		}
+		r, ok := n.table.Locate(n.ch.Position(p.id))
+		if !ok {
+			return nil, fmt.Errorf("node: peer %d has no region", i)
+		}
+		p.regionID = r.ID
+		n.peers[i] = p
+	}
+	n.ch.SetAlive(func(id radio.NodeID) bool { return n.peers[id].alive })
+	n.ch.SetHandler(n.handleFrame)
+	n.placeKeys()
+	return n, nil
+}
+
+// placeKeys stores each key at a peer inside its home region (the peer
+// nearest the region center), plus one inside the replica region when
+// replication is enabled. Keys start at version 1.
+func (n *Network) placeKeys() {
+	for _, k := range n.catalog.Keys() {
+		n.truth[k] = 1
+		size := n.catalog.Size(k)
+		home, ok := n.table.HomeRegion(k)
+		if !ok {
+			n.stats.HomelessKeys++
+			continue
+		}
+		item := cache.StoredItem{
+			Key: k, Size: size, Version: 1,
+			UpdatedAt: 0, TTR: n.cfg.Consistency.InitialTTR,
+		}
+		if holder := n.peerNearestCenter(n.table, home.ID); holder != nil {
+			holder.store.Put(item)
+		} else {
+			n.stats.HomelessKeys++
+		}
+		if n.cfg.Replication {
+			if rep, ok := n.table.ReplicaRegion(k); ok {
+				if holder := n.peerNearestCenter(n.table, rep.ID); holder != nil {
+					replica := item
+					replica.Replica = true
+					holder.store.Put(replica)
+				}
+			}
+		}
+	}
+}
+
+// peerNearestCenter returns the live peer inside the region (under the
+// given table's geometry) closest to its center, or nil when the region
+// is empty.
+func (n *Network) peerNearestCenter(t *region.Table, id region.ID) *Peer {
+	return n.peerNearestCenterExcluding(t, id, nil)
+}
+
+// peerNearestCenterExcluding is peerNearestCenter skipping one peer.
+func (n *Network) peerNearestCenterExcluding(t *region.Table, id region.ID, exclude *Peer) *Peer {
+	r, ok := t.Region(id)
+	if !ok {
+		return nil
+	}
+	var best *Peer
+	bestD := 0.0
+	for _, p := range n.peers {
+		if !p.alive || p == exclude {
+			continue
+		}
+		pos := n.ch.Position(p.id)
+		if !t.Contains(id, pos) {
+			continue
+		}
+		d := pos.Dist2(r.Center())
+		if best == nil || d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// Peers returns the number of peers.
+func (n *Network) Peers() int { return len(n.peers) }
+
+// Peer exposes a peer for inspection (tests, examples).
+func (n *Network) Peer(id radio.NodeID) *Peer { return n.peers[id] }
+
+// Truth returns the authoritative version of a key.
+func (n *Network) Truth(k workload.Key) uint64 { return n.truth[k] }
+
+// Stats returns protocol-layer counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// PendingRequests returns the number of requests still awaiting an answer
+// or a timeout. After the event queue drains it must be zero — every
+// request resolves to a hit, a failure, or a timeout chain ending in one.
+func (n *Network) PendingRequests() int { return len(n.pending) }
+
+// Table returns the latest region table.
+func (n *Network) Table() *region.Table { return n.table }
+
+// TableVersions returns how many region-table versions exist (1 = the
+// initial partition only).
+func (n *Network) TableVersions() int { return len(n.tables) }
+
+// Scheduler returns the simulation scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// emit sends a trace event when tracing is enabled.
+func (n *Network) emit(e trace.Event) {
+	if n.tracer != nil {
+		e.Time = n.sched.Now()
+		n.tracer.Emit(e)
+	}
+}
+
+// newID hands out a fresh message/flood identifier.
+func (n *Network) newID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// recording reports whether metrics should be recorded at the current
+// simulation time (post-warmup).
+func (n *Network) recording() bool { return n.sched.Now() >= n.cfg.Warmup }
+
+// account books one processed (received) copy of m in the collector. The
+// paper's overhead metric is the number of messages the network handles —
+// a broadcast costs one entry per node that processes it, a unicast one
+// entry at its addressee — which is why floods dominate Figure 6.
+func (n *Network) account(m *message) {
+	if !n.recording() {
+		return
+	}
+	switch m.Kind.class() {
+	case classControl:
+		n.coll.ControlMessages(1)
+	case classMaintenance:
+		n.coll.MaintenanceMessages(1)
+	default:
+		n.coll.SearchMessages(1)
+	}
+}
+
+// broadcast sends m from the peer to all radio neighbors.
+func (n *Network) broadcast(from radio.NodeID, m *message) {
+	n.ch.Broadcast(from, m.wireSize(n.cfg.ControlBytes), m)
+}
+
+// unicast sends m to a specific neighbor; false when the link is gone.
+func (n *Network) unicast(from, to radio.NodeID, m *message) bool {
+	return n.ch.Unicast(from, to, m.wireSize(n.cfg.ControlBytes), m)
+}
+
+// routingDest returns the geographic destination of a routed message.
+func routingDest(m *message) geo.Point {
+	switch m.Kind {
+	case kindReply, kindPollReply:
+		return m.OriginPos
+	default:
+		return m.TargetPos
+	}
+}
+
+// forwardRouted advances a routed message one GPSR hop. It returns false
+// when no progress is possible (the packet is dropped; end-to-end
+// recovery is by requester timeout).
+func (n *Network) forwardRouted(p *Peer, m *message) bool {
+	if m.Hops >= n.cfg.MaxRouteHops {
+		// Perimeter walks in a mobile topology can wander when the
+		// graph changes underneath them; the hop cap bounds the damage.
+		n.stats.RoutingFailures++
+		return false
+	}
+	nbrs := n.ch.Neighbors(p.id)
+	next, ok := routing.NextHop(p.id, n.ch.Position(p.id), nbrs, routingDest(m), &m.Route)
+	if !ok {
+		n.stats.RoutingFailures++
+		return false
+	}
+	if !n.unicast(p.id, next.ID, m) {
+		n.stats.RoutingFailures++
+		return false
+	}
+	return true
+}
+
+// forwardWithRetry routes a message one hop, retrying from the same node
+// after a short pause when the topology offers no next hop. Update pushes
+// and key handoffs have no end-to-end timeout to recover them, so losing
+// one leaves a holder stale (or a key homeless); a few retries ride out
+// transient voids caused by mobility.
+func (n *Network) forwardWithRetry(p *Peer, m *message) {
+	if m.Kind == kindHandoff && m.HasTargetNode && m.Retries > 0 {
+		// On retries, re-aim at the best peer currently in the target
+		// region: the original addressee may have moved or died since
+		// the handoff was built, and any other peer of that region is
+		// an equally good custodian. The forwarder itself is excluded —
+		// during an evacuation it is about to leave.
+		if target := n.peerNearestCenterExcluding(n.table, m.TargetRegion, p); target != nil {
+			m.TargetNode = target.id
+			m.TargetPos = n.ch.Position(target.id)
+		}
+	}
+	if n.forwardRouted(p, m) {
+		return
+	}
+	maxRetries := 3
+	if m.Kind == kindHandoff {
+		maxRetries = 5 // losing keys is worse than losing one update
+	}
+	if m.Retries >= maxRetries {
+		switch m.Kind {
+		case kindHandoff:
+			// Undeliverable: the current carrier adopts the copies;
+			// its next mobility check will retry the re-homing.
+			n.stats.StrandedKeys += uint64(len(m.Items))
+			p.adoptItems(m.Items)
+		default:
+			n.stats.LostUpdates++
+		}
+		return
+	}
+	retry := m.clone()
+	retry.Retries++
+	retry.Route = routing.State{} // fresh geometry on the next attempt
+	retry.Hops = 0
+	n.sched.After(0.5, func() {
+		if p.alive {
+			n.forwardWithRetry(p, retry)
+		}
+	})
+}
+
+// handleFrame dispatches a delivered frame to the peer protocol handlers.
+func (n *Network) handleFrame(to radio.NodeID, f radio.Frame) {
+	p := n.peers[to]
+	if !p.alive {
+		return
+	}
+	m, ok := f.Payload.(*message)
+	if !ok {
+		panic(fmt.Sprintf("node: unexpected payload %T", f.Payload))
+	}
+	m = m.clone() // each receiver owns its copy (broadcasts share payloads)
+	m.Hops++
+	n.account(m)
+	switch m.Kind {
+	case kindSearchFlood:
+		p.onSearchFlood(m)
+	case kindRegionalSearch:
+		p.onRegionalSearch(m)
+	case kindRoutedSearch:
+		p.onRoutedSearch(m)
+	case kindHomeFlood:
+		p.onHomeFlood(m)
+	case kindReply:
+		p.onReply(m)
+	case kindInvalidate:
+		p.onInvalidate(m)
+	case kindUpdateRoute:
+		p.onUpdateRoute(m)
+	case kindUpdateFlood:
+		p.onUpdateFlood(m)
+	case kindPollRoute:
+		p.onPollRoute(m)
+	case kindPollFlood:
+		p.onPollFlood(m)
+	case kindPollReply:
+		p.onPollReply(m)
+	case kindHandoff:
+		p.onHandoff(m)
+	case kindTableUpdate:
+		p.onTableUpdate(m)
+	default:
+		panic(fmt.Sprintf("node: unknown message kind %v", m.Kind))
+	}
+}
+
+// Run starts the autonomous drivers (request/update processes and
+// mobility checks) and executes the simulation until the given time. It
+// returns the metrics report, with energy filled in when a meter was
+// provided. Energy accounting is reset at the warmup boundary so that
+// energy-per-request covers the same window as the request counters.
+func (n *Network) Run(duration float64) metrics.Report {
+	if !n.started {
+		n.started = true
+		n.startDrivers()
+		if n.cfg.Adaptive.Enabled {
+			n.startAdaptiveController()
+		}
+		if n.meter != nil && n.cfg.Warmup > 0 && n.cfg.Warmup <= duration {
+			n.sched.At(n.cfg.Warmup, n.meter.Reset)
+		}
+	}
+	n.sched.Run(duration)
+	return n.Report()
+}
+
+// Report snapshots the metrics without advancing time.
+func (n *Network) Report() metrics.Report {
+	r := n.coll.Snapshot()
+	if n.meter != nil {
+		r = r.WithEnergy(n.meter.Total())
+	}
+	return r
+}
+
+// startDrivers schedules each peer's request, update and mobility-check
+// loops.
+func (n *Network) startDrivers() {
+	for _, p := range n.peers {
+		p.scheduleMobilityCheck()
+		if n.gen == nil {
+			continue
+		}
+		p.scheduleNextRequest()
+		if n.gen.UpdatesEnabled() {
+			p.scheduleNextUpdate()
+		}
+	}
+}
+
+// Crash kills a peer immediately: no handoff, its keys become unavailable
+// until a replica or relocation covers them.
+func (n *Network) Crash(id radio.NodeID) {
+	n.peers[id].alive = false
+	n.emit(trace.Event{Kind: trace.NodeCrashed, Node: int(id)})
+}
+
+// Quit removes a peer gracefully: it hands its keys off to another peer
+// in its region first (the paper's assumption ii).
+func (n *Network) Quit(id radio.NodeID) {
+	p := n.peers[id]
+	if !p.alive {
+		return
+	}
+	p.rehomeKeys(true)
+	p.alive = false
+	n.emit(trace.Event{Kind: trace.NodeQuit, Node: int(id)})
+}
+
+// Revive brings a crashed peer back with empty stores.
+func (n *Network) Revive(id radio.NodeID) {
+	p := n.peers[id]
+	if p.alive {
+		return
+	}
+	p.alive = true
+	p.store = cache.NewStore()
+	if p.cache != nil {
+		c, err := cache.New(n.cfg.CacheBytes, n.cfg.Policy)
+		if err == nil {
+			p.cache = c
+		}
+	}
+	// A rejoining peer retrieves the current region table from its
+	// neighbors (Section 2.1).
+	p.tableIdx = len(n.tables) - 1
+	if r, ok := p.table().Locate(n.ch.Position(id)); ok {
+		p.regionID = r.ID
+	}
+	n.emit(trace.Event{Kind: trace.NodeRevived, Node: int(id)})
+}
+
+// Separate splits a region and disseminates the new table through the
+// network; peers relocate their keys as the update reaches them.
+func (n *Network) Separate(id region.ID) error {
+	next := n.table.Clone()
+	if _, _, err := next.Separate(id); err != nil {
+		return err
+	}
+	n.publishTable(next, id)
+	return nil
+}
+
+// Merge merges two regions and disseminates the new table.
+func (n *Network) Merge(a, b region.ID) error {
+	next := n.table.Clone()
+	if _, err := next.Merge(a, b); err != nil {
+		return err
+	}
+	n.publishTable(next, a)
+	return nil
+}
+
+// AddRegion expands the service area with a new region and disseminates
+// the new table (the paper's Add operation: "a new entry ... is added
+// into the region table to indicate the expansion of the whole network
+// topology").
+func (n *Network) AddRegion(bounds geo.Rect) (region.Region, error) {
+	next := n.table.Clone()
+	r, err := next.Add(bounds)
+	if err != nil {
+		return region.Region{}, err
+	}
+	// Disseminate from a peer near the new region's closest existing
+	// neighbor; keys whose home region moves relocate on receipt.
+	var nearest region.ID = region.Invalid
+	bestD := 0.0
+	for _, old := range n.table.Regions() {
+		d := old.Center().Dist2(r.Center())
+		if nearest == region.Invalid || d < bestD {
+			nearest, bestD = old.ID, d
+		}
+	}
+	n.publishTable(next, nearest)
+	return r, nil
+}
+
+// DeleteRegion removes a region and disseminates the new table; keys
+// homed there re-hash to the remaining regions and relocate.
+func (n *Network) DeleteRegion(id region.ID) error {
+	next := n.table.Clone()
+	if err := next.Delete(id); err != nil {
+		return err
+	}
+	n.publishTable(next, id)
+	return nil
+}
+
+// publishTable appends the new table version and floods it from a peer
+// near the affected region (the paper: "the peer needs to disseminate the
+// update to all other peers in the whole network to guarantee the
+// consistency of region tables"). Peers apply the new partition — and
+// relocate their keys — when the flood reaches them.
+func (n *Network) publishTable(next *region.Table, near region.ID) {
+	n.tables = append(n.tables, next)
+	n.table = next
+	idx := len(n.tables) - 1
+
+	initiator := n.anyLivePeerNear(near)
+	if initiator == nil {
+		return // nobody to disseminate; revives pick the table up later
+	}
+	n.applyTable(initiator, idx)
+	m := &message{
+		Kind: kindTableUpdate, ID: n.newID(), FloodID: n.newID(),
+		Origin: initiator.id, OriginPos: n.ch.Position(initiator.id),
+		TTL: n.cfg.NetworkTTL, TableIdx: idx,
+	}
+	initiator.markSeen(m.FloodID)
+	n.broadcast(initiator.id, m)
+}
+
+// anyLivePeerNear returns a live peer inside the given region of the
+// previous table version, or any live peer as a fallback.
+func (n *Network) anyLivePeerNear(id region.ID) *Peer {
+	if len(n.tables) >= 2 {
+		prev := n.tables[len(n.tables)-2]
+		if p := n.peerNearestCenter(prev, id); p != nil {
+			return p
+		}
+	}
+	for _, p := range n.peers {
+		if p.alive {
+			return p
+		}
+	}
+	return nil
+}
+
+// applyTable switches a peer to the given table version, refreshing its
+// region membership and relocating any keys the new partition re-homes.
+func (n *Network) applyTable(p *Peer, idx int) {
+	if idx <= p.tableIdx {
+		return
+	}
+	p.tableIdx = idx
+	if r, ok := p.table().Locate(n.ch.Position(p.id)); ok {
+		p.regionID = r.ID
+	}
+	if p.store.Len() > 0 {
+		before := n.stats.Handoffs
+		p.rehomeKeys(false)
+		n.stats.Relocations += n.stats.Handoffs - before
+	}
+}

@@ -1,0 +1,239 @@
+package node
+
+import (
+	"math/rand"
+
+	"precinct/internal/cache"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/trace"
+)
+
+// Peer is one mobile node's protocol state.
+type Peer struct {
+	id  radio.NodeID
+	net *Network
+
+	// cache is the dynamic cache space (nil when disabled).
+	cache *cache.Cache
+	// store is the static space: authoritative copies of keys whose home
+	// (or replica) region this peer serves.
+	store *cache.Store
+
+	// regionID is the peer's region as of its last mobility check.
+	regionID region.ID
+	// tableIdx is the region-table version this peer has received.
+	tableIdx int
+
+	alive bool
+	// seen deduplicates flood waves: flood ID -> expiry time. Entries
+	// are pruned periodically; a flood wave is over within seconds, so
+	// a short retention bounds memory on long runs.
+	seen      map[uint64]float64
+	nextPrune float64
+	rng       *rand.Rand
+}
+
+// seenRetention is how long flood IDs are remembered, in seconds. Flood
+// waves (TTL-bounded broadcasts plus retries) die out well within this.
+const seenRetention = 120
+
+// ID returns the peer's node ID.
+func (p *Peer) ID() radio.NodeID { return p.id }
+
+// Alive reports liveness.
+func (p *Peer) Alive() bool { return p.alive }
+
+// RegionID returns the peer's region as of its last mobility check.
+func (p *Peer) RegionID() region.ID { return p.regionID }
+
+// table returns the region-table version this peer currently knows.
+func (p *Peer) table() *region.Table { return p.net.tables[p.tableIdx] }
+
+// TableVersion returns the peer's region-table version index.
+func (p *Peer) TableVersion() int { return p.tableIdx }
+
+// onTableUpdate adopts a disseminated region-table version and keeps the
+// flood going.
+func (p *Peer) onTableUpdate(m *message) {
+	if p.markSeen(m.FloodID) {
+		return
+	}
+	p.net.applyTable(p, m.TableIdx)
+	if m.TTL > 1 {
+		fwd := m.clone()
+		fwd.TTL--
+		p.net.broadcast(p.id, fwd)
+	}
+}
+
+// Cache exposes the dynamic cache (nil when disabled).
+func (p *Peer) Cache() *cache.Cache { return p.cache }
+
+// Store exposes the static store.
+func (p *Peer) Store() *cache.Store { return p.store }
+
+// markSeen records a flood ID, reporting whether it was already seen.
+func (p *Peer) markSeen(id uint64) bool {
+	now := p.net.sched.Now()
+	if exp, ok := p.seen[id]; ok && exp > now {
+		return true
+	}
+	p.seen[id] = now + seenRetention
+	if now >= p.nextPrune {
+		for k, exp := range p.seen {
+			if exp <= now {
+				delete(p.seen, k)
+			}
+		}
+		p.nextPrune = now + seenRetention
+	}
+	return false
+}
+
+// scheduleNextRequest arms the peer's Poisson request process.
+func (p *Peer) scheduleNextRequest() {
+	gap := p.net.gen.NextRequestGap(p.rng)
+	p.net.sched.After(gap, func() {
+		if p.alive {
+			k := p.net.gen.PickKey(p.rng)
+			p.net.RequestFrom(p.id, k)
+		}
+		p.scheduleNextRequest()
+	})
+}
+
+// scheduleNextUpdate arms the peer's Poisson update process.
+func (p *Peer) scheduleNextUpdate() {
+	gap := p.net.gen.NextUpdateGap(p.rng)
+	p.net.sched.After(gap, func() {
+		if p.alive {
+			k := p.net.gen.PickUpdateKey(p.rng)
+			p.net.UpdateFrom(p.id, k)
+		}
+		p.scheduleNextUpdate()
+	})
+}
+
+// scheduleMobilityCheck arms the periodic inter-region mobility detector
+// (Section 2.3: "peers check their positions periodically").
+func (p *Peer) scheduleMobilityCheck() {
+	p.net.sched.After(p.net.cfg.MobilityCheckInterval, func() {
+		if p.alive {
+			p.checkMobility()
+		}
+		p.scheduleMobilityCheck()
+	})
+}
+
+// checkMobility detects a region crossing and re-homes any stored keys
+// that no longer belong with this peer.
+func (p *Peer) checkMobility() {
+	r, ok := p.table().Locate(p.net.ch.Position(p.id))
+	if ok && r.ID != p.regionID {
+		p.regionID = r.ID
+		p.net.emit(trace.Event{Kind: trace.RegionChange, Node: int(p.id), Region: int(r.ID)})
+	}
+	// Re-homing runs on every check, not only on crossings: it also
+	// repairs keys adopted after failed handoffs and keys displaced by
+	// region-table changes.
+	if p.store.Len() > 0 {
+		p.rehomeKeys(false)
+	}
+}
+
+// properRegion returns the region a stored copy belongs to under the
+// current table: the key's home region for primary copies, the replica
+// region for replica copies.
+func (p *Peer) properRegion(it *cache.StoredItem) (region.Region, bool) {
+	if it.Replica {
+		return p.table().ReplicaRegion(it.Key)
+	}
+	return p.table().HomeRegion(it.Key)
+}
+
+// rehomeKeys transfers every stored copy whose proper region is not the
+// peer's current region to the best custodian of that region: alive,
+// inside it, nearest its center (the paper's criteria; peers near the
+// center are least likely to leave soon). Copies with no reachable
+// custodian stay here and are retried at the next mobility check. When
+// evacuate is true (graceful quit), copies belonging to the peer's own
+// region are transferred too.
+func (p *Peer) rehomeKeys(evacuate bool) {
+	type group struct {
+		target *Peer
+		region region.ID
+		items  []handoffItem
+	}
+	groups := make(map[region.ID]*group)
+	for _, k := range p.store.Keys() {
+		it, _ := p.store.Get(k)
+		proper, ok := p.properRegion(it)
+		if !ok {
+			continue
+		}
+		if proper.ID == p.regionID && !evacuate {
+			continue // the copy is where it belongs
+		}
+		g := groups[proper.ID]
+		if g == nil {
+			target := p.net.peerNearestCenterExcluding(p.table(), proper.ID, p)
+			if target == nil {
+				if evacuate {
+					// Nobody can take these: they die with us.
+					p.net.stats.LostKeys++
+					p.store.Remove(k)
+				}
+				continue
+			}
+			g = &group{target: target, region: proper.ID}
+			groups[proper.ID] = g
+		}
+		g.items = append(g.items, handoffItem{
+			Key: it.Key, Size: it.Size, Version: it.Version,
+			UpdatedAt: it.UpdatedAt, TTR: it.TTR, Replica: it.Replica,
+		})
+		p.store.Remove(k)
+	}
+	for _, g := range groups {
+		m := &message{
+			Kind: kindHandoff, ID: p.net.newID(),
+			Origin: p.id, OriginPos: p.net.ch.Position(p.id),
+			TargetRegion: g.region, TargetPos: p.net.ch.Position(g.target.id),
+			TargetNode: g.target.id, HasTargetNode: true,
+			Items: g.items,
+		}
+		p.net.stats.Handoffs++
+		p.net.emit(trace.Event{
+			Kind: trace.Handoff, Node: int(p.id), Region: int(g.region), Count: len(g.items),
+		})
+		if p.id == g.target.id {
+			p.onHandoff(m)
+			continue
+		}
+		p.net.forwardWithRetry(p, m)
+	}
+}
+
+// onHandoff receives a key transfer: the addressee installs the items,
+// intermediate nodes forward.
+func (p *Peer) onHandoff(m *message) {
+	if !m.HasTargetNode || m.TargetNode != p.id {
+		p.net.forwardWithRetry(p, m)
+		return
+	}
+	p.adoptItems(m.Items)
+}
+
+// adoptItems installs transferred copies, keeping fresher local versions.
+func (p *Peer) adoptItems(items []handoffItem) {
+	for _, it := range items {
+		if cur, ok := p.store.Get(it.Key); ok && cur.Version >= it.Version {
+			continue // already holds a copy at least as fresh
+		}
+		p.store.Put(cache.StoredItem{
+			Key: it.Key, Size: it.Size, Version: it.Version,
+			UpdatedAt: it.UpdatedAt, TTR: it.TTR, Replica: it.Replica,
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/mobility"
+	"precinct/internal/sim"
+)
+
+func benchChannel(b *testing.B, n int) (*Channel, *sim.Scheduler) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1200, rng.Float64()*1200)
+	}
+	mob, err := mobility.NewStatic(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	meter, err := energy.NewMeter(n, energy.DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := New(DefaultConfig(), sched, mob, meter, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.SetHandler(func(NodeID, Frame) {})
+	return ch, sched
+}
+
+func BenchmarkBroadcast80Nodes(b *testing.B) {
+	ch, sched := benchChannel(b, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Broadcast(NodeID(i%80), 512, nil)
+		if sched.Len() > 4096 {
+			sched.RunAll()
+		}
+	}
+}
+
+func BenchmarkUnicast80Nodes(b *testing.B) {
+	ch, sched := benchChannel(b, 80)
+	// Find a connected pair once.
+	var from, to NodeID = 0, 0
+	for i := 0; i < 80 && to == from; i++ {
+		if nbrs := ch.Neighbors(NodeID(i)); len(nbrs) > 0 {
+			from, to = NodeID(i), nbrs[0].ID
+		}
+	}
+	if from == to {
+		b.Skip("no connected pair")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Unicast(from, to, 512, nil)
+		if sched.Len() > 4096 {
+			sched.RunAll()
+		}
+	}
+}
+
+func BenchmarkNeighborScan(b *testing.B) {
+	ch, _ := benchChannel(b, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Neighbors(NodeID(i % 160))
+	}
+}

@@ -1,0 +1,393 @@
+// Package radio models the wireless channel: a unit-disk connectivity
+// graph over the mobility model's positions, per-node transmit
+// serialization (one frame in the air per sender at a time), airtime and
+// MAC-overhead delays, optional frame loss, and energy accounting through
+// the Feeney model in internal/energy.
+//
+// The model is deliberately simpler than a packet-level 802.11 PHY — no
+// carrier sense across nodes, no collisions — because the paper's metrics
+// depend on hop counts, broadcast fan-out and per-message energy, all of
+// which the unit-disk abstraction captures. The MAC overhead constant
+// absorbs average channel-access cost; the energy model's per-class
+// coefficients absorb RTS/CTS/ACK asymmetries.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/mobility"
+	"precinct/internal/sim"
+)
+
+// NodeID indexes a node. IDs are dense, 0..N-1.
+type NodeID int
+
+// Frame is one transmission. Payload is opaque to the channel.
+type Frame struct {
+	From      NodeID
+	To        NodeID // meaningful only for unicast frames
+	Broadcast bool
+	Size      int // bytes on the air, including protocol headers
+	Payload   any
+}
+
+// Handler receives frames delivered to a node. `at` is the delivery time.
+type Handler func(to NodeID, f Frame)
+
+// Config parameterizes the channel.
+type Config struct {
+	Range     float64 // transmission range in meters (paper: 250)
+	Bandwidth float64 // bits per second (paper: 11 Mb/s)
+	// MACOverhead is the fixed per-frame channel-access delay in
+	// seconds, covering contention, backoff and MAC negotiation on
+	// average.
+	MACOverhead float64
+	// Propagation is the one-hop propagation delay in seconds.
+	Propagation float64
+	// LossRate drops each delivery independently with this probability.
+	LossRate float64
+	// HeaderBytes is added to every frame's payload size on the air.
+	HeaderBytes int
+	// BeaconInterval, when positive, makes neighbor tables stale: a
+	// node's position is observed by others only every BeaconInterval
+	// seconds (as GPSR's periodic beacons would), while actual frame
+	// delivery still uses true positions. Zero gives perfect location
+	// knowledge.
+	BeaconInterval float64
+	// Collisions enables receiver-side collision losses: a frame whose
+	// reception overlaps another frame's reception at the same node is
+	// dropped. This is the cheapest interference model that makes
+	// broadcast storms self-damaging the way a shared 802.11 channel
+	// does.
+	Collisions bool
+}
+
+// DefaultConfig mirrors the paper's radio parameters.
+func DefaultConfig() Config {
+	return Config{
+		Range:       250,
+		Bandwidth:   11e6,
+		MACOverhead: 0.5e-3,
+		Propagation: 1e-6,
+		LossRate:    0,
+		HeaderBytes: 64,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Range <= 0 {
+		return fmt.Errorf("radio: range must be positive, got %v", c.Range)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("radio: bandwidth must be positive, got %v", c.Bandwidth)
+	}
+	if c.MACOverhead < 0 || c.Propagation < 0 {
+		return fmt.Errorf("radio: negative delay constants")
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("radio: loss rate must be in [0, 1), got %v", c.LossRate)
+	}
+	if c.HeaderBytes < 0 {
+		return fmt.Errorf("radio: negative header size")
+	}
+	if c.BeaconInterval < 0 {
+		return fmt.Errorf("radio: negative beacon interval")
+	}
+	return nil
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	BroadcastFrames uint64
+	UnicastFrames   uint64
+	Deliveries      uint64
+	Drops           uint64 // lost to injected loss
+	Collisions      uint64 // lost to overlapping receptions
+	Undeliverable   uint64 // unicast to a node out of range
+	BytesOnAir      uint64
+}
+
+// Channel is the shared medium. One Channel serves one simulation run and
+// is not safe for concurrent use.
+type Channel struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	mob     mobility.Model
+	meter   *energy.Meter
+	handler Handler
+	alive   func(NodeID) bool
+	rng     *rand.Rand
+
+	txBusyUntil []float64
+	rxBusyUntil []float64
+	beaconPos   []geo.Point
+	beaconAt    []float64
+	stats       Stats
+}
+
+// New creates a channel over the mobility model. The meter may be nil to
+// disable energy accounting. lossRNG is only consulted when LossRate > 0.
+func New(cfg Config, sched *sim.Scheduler, mob mobility.Model, meter *energy.Meter, lossRNG *rand.Rand) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil || mob == nil {
+		return nil, fmt.Errorf("radio: scheduler and mobility model are required")
+	}
+	if cfg.LossRate > 0 && lossRNG == nil {
+		return nil, fmt.Errorf("radio: loss injection requires an RNG stream")
+	}
+	ch := &Channel{
+		cfg:         cfg,
+		sched:       sched,
+		mob:         mob,
+		meter:       meter,
+		rng:         lossRNG,
+		alive:       func(NodeID) bool { return true },
+		txBusyUntil: make([]float64, mob.Len()),
+	}
+	if cfg.BeaconInterval > 0 {
+		ch.beaconPos = make([]geo.Point, mob.Len())
+		ch.beaconAt = make([]float64, mob.Len())
+		for i := range ch.beaconAt {
+			ch.beaconAt[i] = -1
+		}
+	}
+	if cfg.Collisions {
+		ch.rxBusyUntil = make([]float64, mob.Len())
+	}
+	return ch, nil
+}
+
+// collided applies the receiver-side collision model at delivery time.
+// Delivery events fire when a reception *completes*, so the frame
+// occupied the receiver over [now-airtime, now]; it is lost when that
+// window overlaps an earlier reception. The medium stays garbled for the
+// union of the windows either way.
+func (ch *Channel) collided(to NodeID, airtime float64) bool {
+	if ch.rxBusyUntil == nil {
+		return false
+	}
+	const eps = 1e-9
+	now := ch.sched.Now()
+	start := now - airtime
+	busy := start < ch.rxBusyUntil[to]-eps
+	if now > ch.rxBusyUntil[to] {
+		ch.rxBusyUntil[to] = now
+	}
+	if busy {
+		ch.stats.Collisions++
+	}
+	return busy
+}
+
+// SetHandler installs the frame delivery upcall. It must be set before any
+// transmission.
+func (ch *Channel) SetHandler(h Handler) { ch.handler = h }
+
+// SetAlive installs a liveness predicate; dead nodes neither transmit nor
+// receive (nor pay energy).
+func (ch *Channel) SetAlive(f func(NodeID) bool) {
+	if f == nil {
+		f = func(NodeID) bool { return true }
+	}
+	ch.alive = f
+}
+
+// Config returns the channel parameters.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Stats returns a snapshot of the channel counters.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// N returns the number of nodes.
+func (ch *Channel) N() int { return ch.mob.Len() }
+
+// Position returns a node's current location.
+func (ch *Channel) Position(id NodeID) geo.Point {
+	return ch.mob.Position(int(id), ch.sched.Now())
+}
+
+// ObservedPosition returns a node's position as its neighbors currently
+// know it: the true position under perfect knowledge, or the position at
+// the node's most recent beacon when beaconing is on.
+func (ch *Channel) ObservedPosition(id NodeID) geo.Point {
+	if ch.beaconAt == nil {
+		return ch.Position(id)
+	}
+	now := ch.sched.Now()
+	if ch.beaconAt[id] < 0 || now-ch.beaconAt[id] >= ch.cfg.BeaconInterval {
+		ch.beaconPos[id] = ch.mob.Position(int(id), now)
+		ch.beaconAt[id] = now
+	}
+	return ch.beaconPos[id]
+}
+
+// Neighbor describes one node within radio range.
+type Neighbor struct {
+	ID  NodeID
+	Pos geo.Point
+}
+
+// Neighbors returns all live nodes within range of id (excluding id),
+// with the positions id knows for them — the GPSR "location table" a
+// real implementation maintains via beacons. With a beacon interval
+// configured, both membership and positions reflect the last beacon, so
+// routing decisions work on stale data while physical delivery does not.
+func (ch *Channel) Neighbors(id NodeID) []Neighbor {
+	now := ch.sched.Now()
+	self := ch.mob.Position(int(id), now)
+	r2 := ch.cfg.Range * ch.cfg.Range
+	var out []Neighbor
+	for i := 0; i < ch.mob.Len(); i++ {
+		if NodeID(i) == id || !ch.alive(NodeID(i)) {
+			continue
+		}
+		p := ch.ObservedPosition(NodeID(i))
+		if self.Dist2(p) <= r2 {
+			out = append(out, Neighbor{ID: NodeID(i), Pos: p})
+		}
+	}
+	return out
+}
+
+// InRange reports whether b is currently within a's radio range.
+func (ch *Channel) InRange(a, b NodeID) bool {
+	now := ch.sched.Now()
+	pa := ch.mob.Position(int(a), now)
+	pb := ch.mob.Position(int(b), now)
+	return pa.Dist2(pb) <= ch.cfg.Range*ch.cfg.Range
+}
+
+// airtime returns the transmission duration for a frame of the given
+// payload size in bytes.
+func (ch *Channel) airtime(size int) float64 {
+	bits := float64(size+ch.cfg.HeaderBytes) * 8
+	return ch.cfg.MACOverhead + bits/ch.cfg.Bandwidth
+}
+
+// txDelay serializes transmissions per sender: a frame enters the air once
+// the sender's previous frame has left it. It returns the delay from now
+// until the frame has fully left the sender.
+func (ch *Channel) txDelay(from NodeID, size int) float64 {
+	now := ch.sched.Now()
+	start := now
+	if ch.txBusyUntil[from] > start {
+		start = ch.txBusyUntil[from]
+	}
+	end := start + ch.airtime(size)
+	ch.txBusyUntil[from] = end
+	return end - now
+}
+
+func (ch *Channel) lost() bool {
+	return ch.cfg.LossRate > 0 && ch.rng.Float64() < ch.cfg.LossRate
+}
+
+// Broadcast transmits a frame to every live node within range of the
+// sender. The sender is charged broadcast-send energy; every receiver is
+// charged broadcast-receive. Returns the number of nodes the frame was
+// delivered to.
+func (ch *Channel) Broadcast(from NodeID, size int, payload any) int {
+	if ch.handler == nil {
+		panic("radio: Broadcast before SetHandler")
+	}
+	if !ch.alive(from) {
+		return 0
+	}
+	onAir := size + ch.cfg.HeaderBytes
+	ch.stats.BroadcastFrames++
+	ch.stats.BytesOnAir += uint64(onAir)
+	if ch.meter != nil {
+		ch.meter.Charge(int(from), energy.BroadcastSend, onAir)
+	}
+	delay := ch.txDelay(from, size) + ch.cfg.Propagation
+	f := Frame{From: from, Broadcast: true, Size: onAir, Payload: payload}
+	delivered := 0
+	for _, nb := range ch.Neighbors(from) {
+		if ch.meter != nil {
+			ch.meter.Charge(int(nb.ID), energy.BroadcastRecv, onAir)
+		}
+		if ch.lost() {
+			ch.stats.Drops++
+			continue
+		}
+		delivered++
+		ch.stats.Deliveries++
+		to := nb.ID
+		air := ch.airtime(size)
+		ch.sched.After(delay, func() {
+			if ch.alive(to) && !ch.collided(to, air) {
+				ch.handler(to, f)
+			}
+		})
+	}
+	return delivered
+}
+
+// Unicast transmits a frame to a specific neighbor. It returns false
+// without transmitting when the destination is out of range or dead — the
+// caller (routing layer) must then pick another hop. Overhearing nodes in
+// the sender's range pay the discard cost.
+func (ch *Channel) Unicast(from, to NodeID, size int, payload any) bool {
+	if ch.handler == nil {
+		panic("radio: Unicast before SetHandler")
+	}
+	if !ch.alive(from) {
+		return false
+	}
+	if !ch.alive(to) || !ch.InRange(from, to) {
+		ch.stats.Undeliverable++
+		return false
+	}
+	onAir := size + ch.cfg.HeaderBytes
+	ch.stats.UnicastFrames++
+	ch.stats.BytesOnAir += uint64(onAir)
+	if ch.meter != nil {
+		ch.meter.Charge(int(from), energy.P2PSend, onAir)
+		for _, nb := range ch.Neighbors(from) {
+			if nb.ID == to {
+				ch.meter.Charge(int(nb.ID), energy.P2PRecv, onAir)
+			} else {
+				ch.meter.Charge(int(nb.ID), energy.Discard, onAir)
+			}
+		}
+	}
+	if ch.lost() {
+		ch.stats.Drops++
+		return true // the frame was sent; it just never arrived
+	}
+	delay := ch.txDelay(from, size) + ch.cfg.Propagation
+	f := Frame{From: from, To: to, Size: onAir, Payload: payload}
+	ch.stats.Deliveries++
+	air := ch.airtime(size)
+	ch.sched.After(delay, func() {
+		if ch.alive(to) && !ch.collided(to, air) {
+			ch.handler(to, f)
+		}
+	})
+	return true
+}
+
+// ConnectedComponent returns the set of node IDs reachable from start in
+// the current unit-disk graph, including start itself. Used by tests and
+// by scenario builders that need connected topologies.
+func (ch *Channel) ConnectedComponent(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range ch.Neighbors(cur) {
+			if !seen[nb.ID] {
+				seen[nb.ID] = true
+				queue = append(queue, nb.ID)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,476 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/mobility"
+	"precinct/internal/sim"
+)
+
+// lineTopology places n nodes on a horizontal line with the given spacing.
+func lineTopology(t *testing.T, n int, spacing float64) *mobility.Static {
+	t.Helper()
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(float64(i)*spacing, 0)
+	}
+	s, err := mobility.NewStatic(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newChannel(t *testing.T, cfg Config, mob mobility.Model, withMeter bool) (*Channel, *sim.Scheduler, *energy.Meter) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	var meter *energy.Meter
+	if withMeter {
+		var err error
+		meter, err = energy.NewMeter(mob.Len(), energy.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch, err := New(cfg, sched, mob, meter, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, sched, meter
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Range = 0 },
+		func(c *Config) { c.Bandwidth = -1 },
+		func(c *Config) { c.MACOverhead = -1 },
+		func(c *Config) { c.Propagation = -0.5 },
+		func(c *Config) { c.LossRate = 1 },
+		func(c *Config) { c.LossRate = -0.1 },
+		func(c *Config) { c.HeaderBytes = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	if _, err := New(DefaultConfig(), nil, mob, nil, nil); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := New(DefaultConfig(), sim.NewScheduler(), nil, nil, nil); err == nil {
+		t.Error("nil mobility accepted")
+	}
+	lossy := DefaultConfig()
+	lossy.LossRate = 0.5
+	if _, err := New(lossy, sim.NewScheduler(), mob, nil, nil); err == nil {
+		t.Error("lossy channel without RNG accepted")
+	}
+}
+
+func TestNeighborsUnitDisk(t *testing.T) {
+	// Nodes at x = 0, 200, 400, 800 with range 250.
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(200, 0), geo.Pt(400, 0), geo.Pt(800, 0)}
+	mob, _ := mobility.NewStatic(pts)
+	cfg := DefaultConfig()
+	ch, _, _ := newChannel(t, cfg, mob, false)
+
+	nbs := ch.Neighbors(0)
+	if len(nbs) != 1 || nbs[0].ID != 1 {
+		t.Fatalf("Neighbors(0) = %v, want just node 1", nbs)
+	}
+	nbs = ch.Neighbors(1)
+	if len(nbs) != 2 {
+		t.Fatalf("Neighbors(1) = %v, want nodes 0 and 2", nbs)
+	}
+	if got := ch.Neighbors(3); len(got) != 0 {
+		t.Fatalf("isolated node has neighbors: %v", got)
+	}
+	if !ch.InRange(0, 1) || ch.InRange(0, 2) {
+		t.Error("InRange disagrees with Neighbors")
+	}
+}
+
+func TestNeighborsExcludeDead(t *testing.T) {
+	mob := lineTopology(t, 3, 100)
+	ch, _, _ := newChannel(t, DefaultConfig(), mob, false)
+	ch.SetAlive(func(id NodeID) bool { return id != 1 })
+	for _, nb := range ch.Neighbors(0) {
+		if nb.ID == 1 {
+			t.Fatal("dead node listed as neighbor")
+		}
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	mob := lineTopology(t, 4, 100) // range 250: node 1 hears 0,2,3? distances 100,100,200 -> all
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	var got []NodeID
+	ch.SetHandler(func(to NodeID, f Frame) {
+		if !f.Broadcast || f.From != 1 {
+			t.Errorf("frame fields wrong: %+v", f)
+		}
+		got = append(got, to)
+	})
+	n := ch.Broadcast(1, 1000, "hello")
+	sched.RunAll()
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("delivered to %d nodes (%v), want 3", n, got)
+	}
+}
+
+func TestBroadcastFromDeadNode(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	ch.SetHandler(func(NodeID, Frame) { t.Fatal("unexpected delivery") })
+	ch.SetAlive(func(id NodeID) bool { return id != 0 })
+	if n := ch.Broadcast(0, 100, nil); n != 0 {
+		t.Fatalf("dead node broadcast delivered to %d", n)
+	}
+	sched.RunAll()
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	mob := lineTopology(t, 3, 200)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	var frames []Frame
+	ch.SetHandler(func(to NodeID, f Frame) {
+		if to != 1 {
+			t.Errorf("delivered to %d, want 1", to)
+		}
+		frames = append(frames, f)
+	})
+	if !ch.Unicast(0, 1, 500, "x") {
+		t.Fatal("in-range unicast returned false")
+	}
+	sched.RunAll()
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	if frames[0].Payload.(string) != "x" {
+		t.Error("payload mangled")
+	}
+}
+
+func TestUnicastOutOfRange(t *testing.T) {
+	mob := lineTopology(t, 2, 500)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	ch.SetHandler(func(NodeID, Frame) { t.Fatal("unexpected delivery") })
+	if ch.Unicast(0, 1, 100, nil) {
+		t.Fatal("out-of-range unicast returned true")
+	}
+	if ch.Stats().Undeliverable != 1 {
+		t.Error("undeliverable counter not bumped")
+	}
+	sched.RunAll()
+}
+
+func TestUnicastToDeadNode(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	ch.SetHandler(func(NodeID, Frame) { t.Fatal("unexpected delivery") })
+	ch.SetAlive(func(id NodeID) bool { return id != 1 })
+	if ch.Unicast(0, 1, 100, nil) {
+		t.Fatal("unicast to dead node returned true")
+	}
+	sched.RunAll()
+}
+
+func TestDeliveryDelayIncludesAirtime(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	cfg := DefaultConfig()
+	cfg.MACOverhead = 0.001
+	cfg.Bandwidth = 1e6 // 1 Mb/s so airtime is visible
+	cfg.HeaderBytes = 0
+	ch, sched, _ := newChannel(t, cfg, mob, false)
+	var at float64 = -1
+	ch.SetHandler(func(to NodeID, f Frame) { at = sched.Now() })
+	ch.Unicast(0, 1, 1250, nil) // 10000 bits / 1 Mb/s = 10 ms
+	sched.RunAll()
+	want := 0.001 + 0.01 + cfg.Propagation
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestTransmitSerialization(t *testing.T) {
+	// Two back-to-back unicasts from the same node must not overlap on
+	// the air: second delivery happens one full airtime after the first.
+	mob := lineTopology(t, 2, 100)
+	cfg := DefaultConfig()
+	cfg.MACOverhead = 0
+	cfg.Propagation = 0
+	cfg.Bandwidth = 1e6
+	cfg.HeaderBytes = 0
+	ch, sched, _ := newChannel(t, cfg, mob, false)
+	var times []float64
+	ch.SetHandler(func(NodeID, Frame) { times = append(times, sched.Now()) })
+	ch.Unicast(0, 1, 1250, nil) // 10 ms airtime
+	ch.Unicast(0, 1, 1250, nil)
+	sched.RunAll()
+	if len(times) != 2 {
+		t.Fatalf("got %d deliveries", len(times))
+	}
+	if math.Abs(times[0]-0.01) > 1e-9 || math.Abs(times[1]-0.02) > 1e-9 {
+		t.Fatalf("delivery times %v, want [0.01, 0.02]", times)
+	}
+}
+
+func TestBroadcastEnergyAccounting(t *testing.T) {
+	mob := lineTopology(t, 3, 100) // node 1 in middle; bcast from 1 reaches 0 and 2
+	cfg := DefaultConfig()
+	ch, sched, meter := newChannel(t, cfg, mob, true)
+	ch.SetHandler(func(NodeID, Frame) {})
+	const payload = 1000
+	onAir := payload + cfg.HeaderBytes
+	ch.Broadcast(1, payload, nil)
+	sched.RunAll()
+
+	m := energy.DefaultModel()
+	wantSender := m.BroadcastSend.Cost(onAir)
+	wantRecv := m.BroadcastRecv.Cost(onAir)
+	if got := meter.Node(1); math.Abs(got-wantSender) > 1e-9 {
+		t.Errorf("sender energy %v, want %v", got, wantSender)
+	}
+	if got := meter.Node(0); math.Abs(got-wantRecv) > 1e-9 {
+		t.Errorf("receiver energy %v, want %v", got, wantRecv)
+	}
+	if got := meter.Total(); math.Abs(got-(wantSender+2*wantRecv)) > 1e-9 {
+		t.Errorf("total %v, want %v", got, wantSender+2*wantRecv)
+	}
+}
+
+func TestUnicastEnergyIncludesOverhearers(t *testing.T) {
+	// 0 -- 1 -- 2 all mutually in range except 0-2?
+	// Place 0,1,2 at 0,100,200 with range 250: all mutually in range.
+	mob := lineTopology(t, 3, 100)
+	cfg := DefaultConfig()
+	ch, sched, meter := newChannel(t, cfg, mob, true)
+	ch.SetHandler(func(NodeID, Frame) {})
+	const payload = 500
+	onAir := payload + cfg.HeaderBytes
+	ch.Unicast(0, 1, payload, nil)
+	sched.RunAll()
+
+	m := energy.DefaultModel()
+	if got := meter.Node(0); math.Abs(got-m.P2PSend.Cost(onAir)) > 1e-9 {
+		t.Errorf("sender energy %v", got)
+	}
+	if got := meter.Node(1); math.Abs(got-m.P2PRecv.Cost(onAir)) > 1e-9 {
+		t.Errorf("addressee energy %v", got)
+	}
+	// Node 2 overhears and discards.
+	if got := meter.Node(2); math.Abs(got-m.Discard.Cost(onAir)) > 1e-9 {
+		t.Errorf("overhearer energy %v, want discard cost %v", got, m.Discard.Cost(onAir))
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.5
+	sched := sim.NewScheduler()
+	ch, err := New(cfg, sched, mob, nil, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	ch.SetHandler(func(NodeID, Frame) { delivered++ })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ch.Broadcast(0, 10, nil)
+	}
+	sched.RunAll()
+	frac := float64(delivered) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("delivered fraction %v with 50%% loss", frac)
+	}
+	if ch.Stats().Drops == 0 {
+		t.Error("drop counter not bumped")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	mob := lineTopology(t, 3, 100)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	ch.SetHandler(func(NodeID, Frame) {})
+	ch.Broadcast(0, 100, nil)
+	ch.Unicast(0, 1, 100, nil)
+	sched.RunAll()
+	st := ch.Stats()
+	if st.BroadcastFrames != 1 || st.UnicastFrames != 1 {
+		t.Errorf("frame counters %+v", st)
+	}
+	if st.BytesOnAir == 0 {
+		t.Error("bytes counter not bumped")
+	}
+}
+
+func TestConnectedComponent(t *testing.T) {
+	// Two clusters: {0,1,2} spaced 100 apart, {3,4} far away.
+	pts := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0),
+		geo.Pt(5000, 0), geo.Pt(5100, 0),
+	}
+	mob, _ := mobility.NewStatic(pts)
+	ch, _, _ := newChannel(t, DefaultConfig(), mob, false)
+	comp := ch.ConnectedComponent(0)
+	if len(comp) != 3 || !comp[0] || !comp[1] || !comp[2] {
+		t.Fatalf("component of 0 = %v", comp)
+	}
+	comp = ch.ConnectedComponent(3)
+	if len(comp) != 2 || !comp[3] || !comp[4] {
+		t.Fatalf("component of 3 = %v", comp)
+	}
+}
+
+func TestHandlerRequired(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	ch, _, _ := newChannel(t, DefaultConfig(), mob, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Broadcast without handler did not panic")
+		}
+	}()
+	ch.Broadcast(0, 10, nil)
+}
+
+func TestDeadReceiverSkippedAtDeliveryTime(t *testing.T) {
+	// A node that dies between send and delivery must not get the frame.
+	mob := lineTopology(t, 2, 100)
+	ch, sched, _ := newChannel(t, DefaultConfig(), mob, false)
+	dead := false
+	ch.SetAlive(func(id NodeID) bool { return !(dead && id == 1) })
+	got := 0
+	ch.SetHandler(func(NodeID, Frame) { got++ })
+	ch.Unicast(0, 1, 100, nil)
+	dead = true
+	sched.RunAll()
+	if got != 0 {
+		t.Fatal("frame delivered to node that died in flight")
+	}
+}
+
+func TestBeaconStaleness(t *testing.T) {
+	// A moving node's observed position lags its true position by up to
+	// one beacon interval.
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	w, err := mobility.NewWaypoint(2, mobility.WaypointConfig{
+		Area: area, MinSpeed: 10, MaxSpeed: 10, Pause: 0,
+	}, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	cfg := DefaultConfig()
+	cfg.BeaconInterval = 10
+	ch, err := New(cfg, sched, w, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe at t=0: snapshot taken.
+	first := ch.ObservedPosition(1)
+	// Advance 5 s (within the beacon interval): observed must not move.
+	sched.At(5, func() {
+		if got := ch.ObservedPosition(1); !got.Equal(first) {
+			t.Errorf("observed position moved within the beacon interval")
+		}
+		// True position has moved ~50 m.
+		if ch.Position(1).Dist(first) < 10 {
+			t.Errorf("true position did not move; test setup broken")
+		}
+	})
+	// After the interval, the observation refreshes.
+	sched.At(11, func() {
+		if got := ch.ObservedPosition(1); got.Equal(first) {
+			t.Errorf("observed position did not refresh after the interval")
+		}
+	})
+	sched.RunAll()
+}
+
+func TestBeaconZeroIsPerfectKnowledge(t *testing.T) {
+	mob := lineTopology(t, 2, 100)
+	ch, _, _ := newChannel(t, DefaultConfig(), mob, false)
+	if !ch.ObservedPosition(1).Equal(ch.Position(1)) {
+		t.Error("without beaconing, observed position must be true position")
+	}
+}
+
+func TestBeaconIntervalValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.BeaconInterval = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative beacon interval accepted")
+	}
+}
+
+func TestCollisionsDropOverlappingReceptions(t *testing.T) {
+	// Nodes 0 and 2 both transmit to node 1 at the same instant with
+	// long frames: the second delivery overlaps the first reception and
+	// is lost.
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0)}
+	mob, _ := mobility.NewStatic(pts)
+	cfg := DefaultConfig()
+	cfg.Collisions = true
+	cfg.Bandwidth = 1e5 // slow link: long airtimes that surely overlap
+	ch, sched, _ := newChannel(t, cfg, mob, false)
+	delivered := 0
+	ch.SetHandler(func(NodeID, Frame) { delivered++ })
+	ch.Unicast(0, 1, 5000, nil)
+	ch.Unicast(2, 1, 5000, nil)
+	sched.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered %d frames, want 1 (second collides)", delivered)
+	}
+	if ch.Stats().Collisions != 1 {
+		t.Errorf("collision counter = %d", ch.Stats().Collisions)
+	}
+}
+
+func TestCollisionsOffDeliverBoth(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0)}
+	mob, _ := mobility.NewStatic(pts)
+	cfg := DefaultConfig()
+	cfg.Bandwidth = 1e5
+	ch, sched, _ := newChannel(t, cfg, mob, false)
+	delivered := 0
+	ch.SetHandler(func(NodeID, Frame) { delivered++ })
+	ch.Unicast(0, 1, 5000, nil)
+	ch.Unicast(2, 1, 5000, nil)
+	sched.RunAll()
+	if delivered != 2 {
+		t.Fatalf("delivered %d frames, want 2 with collisions off", delivered)
+	}
+}
+
+func TestCollisionsSequentialFramesSurvive(t *testing.T) {
+	// The same sender's frames serialize on the air, so they arrive
+	// back to back without overlapping: no collisions.
+	mob := lineTopology(t, 2, 100)
+	cfg := DefaultConfig()
+	cfg.Collisions = true
+	ch, sched, _ := newChannel(t, cfg, mob, false)
+	delivered := 0
+	ch.SetHandler(func(NodeID, Frame) { delivered++ })
+	for i := 0; i < 5; i++ {
+		ch.Unicast(0, 1, 1000, nil)
+	}
+	sched.RunAll()
+	if delivered != 5 {
+		t.Fatalf("delivered %d, want 5 (sequential frames must not collide)", delivered)
+	}
+}

@@ -1,0 +1,364 @@
+// Package region implements PReCinCt's region layer: the partition of the
+// service area into geographic regions, the region table every peer
+// carries, the geographic hash mapping each data key to a location — and
+// through it to a home region (nearest region center) and a replica
+// region (second nearest) — and the four table-maintenance operations the
+// paper defines: Add, Delete, Merge and Separate.
+//
+// The table is versioned: every mutation bumps the version, which is what
+// peers disseminate so that key relocation can be triggered when the
+// partition changes.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"precinct/internal/geo"
+	"precinct/internal/workload"
+)
+
+// ID identifies a region. IDs are never reused after Delete/Merge.
+type ID int
+
+// Invalid is the zero-ish sentinel for "no region".
+const Invalid ID = -1
+
+// Region is one geographic region: its identity and bounds. The paper
+// represents a region by its center and perimeter vertices; axis-aligned
+// rectangles carry the same information for grid partitions.
+type Region struct {
+	ID     ID
+	Bounds geo.Rect
+}
+
+// Center returns the region's center point — the target of region-routed
+// messages and the reference for the nearest-center hash.
+func (r Region) Center() geo.Point { return r.Bounds.Center() }
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("R%d%v", int(r.ID), r.Bounds)
+}
+
+// Table is the region table each peer keeps. One run typically shares a
+// single table across peers (the paper assumes dissemination keeps them
+// consistent); Clone supports testing divergence.
+//
+// Two partition geometries are supported: rectangular grids (regions own
+// their Bounds; the default) and Voronoi partitions (a point belongs to
+// the region with the nearest center — the paper's "region whose center
+// location is closest"). Merge/Separate apply only to rectangular
+// partitions.
+type Table struct {
+	area    geo.Rect
+	regions []Region // sorted by ID
+	nextID  ID
+	version uint64
+	voronoi bool
+}
+
+// NewGrid partitions the area into rows×cols equal regions — the paper's
+// default layout ("divided into equal sized regions", default 9 regions =
+// 3×3).
+func NewGrid(area geo.Rect, rows, cols int) (*Table, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("region: grid must be at least 1x1, got %dx%d", rows, cols)
+	}
+	if area.Width() <= 0 || area.Height() <= 0 {
+		return nil, fmt.Errorf("region: degenerate area %v", area)
+	}
+	t := &Table{area: area}
+	cw := area.Width() / float64(cols)
+	chh := area.Height() / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			min := geo.Pt(area.Min.X+float64(c)*cw, area.Min.Y+float64(r)*chh)
+			max := geo.Pt(area.Min.X+float64(c+1)*cw, area.Min.Y+float64(r+1)*chh)
+			t.regions = append(t.regions, Region{ID: t.nextID, Bounds: geo.NewRect(min, max)})
+			t.nextID++
+		}
+	}
+	return t, nil
+}
+
+// NewVoronoi partitions the area into the Voronoi cells of the given
+// seed points: every location belongs to the region whose center (seed)
+// is nearest. Region bounds are stored as the full area; containment
+// must go through Table.Contains. At least two seeds are required.
+func NewVoronoi(area geo.Rect, seeds []geo.Point) (*Table, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("region: voronoi partition needs at least two seeds, got %d", len(seeds))
+	}
+	if area.Width() <= 0 || area.Height() <= 0 {
+		return nil, fmt.Errorf("region: degenerate area %v", area)
+	}
+	t := &Table{area: area, voronoi: true}
+	for _, seed := range seeds {
+		if !area.Contains(seed) {
+			return nil, fmt.Errorf("region: voronoi seed %v outside area %v", seed, area)
+		}
+		c := seed // center encoded via a degenerate anchor below
+		t.regions = append(t.regions, Region{
+			ID: t.nextID,
+			// A zero-area rect at the seed makes Center() return the
+			// seed itself; spatial extent is defined by Contains.
+			Bounds: geo.NewRect(c, c),
+		})
+		t.nextID++
+	}
+	return t, nil
+}
+
+// Voronoi reports whether the table is a Voronoi partition.
+func (t *Table) Voronoi() bool { return t.voronoi }
+
+// Contains reports whether the point belongs to the region: inside its
+// bounds for grid partitions, nearest-center for Voronoi partitions.
+func (t *Table) Contains(id ID, p geo.Point) bool {
+	if t.voronoi {
+		return t.nearestCenter(p, Invalid).ID == id
+	}
+	r, ok := t.Region(id)
+	return ok && r.Bounds.Contains(p)
+}
+
+// NewGridN partitions the area into approximately n equal regions using
+// the squarest rows×cols factorization with rows*cols >= n... it actually
+// uses the smallest square grid holding n and trims nothing, yielding
+// ceil(sqrt(n))² regions when n is not a perfect square. Scenario code
+// that sweeps "number of regions" (Figure 9b) passes perfect squares.
+func NewGridN(area geo.Rect, n int) (*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("region: need at least one region, got %d", n)
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		// Try a rectangular factorization first.
+		for r := side; r >= 1; r-- {
+			if n%r == 0 {
+				return NewGrid(area, r, n/r)
+			}
+		}
+	}
+	return NewGrid(area, side, side)
+}
+
+// Area returns the full service area.
+func (t *Table) Area() geo.Rect { return t.area }
+
+// Len returns the number of active regions.
+func (t *Table) Len() int { return len(t.regions) }
+
+// Version returns the table version; it increases on every mutation.
+func (t *Table) Version() uint64 { return t.version }
+
+// Regions returns a copy of the active regions, sorted by ID.
+func (t *Table) Regions() []Region {
+	out := make([]Region, len(t.regions))
+	copy(out, t.regions)
+	return out
+}
+
+// Region looks a region up by ID.
+func (t *Table) Region(id ID) (Region, bool) {
+	i := t.indexOf(id)
+	if i < 0 {
+		return Region{}, false
+	}
+	return t.regions[i], true
+}
+
+func (t *Table) indexOf(id ID) int {
+	i := sort.Search(len(t.regions), func(i int) bool { return t.regions[i].ID >= id })
+	if i < len(t.regions) && t.regions[i].ID == id {
+		return i
+	}
+	return -1
+}
+
+// Locate returns the region containing the point. Grid partitions use
+// bounds (lowest ID wins on transient overlap after Add; points outside
+// every region fall back to the nearest center so that nodes that wander
+// off the partition still have a home); Voronoi partitions are
+// nearest-center by definition.
+func (t *Table) Locate(p geo.Point) (Region, bool) {
+	if len(t.regions) == 0 {
+		return Region{}, false
+	}
+	if t.voronoi {
+		return t.nearestCenter(p, Invalid), true
+	}
+	for _, r := range t.regions {
+		if r.Bounds.Contains(p) {
+			return r, true
+		}
+	}
+	return t.nearestCenter(p, Invalid), true
+}
+
+// nearestCenter returns the region whose center is closest to p,
+// excluding the given ID (pass Invalid to exclude none). Ties break to
+// the lower ID.
+func (t *Table) nearestCenter(p geo.Point, exclude ID) Region {
+	best := Region{ID: Invalid}
+	bestD := 0.0
+	for _, r := range t.regions {
+		if r.ID == exclude {
+			continue
+		}
+		d := r.Center().Dist2(p)
+		if best.ID == Invalid || d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// HashLocation maps a key to its geographic hash location inside the
+// service area. The mapping is uniform, deterministic and independent of
+// the partition, exactly as a geographic hash table requires.
+func (t *Table) HashLocation(k workload.Key) geo.Point {
+	h := workload.KeyHash(k)
+	fx := float64(uint32(h)) / float64(1<<32)
+	fy := float64(uint32(h>>32)) / float64(1<<32)
+	return geo.Pt(t.area.Min.X+fx*t.area.Width(), t.area.Min.Y+fy*t.area.Height())
+}
+
+// HomeRegion returns the region responsible for the key: the one whose
+// center is closest to the key's hash location.
+func (t *Table) HomeRegion(k workload.Key) (Region, bool) {
+	if len(t.regions) == 0 {
+		return Region{}, false
+	}
+	return t.nearestCenter(t.HashLocation(k), Invalid), true
+}
+
+// ReplicaRegion returns the key's replica region: the second-closest
+// center to the hash location. ok is false when the table has fewer than
+// two regions.
+func (t *Table) ReplicaRegion(k workload.Key) (Region, bool) {
+	if len(t.regions) < 2 {
+		return Region{}, false
+	}
+	home := t.nearestCenter(t.HashLocation(k), Invalid)
+	return t.nearestCenter(t.HashLocation(k), home.ID), true
+}
+
+// Add inserts a new region with the given bounds, expanding the service
+// area if needed, and returns it.
+func (t *Table) Add(bounds geo.Rect) (Region, error) {
+	if t.voronoi {
+		return Region{}, fmt.Errorf("region: Add is not defined for voronoi partitions")
+	}
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return Region{}, fmt.Errorf("region: Add with degenerate bounds %v", bounds)
+	}
+	r := Region{ID: t.nextID, Bounds: bounds}
+	t.nextID++
+	t.regions = append(t.regions, r) // nextID is monotone, so order by ID is kept
+	t.area = t.area.Union(bounds)
+	t.version++
+	return r, nil
+}
+
+// Delete removes a region from the table.
+func (t *Table) Delete(id ID) error {
+	i := t.indexOf(id)
+	if i < 0 {
+		return fmt.Errorf("region: Delete of unknown region %d", int(id))
+	}
+	if len(t.regions) == 1 {
+		return fmt.Errorf("region: cannot delete the last region")
+	}
+	t.regions = append(t.regions[:i], t.regions[i+1:]...)
+	t.version++
+	return nil
+}
+
+// Merge replaces two adjacent regions with one region covering both;
+// rectangular partitions only. The
+// regions must tile their union exactly (no gaps, no overlap beyond the
+// shared edge), otherwise the merged rectangle would claim territory
+// belonging to other regions.
+func (t *Table) Merge(a, b ID) (Region, error) {
+	if t.voronoi {
+		return Region{}, fmt.Errorf("region: Merge is not defined for voronoi partitions")
+	}
+	ia, ib := t.indexOf(a), t.indexOf(b)
+	if ia < 0 || ib < 0 {
+		return Region{}, fmt.Errorf("region: Merge of unknown region (%d, %d)", int(a), int(b))
+	}
+	if a == b {
+		return Region{}, fmt.Errorf("region: Merge of region %d with itself", int(a))
+	}
+	ra, rb := t.regions[ia], t.regions[ib]
+	u := ra.Bounds.Union(rb.Bounds)
+	if diff := u.Area() - (ra.Bounds.Area() + rb.Bounds.Area()); diff > 1e-6*u.Area() {
+		return Region{}, fmt.Errorf("region: %v and %v do not tile their union; cannot merge", ra, rb)
+	}
+	merged := Region{ID: t.nextID, Bounds: u}
+	t.nextID++
+	// Remove both (higher index first), then append.
+	if ia < ib {
+		ia, ib = ib, ia
+	}
+	t.regions = append(t.regions[:ia], t.regions[ia+1:]...)
+	t.regions = append(t.regions[:ib], t.regions[ib+1:]...)
+	t.regions = append(t.regions, merged)
+	t.version++
+	return merged, nil
+}
+
+// Separate splits a region into two halves along its longer axis and
+// returns the two new regions.
+func (t *Table) Separate(id ID) (Region, Region, error) {
+	if t.voronoi {
+		return Region{}, Region{}, fmt.Errorf("region: Separate is not defined for voronoi partitions")
+	}
+	i := t.indexOf(id)
+	if i < 0 {
+		return Region{}, Region{}, fmt.Errorf("region: Separate of unknown region %d", int(id))
+	}
+	old := t.regions[i]
+	var b1, b2 geo.Rect
+	if old.Bounds.Width() >= old.Bounds.Height() {
+		mid := old.Bounds.Min.X + old.Bounds.Width()/2
+		b1 = geo.NewRect(old.Bounds.Min, geo.Pt(mid, old.Bounds.Max.Y))
+		b2 = geo.NewRect(geo.Pt(mid, old.Bounds.Min.Y), old.Bounds.Max)
+	} else {
+		mid := old.Bounds.Min.Y + old.Bounds.Height()/2
+		b1 = geo.NewRect(old.Bounds.Min, geo.Pt(old.Bounds.Max.X, mid))
+		b2 = geo.NewRect(geo.Pt(old.Bounds.Min.X, mid), old.Bounds.Max)
+	}
+	r1 := Region{ID: t.nextID, Bounds: b1}
+	r2 := Region{ID: t.nextID + 1, Bounds: b2}
+	t.nextID += 2
+	t.regions = append(t.regions[:i], t.regions[i+1:]...)
+	t.regions = append(t.regions, r1, r2)
+	t.version++
+	return r1, r2, nil
+}
+
+// Clone returns an independent copy of the table.
+func (t *Table) Clone() *Table {
+	cp := &Table{area: t.area, nextID: t.nextID, version: t.version, voronoi: t.voronoi}
+	cp.regions = make([]Region, len(t.regions))
+	copy(cp.regions, t.regions)
+	return cp
+}
+
+// RegionDistance returns the distance between the centers of two regions,
+// the "region distance" term of the GD-LD utility function. Unknown IDs
+// yield 0.
+func (t *Table) RegionDistance(a, b ID) float64 {
+	ra, oka := t.Region(a)
+	rb, okb := t.Region(b)
+	if !oka || !okb {
+		return 0
+	}
+	return ra.Center().Dist(rb.Center())
+}

@@ -1,0 +1,48 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"precinct/internal/geo"
+	"precinct/internal/radio"
+)
+
+func randomTable(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1200, rng.Float64()*1200)
+	}
+	return &Table{Positions: pts, Range: 250}
+}
+
+func BenchmarkNextHopGreedy(b *testing.B) {
+	tab := randomTable(80, 1)
+	nbrs := tab.NeighborsOf(0)
+	dest := geo.Pt(1200, 1200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st State
+		NextHop(0, tab.Positions[0], nbrs, dest, &st)
+	}
+}
+
+func BenchmarkGabrielPlanarization(b *testing.B) {
+	tab := randomTable(80, 2)
+	nbrs := tab.NeighborsOf(0)
+	self := tab.Positions[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GabrielNeighbors(self, nbrs)
+	}
+}
+
+func BenchmarkRouteAcrossNetwork(b *testing.B) {
+	tab := randomTable(80, 3)
+	dest := tab.Positions[79]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Route(0, dest, 1, func(id radio.NodeID) bool { return id == 79 }, 200)
+	}
+}

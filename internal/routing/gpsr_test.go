@@ -1,0 +1,336 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"precinct/internal/geo"
+	"precinct/internal/radio"
+)
+
+func linePositions(n int, spacing float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(float64(i)*spacing, 0)
+	}
+	return pts
+}
+
+func gridPositions(rows, cols int, spacing float64) []geo.Point {
+	pts := make([]geo.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, geo.Pt(float64(c)*spacing, float64(r)*spacing))
+		}
+	}
+	return pts
+}
+
+func TestModeString(t *testing.T) {
+	if Greedy.String() != "greedy" || Perimeter.String() != "perimeter" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestGreedyHopPicksClosest(t *testing.T) {
+	self := geo.Pt(0, 0)
+	dest := geo.Pt(100, 0)
+	nbrs := []radio.Neighbor{
+		{ID: 1, Pos: geo.Pt(10, 0)},
+		{ID: 2, Pos: geo.Pt(20, 5)},
+		{ID: 3, Pos: geo.Pt(-10, 0)},
+	}
+	hop, ok := greedyHop(self, nbrs, dest)
+	if !ok || hop.ID != 2 {
+		t.Fatalf("greedyHop = %v, %v; want node 2", hop, ok)
+	}
+}
+
+func TestGreedyHopRequiresProgress(t *testing.T) {
+	self := geo.Pt(50, 0)
+	dest := geo.Pt(100, 0)
+	// All neighbors farther from dest than self.
+	nbrs := []radio.Neighbor{
+		{ID: 1, Pos: geo.Pt(0, 0)},
+		{ID: 2, Pos: geo.Pt(50, 80)},
+	}
+	if _, ok := greedyHop(self, nbrs, dest); ok {
+		t.Fatal("greedyHop made negative progress")
+	}
+}
+
+func TestGabrielKeepsLineEdges(t *testing.T) {
+	// Three collinear nodes: edge to the far one is removed (middle node
+	// lies inside its diameter circle), edge to the near one kept.
+	self := geo.Pt(0, 0)
+	nbrs := []radio.Neighbor{
+		{ID: 1, Pos: geo.Pt(10, 0)},
+		{ID: 2, Pos: geo.Pt(20, 0)},
+	}
+	planar := GabrielNeighbors(self, nbrs)
+	if len(planar) != 1 || planar[0].ID != 1 {
+		t.Fatalf("Gabriel = %v, want only node 1", planar)
+	}
+}
+
+func TestGabrielKeepsTriangle(t *testing.T) {
+	// Equilateral-ish triangle: all edges survive (no vertex inside
+	// another edge's diameter circle).
+	self := geo.Pt(0, 0)
+	nbrs := []radio.Neighbor{
+		{ID: 1, Pos: geo.Pt(10, 0)},
+		{ID: 2, Pos: geo.Pt(5, 9)},
+	}
+	planar := GabrielNeighbors(self, nbrs)
+	if len(planar) != 2 {
+		t.Fatalf("Gabriel = %v, want both edges", planar)
+	}
+}
+
+func TestGabrielEmptyInput(t *testing.T) {
+	if got := GabrielNeighbors(geo.Pt(0, 0), nil); len(got) != 0 {
+		t.Fatalf("Gabriel of empty set = %v", got)
+	}
+}
+
+// gabrielStaysConnected checks that planarizing a connected unit-disk
+// graph never disconnects it.
+func TestGabrielPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(40)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*800, rng.Float64()*800)
+		}
+		tab := &Table{Positions: pts, Range: 250}
+
+		udgReach := reachable(tab, func(id radio.NodeID) []radio.Neighbor { return tab.NeighborsOf(id) })
+		ggReach := reachable(tab, func(id radio.NodeID) []radio.Neighbor {
+			return GabrielNeighbors(tab.Positions[id], tab.NeighborsOf(id))
+		})
+		for i := range udgReach {
+			if udgReach[i] != ggReach[i] {
+				t.Fatalf("trial %d: Gabriel planarization changed connectivity of node %d", trial, i)
+			}
+		}
+	}
+}
+
+func reachable(t *Table, nbrs func(radio.NodeID) []radio.Neighbor) []bool {
+	seen := make([]bool, len(t.Positions))
+	seen[0] = true
+	queue := []radio.NodeID{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range nbrs(cur) {
+			if !seen[nb.ID] {
+				seen[nb.ID] = true
+				queue = append(queue, nb.ID)
+			}
+		}
+	}
+	return seen
+}
+
+func TestRouteAlongLine(t *testing.T) {
+	tab := &Table{Positions: linePositions(10, 200), Range: 250}
+	dest := tab.Positions[9]
+	path, ok := tab.Route(0, dest, 1, nil, 50)
+	if !ok {
+		t.Fatalf("line route failed; path %v", path)
+	}
+	if got := path[len(path)-1]; got != 9 {
+		t.Fatalf("route ended at %d, want 9", got)
+	}
+	if len(path) != 10 {
+		t.Fatalf("path length %d, want 10 (pure greedy chain)", len(path))
+	}
+}
+
+func TestRouteOnGrid(t *testing.T) {
+	tab := &Table{Positions: gridPositions(6, 6, 200), Range: 250}
+	dest := tab.Positions[35] // opposite corner
+	path, ok := tab.Route(0, dest, 1, nil, 100)
+	if !ok {
+		t.Fatalf("grid route failed; path %v", path)
+	}
+	if path[len(path)-1] != 35 {
+		t.Fatalf("route ended at %d, want 35", path[len(path)-1])
+	}
+	// Manhattan-ish path: at most rows+cols hops in a grid where only
+	// axis neighbors are in range.
+	if len(path) > 12 {
+		t.Errorf("path unexpectedly long: %d hops", len(path))
+	}
+}
+
+func TestRouteAroundVoid(t *testing.T) {
+	// A "U" topology: the straight line toward the destination is
+	// blocked by a gap, forcing perimeter mode.
+	//
+	//   0 --- 1       5 --- 6(dest)
+	//         |       |
+	//         2 - 3 - 4
+	pts := []geo.Point{
+		geo.Pt(0, 400),   // 0
+		geo.Pt(200, 400), // 1
+		geo.Pt(200, 200), // 2
+		geo.Pt(400, 200), // 3
+		geo.Pt(600, 200), // 4
+		geo.Pt(600, 400), // 5
+		geo.Pt(800, 400), // 6
+	}
+	tab := &Table{Positions: pts, Range: 250}
+	path, ok := tab.Route(0, pts[6], 1, nil, 50)
+	if !ok {
+		t.Fatalf("void route failed; path %v", path)
+	}
+	if path[len(path)-1] != 6 {
+		t.Fatalf("route ended at %d, want 6", path[len(path)-1])
+	}
+	// It must have descended through the U (node 3 on the path).
+	found := false
+	for _, id := range path {
+		if id == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("path %v did not traverse the void bottom", path)
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	// Two disconnected clusters; destination in the far one.
+	pts := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(200, 0), geo.Pt(400, 0),
+		geo.Pt(5000, 0), geo.Pt(5200, 0),
+	}
+	tab := &Table{Positions: pts, Range: 250}
+	path, ok := tab.Route(0, pts[4], 1, nil, 200)
+	if ok {
+		t.Fatalf("route to disconnected cluster claimed success: %v", path)
+	}
+	// Must terminate well before maxHops (perimeter loop detection).
+	if len(path) >= 200 {
+		t.Errorf("unreachable route did not self-terminate: %d hops", len(path))
+	}
+}
+
+func TestRouteIsolatedSource(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(5000, 0)}
+	tab := &Table{Positions: pts, Range: 250}
+	if _, ok := tab.Route(0, pts[1], 1, nil, 10); ok {
+		t.Fatal("isolated source routed successfully")
+	}
+}
+
+func TestRouteDeliversByPredicate(t *testing.T) {
+	tab := &Table{Positions: linePositions(5, 200), Range: 250}
+	// Deliver when reaching any node with ID >= 3 even though the
+	// geographic destination is farther.
+	path, ok := tab.Route(0, geo.Pt(10000, 0), 1, func(id radio.NodeID) bool { return id >= 3 }, 50)
+	if !ok {
+		t.Fatalf("predicate delivery failed: %v", path)
+	}
+	if last := path[len(path)-1]; last != 3 {
+		t.Fatalf("stopped at %d, want 3", last)
+	}
+}
+
+func TestRouteZeroHopsWhenAtDest(t *testing.T) {
+	tab := &Table{Positions: linePositions(3, 200), Range: 250}
+	path, ok := tab.Route(1, tab.Positions[1], 1, nil, 10)
+	if !ok || len(path) != 1 {
+		t.Fatalf("self-delivery: path %v ok %v", path, ok)
+	}
+}
+
+// The headline property: on random *connected* unit-disk topologies GPSR
+// always delivers, regardless of voids.
+func TestRouteDeliveryOnRandomConnectedTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 60
+	delivered, attempted := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 15 + rng.Intn(50)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		tab := &Table{Positions: pts, Range: 250}
+		// Only test within the connected component of node 0.
+		comp := reachable(tab, func(id radio.NodeID) []radio.Neighbor { return tab.NeighborsOf(id) })
+		for target := 1; target < n; target++ {
+			if !comp[target] {
+				continue
+			}
+			attempted++
+			tgt := radio.NodeID(target)
+			path, ok := tab.Route(0, pts[target], 0.5, func(id radio.NodeID) bool { return id == tgt }, 4*n)
+			if ok {
+				delivered++
+			} else {
+				t.Logf("trial %d: failed 0->%d (n=%d), path %v", trial, target, n, path)
+			}
+		}
+	}
+	if attempted == 0 {
+		t.Fatal("no connected pairs generated")
+	}
+	rate := float64(delivered) / float64(attempted)
+	if rate < 0.995 {
+		t.Errorf("delivery rate %.4f (%d/%d), want >= 0.995", rate, delivered, attempted)
+	}
+}
+
+func TestNextHopStateTransitions(t *testing.T) {
+	// Entering a void flips the packet to perimeter mode; reaching a
+	// node closer than the entry point flips it back.
+	pts := []geo.Point{
+		geo.Pt(0, 400),
+		geo.Pt(200, 400),
+		geo.Pt(200, 200),
+		geo.Pt(400, 200),
+		geo.Pt(600, 200),
+		geo.Pt(600, 400),
+		geo.Pt(800, 400),
+	}
+	tab := &Table{Positions: pts, Range: 250}
+	var st State
+	cur := radio.NodeID(0)
+	dest := pts[6]
+	sawPerimeter := false
+	for hop := 0; hop < 20 && cur != 6; hop++ {
+		next, ok := NextHop(cur, pts[cur], tab.NeighborsOf(cur), dest, &st)
+		if !ok {
+			t.Fatalf("stuck at node %d", cur)
+		}
+		if st.Mode == Perimeter {
+			sawPerimeter = true
+		}
+		cur = next.ID
+	}
+	if cur != 6 {
+		t.Fatalf("never reached destination, stuck at %d", cur)
+	}
+	if !sawPerimeter {
+		t.Error("route around void never entered perimeter mode")
+	}
+	if st.Mode != Greedy {
+		t.Error("packet should finish in greedy mode after escaping the void")
+	}
+}
+
+func TestNextHopNoNeighbors(t *testing.T) {
+	var st State
+	if _, ok := NextHop(0, geo.Pt(0, 0), nil, geo.Pt(100, 100), &st); ok {
+		t.Fatal("NextHop with no neighbors returned ok")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		if s.Len() >= 1024 {
+			s.Run(s.Now() + 2)
+		}
+	}
+}
+
+func BenchmarkSelfRescheduling(b *testing.B) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	b.ResetTimer()
+	s.Run(float64(b.N))
+	if count == 0 {
+		b.Fatal("no ticks")
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	s := NewScheduler()
+	handles := make([]Handle, 0, 1024)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles = append(handles, s.At(float64(i%1000)+s.Now()+1, fn))
+		if len(handles) == cap(handles) {
+			for _, h := range handles {
+				s.Cancel(h)
+			}
+			handles = handles[:0]
+		}
+	}
+}
+
+func BenchmarkRNGStream(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Stream("component")
+	}
+}

@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally single-threaded: given the same seed and the
+// same sequence of scheduled callbacks, a run is bit-for-bit reproducible.
+// Parallelism in this repository lives one level up, where independent
+// scenario replications run on a worker pool (see the root precinct
+// package). That split — sequential core, embarrassingly parallel sweeps —
+// keeps the protocol logic free of locks while still saturating cores.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Handle identifies a scheduled event so it can be cancelled before it
+// fires. The zero Handle is invalid.
+type Handle uint64
+
+// event is a pending callback on the event queue.
+type event struct {
+	time   float64
+	seq    uint64 // insertion order; breaks ties deterministically (FIFO)
+	handle Handle
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the simulation clock and the pending event queue.
+// The zero value is not usable; call NewScheduler.
+type Scheduler struct {
+	queue     eventQueue
+	pending   map[Handle]*event
+	now       float64
+	seq       uint64
+	nextID    Handle
+	executed  uint64
+	cancelled uint64
+	stopped   bool
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{pending: make(map[Handle]*event), nextID: 1}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at absolute simulation time t. Scheduling in the
+// past panics: it would silently reorder causality and every such call is
+// a protocol bug.
+func (s *Scheduler) At(t float64, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &event{time: t, seq: s.seq, handle: s.nextID, fn: fn}
+	s.seq++
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	s.pending[ev.handle] = ev
+	return ev.handle
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Scheduler) After(d float64, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. It returns false when the event already
+// fired or was cancelled.
+func (s *Scheduler) Cancel(h Handle) bool {
+	ev, ok := s.pending[h]
+	if !ok {
+		return false
+	}
+	delete(s.pending, h)
+	heap.Remove(&s.queue, ev.index)
+	s.cancelled++
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events stay queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or the
+// clock would pass `until`. Events scheduled exactly at `until` still run.
+// It returns the number of events executed by this call.
+func (s *Scheduler) Run(until float64) uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		delete(s.pending, next.handle)
+		s.now = next.time
+		next.fn()
+		s.executed++
+		n++
+	}
+	// Advance the clock to the horizon so subsequent scheduling is
+	// relative to the end of the observed window.
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the queue is empty. Callbacks that keep
+// rescheduling themselves make this non-terminating; callers that inject
+// recurring processes should use Run with a horizon instead.
+func (s *Scheduler) RunAll() uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		heap.Pop(&s.queue)
+		delete(s.pending, next.handle)
+		s.now = next.time
+		next.fn()
+		s.executed++
+		n++
+	}
+	return n
+}
+
+// RNG derives a deterministic random stream for a named component. Two
+// schedulers seeded identically hand out identical streams for the same
+// name, regardless of the order in which components ask for them — that is
+// what keeps scenario runs reproducible as the codebase grows.
+type RNG struct {
+	seed int64
+}
+
+// NewRNG returns a stream factory rooted at seed.
+func NewRNG(seed int64) *RNG { return &RNG{seed: seed} }
+
+// Stream returns an independent *rand.Rand for the component name. The
+// stream seed mixes the root seed with an FNV-1a hash of the name.
+func (r *RNG) Stream(name string) *rand.Rand {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	mixed := r.seed ^ int64(h)
+	if mixed == 0 {
+		mixed = int64(prime64)
+	}
+	return rand.New(rand.NewSource(mixed))
+}

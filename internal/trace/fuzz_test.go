@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the parser never panics and that whatever it accepts,
+// Analyze and Timeline handle.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"t":1,"kind":"request-issued","node":0}`)
+	f.Add("")
+	f.Add("{\"t\":1}\n{\"t\":2,\"kind\":\"handoff\",\"node\":3,\"count\":2}")
+	f.Add(`{"t":-1,"kind":"x","node":-5,"latency":1e300}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		a := Analyze(events)
+		if a.Events != uint64(len(events)) {
+			t.Fatalf("Analyze counted %d of %d events", a.Events, len(events))
+		}
+		if _, err := Timeline(events, 10); err != nil {
+			t.Fatalf("Timeline rejected parsed events: %v", err)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package trace records structured simulation events — request
+// lifecycles, key handoffs, updates, failures — as a JSON-lines stream.
+// Tracing is optional: the protocol layer emits events only when a Tracer
+// is installed, so the zero-cost path stays zero cost.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds emitted by the protocol layer.
+const (
+	RequestIssued    Kind = "request-issued"
+	RequestCompleted Kind = "request-completed"
+	RequestFailed    Kind = "request-failed"
+	UpdateIssued     Kind = "update-issued"
+	PollIssued       Kind = "poll-issued"
+	Handoff          Kind = "handoff"
+	RegionChange     Kind = "region-change"
+	NodeCrashed      Kind = "node-crashed"
+	NodeQuit         Kind = "node-quit"
+	NodeRevived      Kind = "node-revived"
+)
+
+// Event is one timestamped simulation occurrence. Zero-valued optional
+// fields are omitted from the JSON encoding.
+type Event struct {
+	Time float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+	Node int     `json:"node"`
+	Key  uint32  `json:"key,omitempty"`
+	// Class is the hit class for request completions.
+	Class string `json:"class,omitempty"`
+	// Latency in seconds for request completions.
+	Latency float64 `json:"latency,omitempty"`
+	// Stale marks false hits.
+	Stale bool `json:"stale,omitempty"`
+	// Region is the new region for region changes; the target region
+	// for handoffs.
+	Region int `json:"region,omitempty"`
+	// Count carries the number of keys in a handoff.
+	Count int `json:"count,omitempty"`
+}
+
+// Tracer consumes events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Writer streams events as JSON lines to an io.Writer. It buffers; call
+// Flush (or Close) when the run finishes. Not safe for concurrent use —
+// the simulation core is single-threaded.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Tracer.
+func (t *Writer) Emit(e Event) {
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+		return
+	}
+	t.n++
+}
+
+// Events returns the number of events written so far.
+func (t *Writer) Events() uint64 { return t.n }
+
+// Flush drains the buffer and returns the first error encountered by any
+// Emit or flush.
+func (t *Writer) Flush() error {
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = fmt.Errorf("trace: %w", err)
+	}
+	return t.err
+}
+
+// Filter passes through only events whose kind is in the allow set.
+type Filter struct {
+	Next  Tracer
+	Allow map[Kind]bool
+}
+
+// NewFilter builds a filter over next for the listed kinds.
+func NewFilter(next Tracer, kinds ...Kind) *Filter {
+	allow := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		allow[k] = true
+	}
+	return &Filter{Next: next, Allow: allow}
+}
+
+// Emit implements Tracer.
+func (f *Filter) Emit(e Event) {
+	if f.Allow[e.Kind] {
+		f.Next.Emit(e)
+	}
+}
+
+// Counter counts events by kind; useful in tests and quick diagnostics.
+type Counter struct {
+	ByKind map[Kind]uint64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{ByKind: make(map[Kind]uint64)} }
+
+// Emit implements Tracer.
+func (c *Counter) Emit(e Event) { c.ByKind[e.Kind]++ }
+
+// Total returns the total number of events seen.
+func (c *Counter) Total() uint64 {
+	var n uint64
+	for _, v := range c.ByKind {
+		n += v
+	}
+	return n
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Buffer retains events in memory (tests, small runs).
+type Buffer struct {
+	Events []Event
+	// Cap bounds memory; zero means unbounded. When full, new events
+	// are dropped and Dropped counts them.
+	Cap     int
+	Dropped uint64
+}
+
+// Emit implements Tracer.
+func (b *Buffer) Emit(e Event) {
+	if b.Cap > 0 && len(b.Events) >= b.Cap {
+		b.Dropped++
+		return
+	}
+	b.Events = append(b.Events, e)
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriterEncodesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Time: 1.5, Kind: RequestIssued, Node: 3, Key: 42})
+	w.Emit(Event{Time: 2.0, Kind: RequestCompleted, Node: 3, Key: 42, Class: "remote", Latency: 0.5})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 2 {
+		t.Errorf("Events = %d", w.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != RequestIssued || e.Node != 3 || e.Key != 42 {
+		t.Errorf("decoded %+v", e)
+	}
+	// Optional fields are omitted when zero.
+	if strings.Contains(lines[0], "latency") || strings.Contains(lines[0], "class") {
+		t.Errorf("zero optional fields not omitted: %s", lines[0])
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	// Fill past the bufio buffer to force a write.
+	big := strings.Repeat("x", 100)
+	for i := 0; i < 100*bufio.MaxScanTokenSize/100; i++ {
+		w.Emit(Event{Kind: Kind(big)})
+		if w.err != nil {
+			break
+		}
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("error not propagated")
+	}
+	// Emit after error is a no-op.
+	n := w.Events()
+	w.Emit(Event{Kind: RequestIssued})
+	if w.Events() != n {
+		t.Error("Emit after error still counted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := NewCounter()
+	f := NewFilter(c, RequestCompleted, Handoff)
+	f.Emit(Event{Kind: RequestIssued})
+	f.Emit(Event{Kind: RequestCompleted})
+	f.Emit(Event{Kind: Handoff})
+	f.Emit(Event{Kind: NodeCrashed})
+	if c.Total() != 2 {
+		t.Errorf("filter passed %d events, want 2", c.Total())
+	}
+	if c.ByKind[RequestCompleted] != 1 || c.ByKind[Handoff] != 1 {
+		t.Errorf("counts %v", c.ByKind)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, b}
+	m.Emit(Event{Kind: UpdateIssued})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestBufferCap(t *testing.T) {
+	b := &Buffer{Cap: 2}
+	for i := 0; i < 5; i++ {
+		b.Emit(Event{Kind: RequestIssued, Node: i})
+	}
+	if len(b.Events) != 2 {
+		t.Errorf("buffer kept %d events", len(b.Events))
+	}
+	if b.Dropped != 3 {
+		t.Errorf("dropped %d, want 3", b.Dropped)
+	}
+	unbounded := &Buffer{}
+	for i := 0; i < 100; i++ {
+		unbounded.Emit(Event{Kind: RequestIssued})
+	}
+	if len(unbounded.Events) != 100 || unbounded.Dropped != 0 {
+		t.Error("unbounded buffer dropped events")
+	}
+}

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkZipfRank(b *testing.B) {
+	z, err := NewZipf(1000, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Rank(rng)
+	}
+}
+
+func BenchmarkPoissonNext(b *testing.B) {
+	p, err := NewPoisson(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Next(rng)
+	}
+}
+
+func BenchmarkCatalogBuild(b *testing.B) {
+	cfg := DefaultCatalogConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCatalog(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

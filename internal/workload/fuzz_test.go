@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzZipfRank checks the sampler never leaves its support, for any skew
+// and support size.
+func FuzzZipfRank(f *testing.F) {
+	f.Add(10, 0.8, int64(1))
+	f.Add(1, 0.0, int64(2))
+	f.Add(1000, 3.0, int64(3))
+	f.Fuzz(func(t *testing.T, n int, theta float64, seed int64) {
+		if n <= 0 || n > 1<<16 || theta < 0 || theta > 8 {
+			t.Skip()
+		}
+		z, err := NewZipf(n, theta)
+		if err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 64; i++ {
+			r := z.Rank(rng)
+			if r < 1 || r > n {
+				t.Fatalf("rank %d outside [1, %d]", r, n)
+			}
+		}
+		// The distribution sums to one for every parameterization.
+		sum := 0.0
+		for r := 1; r <= n; r++ {
+			sum += z.Prob(r)
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Fatalf("probability mass %v", sum)
+		}
+	})
+}

@@ -1,0 +1,501 @@
+// Package precinct is the public entry point of the PReCinCt
+// reproduction: a configurable mobile peer-to-peer simulation that
+// implements the cooperative caching scheme of Shen, Joseph, Kumar and
+// Das, "PReCinCt: A Scheme for Cooperative Caching in Mobile Peer-to-Peer
+// Systems" (IPDPS 2005), together with the baselines the paper compares
+// against.
+//
+// The typical use is: describe a Scenario (network size, mobility, cache
+// policy, consistency scheme, workload), call Run for a single simulation
+// or Sweep for a parallel parameter study, and read the Report.
+//
+//	sc := precinct.DefaultScenario()
+//	sc.Nodes = 80
+//	sc.Policy = "gd-ld"
+//	res, err := precinct.Run(sc)
+//	fmt.Println(res.Report.MeanLatency)
+//
+// The simulation core is deterministic for a fixed Scenario.Seed; Sweep
+// exploits that by running independent scenarios on a worker pool.
+package precinct
+
+import (
+	"fmt"
+	"io"
+
+	"precinct/internal/cache"
+	"precinct/internal/consistency"
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/mobility"
+	"precinct/internal/node"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/sim"
+	"precinct/internal/trace"
+	"precinct/internal/workload"
+)
+
+// Scenario fully describes one simulation run. The zero value is not
+// runnable; start from DefaultScenario.
+type Scenario struct {
+	// Name labels the scenario in sweep outputs.
+	Name string
+	// Seed drives every random stream in the run.
+	Seed int64
+
+	// Nodes is the number of mobile peers.
+	Nodes int
+	// AreaSide is the side of the square service area in meters.
+	AreaSide float64
+	// Regions is the number of grid regions the area is divided into
+	// (perfect squares and products of small factors work best).
+	Regions int
+	// VoronoiRegions partitions the area into the Voronoi cells of
+	// Regions random seed points instead of a rectangular grid — the
+	// paper's more general "center point and perimeter vertices" region
+	// shape. Merge/Separate and adaptive management require the grid.
+	VoronoiRegions bool
+
+	// Mobile selects the random waypoint model; false places nodes on a
+	// jittered static grid (the Section 6.2.3 validation topology).
+	// MobilityModel overrides it when non-empty: "waypoint", "static",
+	// "random-walk" or "gauss-markov".
+	Mobile        bool
+	MobilityModel string
+	// MaxSpeed is the waypoint / random-walk maximum (and Gauss-Markov
+	// mean) speed in m/s.
+	MaxSpeed float64
+	// Pause is the waypoint pause time in seconds.
+	Pause float64
+
+	// Range is the radio range in meters; Bandwidth in bits/s.
+	Range     float64
+	Bandwidth float64
+	// LossRate drops frames with this probability (0 = lossless).
+	LossRate float64
+	// Collisions enables receiver-side collision losses: overlapping
+	// receptions at a node destroy each other, so broadcast storms are
+	// self-damaging as on a real shared channel.
+	Collisions bool
+	// BeaconInterval makes neighbor position knowledge stale: peers
+	// observe each other's positions only every BeaconInterval seconds
+	// (0 = perfect location knowledge). Tests the paper's robustness
+	// claim for routing-to-regions under location error.
+	BeaconInterval float64
+
+	// Items, MinItemSize and MaxItemSize describe the shared catalog.
+	Items       int
+	MinItemSize int
+	MaxItemSize int
+
+	// ZipfTheta is the request skew and UpdateZipfTheta the update
+	// target skew (0 = uniform); RequestInterval and UpdateInterval are
+	// the mean Poisson inter-arrival gaps per peer in seconds
+	// (UpdateInterval 0 disables updates).
+	ZipfTheta       float64
+	UpdateZipfTheta float64
+	RequestInterval float64
+	UpdateInterval  float64
+
+	// Retrieval: "precinct", "flooding" or "expanding-ring".
+	Retrieval string
+	// Consistency: "none", "plain-push", "pull-every-time" or
+	// "push-adaptive-pull".
+	Consistency string
+	// TTRAlpha is the Equation 2 smoothing factor in [0,1).
+	TTRAlpha float64
+
+	// Policy: "gd-ld", "gd-size", "lru" or "lfu".
+	Policy string
+	// GDLDWeights overrides the GD-LD utility weights (the zero value
+	// keeps the defaults).
+	GDLDWeights Weights
+	// CacheFraction sizes each peer's dynamic cache as a fraction of
+	// the total catalog size (the paper sweeps 0.005–0.025). Negative
+	// disables caching; zero falls back to CacheBytes.
+	CacheFraction float64
+	// CacheBytes sizes the cache absolutely when CacheFraction is 0.
+	CacheBytes int64
+
+	// EnRoute enables en-route cache answering; Replication maintains
+	// replica regions.
+	EnRoute     bool
+	Replication bool
+
+	// Warmup excludes the initial cache-fill phase from metrics;
+	// Duration is the total simulated time. Seconds.
+	Warmup   float64
+	Duration float64
+
+	// Faults injects node failures at given simulation times.
+	Faults []Fault
+
+	// AdaptiveRegions turns on dynamic region management (the paper's
+	// future work): regions holding more than AdaptiveSplitAbove live
+	// peers are split, adjacent region pairs holding fewer than
+	// AdaptiveMergeBelow combined are merged, re-inspected every
+	// AdaptiveInterval seconds. Zero thresholds/interval keep the
+	// controller defaults.
+	AdaptiveRegions    bool
+	AdaptiveInterval   float64
+	AdaptiveSplitAbove int
+	AdaptiveMergeBelow int
+
+	// ChurnInterval, when positive, drives background churn: one random
+	// live peer leaves per interval on average (Poisson), returning
+	// empty-handed after ChurnDowntime seconds. ChurnGraceful is the
+	// fraction of departures that hand their keys off before leaving
+	// (the paper assumes "most users quit the network gracefully").
+	ChurnInterval float64
+	ChurnDowntime float64
+	ChurnGraceful float64
+}
+
+// Weights are the GD-LD utility weights: U = WR*accesses +
+// WD*regionDistanceMeters + WS/sizeBytes.
+type Weights struct {
+	WR float64 // access-count weight
+	WD float64 // region-distance weight, per meter
+	WS float64 // size weight (contributes WS/size)
+}
+
+// Fault is one injected failure event.
+type Fault struct {
+	// At is the simulation time of the event in seconds.
+	At float64
+	// Node is the peer the event applies to.
+	Node int
+	// Kind is "crash" (immediate death), "quit" (graceful leave with
+	// key handoff) or "revive" (rejoin with empty state).
+	Kind string
+}
+
+// DefaultScenario mirrors the paper's Section 6.1 environment: 1200×1200 m
+// area, 9 regions, 250 m range, 11 Mb/s, Poisson requests and updates with
+// 30 s means, Zipf-skewed keys, random waypoint with 5 s pause.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Name:            "default",
+		Seed:            1,
+		Nodes:           80,
+		AreaSide:        1200,
+		Regions:         9,
+		Mobile:          true,
+		MaxSpeed:        6,
+		Pause:           5,
+		Range:           250,
+		Bandwidth:       11e6,
+		Items:           1000,
+		MinItemSize:     1024,
+		MaxItemSize:     10 * 1024,
+		ZipfTheta:       0.8,
+		RequestInterval: 30,
+		UpdateInterval:  0,
+		Retrieval:       "precinct",
+		Consistency:     "none",
+		TTRAlpha:        0.5,
+		Policy:          "gd-ld",
+		CacheFraction:   0.015,
+		EnRoute:         true,
+		Replication:     true,
+		Warmup:          300,
+		Duration:        2000,
+	}
+}
+
+// Validate checks the scenario without building it.
+func (s Scenario) Validate() error {
+	_, err := s.build()
+	return err
+}
+
+// built is the assembled simulation, ready to run.
+type built struct {
+	scenario Scenario
+	network  *node.Network
+	channel  *radio.Channel
+	meter    *energy.Meter
+	catalog  *workload.Catalog
+	table    *region.Table
+}
+
+// policyByName constructs a replacement policy.
+func policyByName(name string, w Weights) (cache.Policy, error) {
+	switch name {
+	case "gd-ld":
+		cw := cache.Weights{WR: w.WR, WD: w.WD, WS: w.WS}
+		if cw == (cache.Weights{}) {
+			cw = cache.DefaultWeights()
+		}
+		return cache.NewGDLD(cw)
+	case "gd-size":
+		return cache.GDSize{}, nil
+	case "lru":
+		return cache.LRU{}, nil
+	case "lfu":
+		return cache.LFU{}, nil
+	default:
+		return nil, fmt.Errorf("precinct: unknown cache policy %q", name)
+	}
+}
+
+// build wires the scenario into a runnable simulation.
+func (s Scenario) build() (*built, error) { return s.buildTraced(nil) }
+
+// buildTraced wires the scenario with an optional protocol tracer.
+func (s Scenario) buildTraced(tracer trace.Tracer) (*built, error) {
+	if s.Nodes <= 0 {
+		return nil, fmt.Errorf("precinct: nodes must be positive, got %d", s.Nodes)
+	}
+	if s.AreaSide <= 0 {
+		return nil, fmt.Errorf("precinct: area side must be positive, got %v", s.AreaSide)
+	}
+	if s.Duration <= 0 {
+		return nil, fmt.Errorf("precinct: duration must be positive, got %v", s.Duration)
+	}
+	if s.Warmup < 0 || s.Warmup >= s.Duration {
+		return nil, fmt.Errorf("precinct: warmup %v must be in [0, duration)", s.Warmup)
+	}
+
+	rng := sim.NewRNG(s.Seed)
+	sched := sim.NewScheduler()
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(s.AreaSide, s.AreaSide))
+
+	model := s.MobilityModel
+	if model == "" {
+		if s.Mobile {
+			model = "waypoint"
+		} else {
+			model = "static"
+		}
+	}
+	var mob mobility.Model
+	var err error
+	switch model {
+	case "waypoint":
+		mob, err = mobility.NewWaypoint(s.Nodes, mobility.WaypointConfig{
+			Area:     area,
+			MinSpeed: 0.5,
+			MaxSpeed: s.MaxSpeed,
+			Pause:    s.Pause,
+		}, rng)
+	case "static":
+		mob, err = mobility.NewGridStatic(s.Nodes, area, 0.25, rng.Stream("placement"))
+	case "random-walk":
+		mob, err = mobility.NewWalk(s.Nodes, mobility.WalkConfig{
+			Area:     area,
+			MinSpeed: 0.5,
+			MaxSpeed: s.MaxSpeed,
+			StepTime: 20,
+		}, rng)
+	case "gauss-markov":
+		mob, err = mobility.NewGaussMarkov(s.Nodes, mobility.GaussMarkovConfig{
+			Area:           area,
+			MeanSpeed:      s.MaxSpeed,
+			SpeedSigma:     s.MaxSpeed / 4,
+			Alpha:          0.85,
+			UpdateInterval: 1,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("precinct: unknown mobility model %q", model)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	meter, err := energy.NewMeter(s.Nodes, energy.DefaultModel())
+	if err != nil {
+		return nil, err
+	}
+
+	radioCfg := radio.DefaultConfig()
+	radioCfg.Range = s.Range
+	radioCfg.Bandwidth = s.Bandwidth
+	radioCfg.LossRate = s.LossRate
+	radioCfg.BeaconInterval = s.BeaconInterval
+	radioCfg.Collisions = s.Collisions
+	ch, err := radio.New(radioCfg, sched, mob, meter, rng.Stream("loss"))
+	if err != nil {
+		return nil, err
+	}
+
+	var table *region.Table
+	if s.VoronoiRegions {
+		if s.AdaptiveRegions {
+			return nil, fmt.Errorf("precinct: adaptive region management requires a grid partition")
+		}
+		seedRNG := rng.Stream("voronoi")
+		seeds := make([]geo.Point, s.Regions)
+		for i := range seeds {
+			seeds[i] = geo.Pt(
+				area.Min.X+seedRNG.Float64()*area.Width(),
+				area.Min.Y+seedRNG.Float64()*area.Height(),
+			)
+		}
+		table, err = region.NewVoronoi(area, seeds)
+	} else {
+		table, err = region.NewGridN(area, s.Regions)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	catalog, err := workload.NewCatalog(workload.CatalogConfig{
+		Items: s.Items, MinSize: s.MinItemSize, MaxSize: s.MaxItemSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Catalog:         catalog,
+		ZipfTheta:       s.ZipfTheta,
+		UpdateZipfTheta: s.UpdateZipfTheta,
+		RequestInterval: s.RequestInterval,
+		UpdateInterval:  s.UpdateInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	retrieval, err := node.ParseRetrievalScheme(s.Retrieval)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := consistency.ParseScheme(s.Consistency)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := policyByName(s.Policy, s.GDLDWeights)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := node.DefaultConfig()
+	cfg.Retrieval = retrieval
+	cfg.Consistency = consistency.Config{
+		Scheme:     scheme,
+		Alpha:      s.TTRAlpha,
+		InitialTTR: s.RequestInterval,
+	}
+	cfg.Policy = policy
+	cfg.EnRoute = s.EnRoute
+	cfg.Replication = s.Replication
+	cfg.Warmup = s.Warmup
+	if s.AdaptiveRegions {
+		cfg.Adaptive.Enabled = true
+		if s.AdaptiveInterval > 0 {
+			cfg.Adaptive.Interval = s.AdaptiveInterval
+		}
+		if s.AdaptiveSplitAbove > 0 {
+			cfg.Adaptive.SplitAbove = s.AdaptiveSplitAbove
+		}
+		if s.AdaptiveMergeBelow > 0 {
+			cfg.Adaptive.MergeBelow = s.AdaptiveMergeBelow
+		}
+	}
+	switch {
+	case s.CacheFraction > 0:
+		cfg.CacheBytes = int64(s.CacheFraction * float64(catalog.TotalSize()))
+	case s.CacheFraction < 0:
+		cfg.CacheBytes = 0
+	default:
+		cfg.CacheBytes = s.CacheBytes
+	}
+
+	coll := newCollector()
+	network, err := node.New(node.Options{
+		Config:    cfg,
+		Scheduler: sched,
+		Channel:   ch,
+		Regions:   table,
+		Catalog:   catalog,
+		Generator: gen,
+		Collector: coll,
+		Meter:     meter,
+		RNG:       rng,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.ChurnInterval < 0 || s.ChurnDowntime < 0 || s.ChurnGraceful < 0 || s.ChurnGraceful > 1 {
+		return nil, fmt.Errorf("precinct: invalid churn parameters")
+	}
+	if s.ChurnInterval > 0 {
+		churnRNG := rng.Stream("churn")
+		downtime := s.ChurnDowntime
+		if downtime == 0 {
+			downtime = 60
+		}
+		var tick func()
+		tick = func() {
+			id := radio.NodeID(churnRNG.Intn(s.Nodes))
+			if network.Peer(id).Alive() {
+				if churnRNG.Float64() < s.ChurnGraceful {
+					network.Quit(id)
+				} else {
+					network.Crash(id)
+				}
+				sched.After(downtime, func() { network.Revive(id) })
+			}
+			sched.After(churnRNG.ExpFloat64()*s.ChurnInterval, tick)
+		}
+		sched.After(churnRNG.ExpFloat64()*s.ChurnInterval, tick)
+	}
+	for i, f := range s.Faults {
+		if f.Node < 0 || f.Node >= s.Nodes {
+			return nil, fmt.Errorf("precinct: fault %d targets unknown node %d", i, f.Node)
+		}
+		if f.At < 0 || f.At > s.Duration {
+			return nil, fmt.Errorf("precinct: fault %d at %v outside the run", i, f.At)
+		}
+		id := radio.NodeID(f.Node)
+		switch f.Kind {
+		case "crash":
+			sched.At(f.At, func() { network.Crash(id) })
+		case "quit":
+			sched.At(f.At, func() { network.Quit(id) })
+		case "revive":
+			sched.At(f.At, func() { network.Revive(id) })
+		default:
+			return nil, fmt.Errorf("precinct: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	return &built{
+		scenario: s, network: network, channel: ch,
+		meter: meter, catalog: catalog, table: table,
+	}, nil
+}
+
+// Run executes the scenario to completion and returns its results.
+func Run(s Scenario) (Result, error) {
+	return run(s, nil)
+}
+
+// RunTraced executes the scenario while streaming protocol events —
+// request lifecycles, handoffs, updates, node failures — as JSON lines to
+// w. The stream is flushed before RunTraced returns.
+func RunTraced(s Scenario, w io.Writer) (Result, error) {
+	tw := trace.NewWriter(w)
+	res, err := run(s, tw)
+	if ferr := tw.Flush(); err == nil {
+		err = ferr
+	}
+	return res, err
+}
+
+func run(s Scenario, tracer trace.Tracer) (Result, error) {
+	b, err := s.buildTraced(tracer)
+	if err != nil {
+		return Result{}, err
+	}
+	rep := b.network.Run(s.Duration)
+	return Result{
+		Scenario: s,
+		Report:   fromMetrics(rep),
+		Protocol: fromStats(b.network.Stats()),
+		Radio:    fromRadio(b.channel.Stats()),
+	}, nil
+}
