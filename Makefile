@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is the gate a change must pass; the
+# individual targets exist for quick iteration.
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench-radio ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One fast pass over every benchmark so regressions in the bench code
+# itself are caught without waiting for full measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the committed radio hot-path numbers (BENCH_radio.json).
+# Run on a quiet machine; takes a few minutes at paper scale.
+bench-radio:
+	$(GO) run ./cmd/precinct-bench -radiojson BENCH_radio.json
+
+ci: vet build test race bench-smoke

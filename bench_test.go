@@ -130,6 +130,35 @@ func BenchmarkExtRetrievalSchemes(b *testing.B) {
 	}
 }
 
+// BenchmarkRunScenario measures one full end-to-end simulation at
+// growing node counts — the macro view of the radio hot path. The
+// spatial grid index is on by default; the "/linear" variants run the
+// retained reference scan for comparison.
+func BenchmarkRunScenario(b *testing.B) {
+	for _, linear := range []bool{false, true} {
+		for _, n := range []int{80, 160, 320, 640} {
+			name := fmt.Sprintf("grid/n=%d", n)
+			if linear {
+				name = fmt.Sprintf("linear/n=%d", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				s := DefaultScenario()
+				s.Nodes = n
+				s.Items = 200
+				s.Duration = 120
+				s.Warmup = 30
+				s.LinearRadio = linear
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // benchScenario is the shared base of the ablation benchmarks.
 func benchScenario() Scenario {
 	s := DefaultScenario()

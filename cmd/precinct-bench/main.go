@@ -27,7 +27,16 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render ASCII charts instead of aligned tables")
+	radioJSON := flag.String("radiojson", "", "run the radio hot-path benchmark suite, write JSON results to `file`, and exit")
 	flag.Parse()
+
+	if *radioJSON != "" {
+		if err := writeRadioBench(*radioJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := precinct.ExperimentConfig{Seed: *seed, Workers: *workers}
 	if *quick {

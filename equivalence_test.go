@@ -1,0 +1,106 @@
+package precinct
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestGridLinearEquivalence enforces the radio determinism contract: a run
+// served by the spatial grid index must be bit-for-bit identical to the
+// same run served by the retained O(N) linear scan (Scenario.LinearRadio).
+// Any divergence — membership, ordering, or mobility access pattern —
+// shows up as a differing Report, ProtocolStats or RadioStats.
+func TestGridLinearEquivalence(t *testing.T) {
+	base := func() Scenario {
+		s := DefaultScenario()
+		s.Nodes = 40
+		s.Items = 200
+		s.Duration = 300
+		s.Warmup = 100
+		return s
+	}
+
+	type variant struct {
+		name string
+		mut  func(*Scenario)
+	}
+	cases := []variant{}
+	for _, mob := range []string{"static", "waypoint"} {
+		for _, ret := range []string{"precinct", "flooding"} {
+			for _, seed := range []int64{1, 2, 3} {
+				mob, ret, seed := mob, ret, seed
+				cases = append(cases, variant{
+					name: fmt.Sprintf("%s/%s/seed=%d", mob, ret, seed),
+					mut: func(s *Scenario) {
+						s.MobilityModel = mob
+						s.Retrieval = ret
+						s.Seed = seed
+					},
+				})
+			}
+		}
+	}
+	cases = append(cases,
+		variant{"random-walk/precinct/seed=1", func(s *Scenario) {
+			s.MobilityModel = "random-walk"
+			s.Seed = 1
+		}},
+		// Gauss-Markov has no speed bound, exercising the grid's
+		// rebuild-per-event-time fallback.
+		variant{"gauss-markov/precinct/seed=1", func(s *Scenario) {
+			s.MobilityModel = "gauss-markov"
+			s.Seed = 1
+		}},
+		// Beaconing switches the grid to incremental maintenance of
+		// observed positions.
+		variant{"waypoint/beacon/seed=1", func(s *Scenario) {
+			s.MobilityModel = "waypoint"
+			s.BeaconInterval = 2
+			s.Seed = 1
+		}},
+		variant{"waypoint/collisions/seed=1", func(s *Scenario) {
+			s.MobilityModel = "waypoint"
+			s.Collisions = true
+			s.Seed = 1
+		}},
+		// Node death removes entries from neighbor sets on both paths.
+		variant{"waypoint/faults/seed=2", func(s *Scenario) {
+			s.MobilityModel = "waypoint"
+			s.Seed = 2
+			s.Faults = []Fault{
+				{At: 150, Node: 3, Kind: "crash"},
+				{At: 180, Node: 17, Kind: "crash"},
+			}
+		}},
+	)
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := base()
+			c.mut(&s)
+
+			grid, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.LinearRadio = true
+			linear, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(grid.Report, linear.Report) {
+				t.Errorf("Report diverged:\ngrid:   %+v\nlinear: %+v", grid.Report, linear.Report)
+			}
+			if !reflect.DeepEqual(grid.Protocol, linear.Protocol) {
+				t.Errorf("ProtocolStats diverged:\ngrid:   %+v\nlinear: %+v", grid.Protocol, linear.Protocol)
+			}
+			if !reflect.DeepEqual(grid.Radio, linear.Radio) {
+				t.Errorf("RadioStats diverged:\ngrid:   %+v\nlinear: %+v", grid.Radio, linear.Radio)
+			}
+		})
+	}
+}

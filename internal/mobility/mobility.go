@@ -21,11 +21,29 @@ import (
 
 // Model answers position queries for a fixed set of nodes. Queries must
 // use non-decreasing time per node; models may advance internal state.
+//
+// Positions are anchored: between trajectory boundaries (waypoint legs,
+// walk steps) a position is computed analytically from the last boundary,
+// so Position(i, t) returns bit-identical results no matter which
+// intermediate times were queried before t. Consumers such as the radio
+// layer's spatial index rely on that property — it lets them query only a
+// subset of nodes without perturbing anyone's trajectory.
 type Model interface {
 	// Len returns the number of nodes.
 	Len() int
 	// Position returns the location of the node at simulation time now.
 	Position(node int, now float64) geo.Point
+}
+
+// SpeedBounded is implemented by models whose nodes never exceed a known
+// speed. The radio layer's spatial index uses the bound to serve neighbor
+// queries from a slightly stale grid snapshot: a node can have drifted at
+// most MaxSpeed()*age meters since the snapshot. Models with unbounded
+// speeds (e.g. Gauss-Markov, whose speed noise is Gaussian) simply do not
+// implement it and the index falls back to per-instant rebuilds.
+type SpeedBounded interface {
+	// MaxSpeed returns an upper bound on any node's speed in m/s.
+	MaxSpeed() float64
 }
 
 // Static places nodes once and never moves them.
@@ -99,6 +117,9 @@ func (s *Static) Len() int { return len(s.pos) }
 // Position implements Model.
 func (s *Static) Position(node int, _ float64) geo.Point { return s.pos[node] }
 
+// MaxSpeed implements SpeedBounded: static nodes never move.
+func (s *Static) MaxSpeed() float64 { return 0 }
+
 // WaypointConfig parameterizes the random waypoint model.
 type WaypointConfig struct {
 	Area     geo.Rect
@@ -119,10 +140,14 @@ func DefaultWaypointConfig() WaypointConfig {
 	}
 }
 
-// waypointNode is the per-node trajectory state, valid at time `at`.
+// waypointNode is the per-node trajectory state. pos/at anchor the node at
+// the start of its current leg (or pause); positions between boundaries
+// are computed analytically from the anchor, never stored, so a query's
+// result does not depend on which intermediate times were queried.
 type waypointNode struct {
-	pos        geo.Point
-	at         float64
+	pos        geo.Point // anchor: where the node was at time at
+	at         float64   // anchor time: the last leg/pause boundary crossed
+	seen       float64   // latest query time (monotonicity contract)
 	dest       geo.Point
 	speed      float64
 	pauseUntil float64 // > at while the node is pausing at pos
@@ -192,33 +217,34 @@ func (w *Waypoint) newLeg(nd *waypointNode) {
 func (w *Waypoint) Len() int { return len(w.nodes) }
 
 // Position implements Model. Time must be non-decreasing per node.
+//
+// The anchor (pos/at) only advances across leg and pause boundaries, whose
+// times are pure functions of the trajectory; mid-leg positions are
+// computed analytically from the anchor. The result is therefore
+// bit-identical regardless of which intermediate times were queried.
 func (w *Waypoint) Position(node int, now float64) geo.Point {
 	nd := &w.nodes[node]
-	if now < nd.at {
-		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.at))
+	if now < nd.seen {
+		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.seen))
 	}
-	for nd.at < now {
-		if nd.pauseUntil > nd.at { // pausing at a waypoint
-			end := nd.pauseUntil
-			if end > now {
-				end = now
+	nd.seen = now
+	for {
+		if nd.pauseUntil > nd.at { // anchored at a pause
+			if now < nd.pauseUntil {
+				return nd.pos
 			}
-			nd.at = end
-			if nd.at >= nd.pauseUntil {
-				w.newLeg(nd)
-			}
+			nd.at = nd.pauseUntil
+			w.newLeg(nd)
 			continue
 		}
 		remaining := nd.pos.Dist(nd.dest)
 		if remaining <= 1e-12 {
-			// Arrived (or zero-length leg): start pausing.
+			// Zero-length leg: pause in place. A degenerate newLeg
+			// (resampling failed) schedules its own pause, so the loop
+			// always progresses even with Pause == 0.
 			nd.pauseUntil = nd.at + w.cfg.Pause
 			if w.cfg.Pause == 0 {
 				w.newLeg(nd)
-				// Guard against pathological zero progress.
-				if nd.pos.Dist(nd.dest) <= 1e-12 {
-					nd.at = now
-				}
 			}
 			continue
 		}
@@ -232,11 +258,10 @@ func (w *Waypoint) Position(node int, now float64) geo.Point {
 			}
 			continue
 		}
+		// Mid-leg: analytic position from the anchor; no mutation.
 		dir := nd.dest.Sub(nd.pos).Scale(1 / remaining)
-		nd.pos = nd.pos.Add(dir.Scale(nd.speed * (now - nd.at)))
-		nd.at = now
+		return nd.pos.Add(dir.Scale(nd.speed * (now - nd.at)))
 	}
-	return nd.pos
 }
 
 // Speed returns the node's current speed in m/s (0 while pausing). It
@@ -244,7 +269,7 @@ func (w *Waypoint) Position(node int, now float64) geo.Point {
 func (w *Waypoint) Speed(node int, now float64) float64 {
 	w.Position(node, now)
 	nd := &w.nodes[node]
-	if nd.pauseUntil > nd.at {
+	if nd.pauseUntil > now {
 		return 0
 	}
 	return nd.speed
@@ -252,3 +277,6 @@ func (w *Waypoint) Speed(node int, now float64) float64 {
 
 // Config returns the model parameters.
 func (w *Waypoint) Config() WaypointConfig { return w.cfg }
+
+// MaxSpeed implements SpeedBounded.
+func (w *Waypoint) MaxSpeed() float64 { return w.cfg.MaxSpeed }

@@ -44,9 +44,13 @@ func DefaultWalkConfig() WalkConfig {
 	}
 }
 
+// walkNode anchors a walker at the start of its current step (pos/at);
+// positions inside a step are computed analytically from the anchor so
+// results do not depend on intermediate query times.
 type walkNode struct {
-	pos   geo.Point
-	at    float64
+	pos   geo.Point // anchor: position at the start of the current step
+	at    float64   // anchor time
+	seen  float64   // latest query time (monotonicity contract)
 	vel   geo.Point // velocity vector, m/s
 	until float64   // end of the current step
 	rng   *rand.Rand
@@ -96,25 +100,31 @@ func (w *Walk) newStep(nd *walkNode) {
 func (w *Walk) Len() int { return len(w.nodes) }
 
 // Position implements Model. Time must be non-decreasing per node.
+//
+// The anchor advances only across whole steps; a mid-step position is
+// computed from the anchor without mutating state, so the result is
+// bit-identical regardless of intermediate query times.
 func (w *Walk) Position(node int, now float64) geo.Point {
 	nd := &w.nodes[node]
-	if now < nd.at {
-		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.at))
+	if now < nd.seen {
+		panic(fmt.Sprintf("mobility: time went backwards for node %d: %v < %v", node, now, nd.seen))
 	}
-	for nd.at < now {
-		end := nd.until
-		if end > now {
-			end = now
-		}
-		dt := end - nd.at
-		nd.pos, nd.vel = reflectMove(w.cfg.Area, nd.pos, nd.vel, dt)
-		nd.at = end
-		if nd.at >= nd.until {
-			w.newStep(nd)
-		}
+	nd.seen = now
+	for nd.until <= now {
+		nd.pos, nd.vel = reflectMove(w.cfg.Area, nd.pos, nd.vel, nd.until-nd.at)
+		nd.at = nd.until
+		w.newStep(nd)
 	}
-	return nd.pos
+	if now == nd.at {
+		return nd.pos
+	}
+	p, _ := reflectMove(w.cfg.Area, nd.pos, nd.vel, now-nd.at)
+	return p
 }
+
+// MaxSpeed implements SpeedBounded: wall reflections preserve speed, so
+// the configured maximum bounds every walker.
+func (w *Walk) MaxSpeed() float64 { return w.cfg.MaxSpeed }
 
 // reflectMove advances pos by vel*dt, reflecting off the area's walls.
 // It returns the new position and (possibly flipped) velocity.

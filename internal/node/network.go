@@ -60,6 +60,11 @@ type Network struct {
 	rng     *sim.RNG
 	tracer  trace.Tracer
 
+	// router holds GPSR forwarding scratch so steady-state routing
+	// allocates nothing. The simulation core is single-threaded, so one
+	// router per network suffices.
+	router routing.Router
+
 	peers []*Peer
 	// tables is the region-table version history: index 0 is the
 	// initial partition, each Separate/Merge appends a clone. Peers
@@ -291,7 +296,7 @@ func (n *Network) forwardRouted(p *Peer, m *message) bool {
 		return false
 	}
 	nbrs := n.ch.Neighbors(p.id)
-	next, ok := routing.NextHop(p.id, n.ch.Position(p.id), nbrs, routingDest(m), &m.Route)
+	next, ok := n.router.NextHop(p.id, n.ch.Position(p.id), nbrs, routingDest(m), &m.Route)
 	if !ok {
 		n.stats.RoutingFailures++
 		return false

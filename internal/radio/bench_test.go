@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 	"precinct/internal/sim"
 )
 
-func benchChannel(b *testing.B, n int) (*Channel, *sim.Scheduler) {
+func benchChannel(b *testing.B, n int, cfg Config) (*Channel, *sim.Scheduler) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	pts := make([]geo.Point, n)
@@ -26,7 +27,7 @@ func benchChannel(b *testing.B, n int) (*Channel, *sim.Scheduler) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ch, err := New(DefaultConfig(), sched, mob, meter, rng)
+	ch, err := New(cfg, sched, mob, meter, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -34,19 +35,106 @@ func benchChannel(b *testing.B, n int) (*Channel, *sim.Scheduler) {
 	return ch, sched
 }
 
-func BenchmarkBroadcast80Nodes(b *testing.B) {
-	ch, sched := benchChannel(b, 80)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch.Broadcast(NodeID(i%80), 512, nil)
-		if sched.Len() > 4096 {
-			sched.RunAll()
+// benchWaypointChannel exercises the moving-node path: the grid serves
+// most queries from a bounded-drift snapshot and rebuilds occasionally.
+func benchWaypointChannel(b *testing.B, n int, cfg Config) (*Channel, *sim.Scheduler) {
+	b.Helper()
+	mob, err := mobility.NewWaypoint(n, mobility.DefaultWaypointConfig(), sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	ch, err := New(cfg, sched, mob, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.SetHandler(func(NodeID, Frame) {})
+	return ch, sched
+}
+
+// benchSizes spans the scaling range the end-to-end benchmarks use.
+var benchSizes = []int{80, 160, 320, 640}
+
+// BenchmarkNeighbors compares the spatial grid index against the retained
+// linear scan on static topologies. allocs/op must be 0 for both paths in
+// steady state.
+func BenchmarkNeighbors(b *testing.B) {
+	for _, path := range []struct {
+		name   string
+		linear bool
+	}{{"grid", false}, {"linear", true}} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", path.name, n), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.LinearScan = path.linear
+				ch, _ := benchChannel(b, n, cfg)
+				ch.Neighbors(0) // warm caches and scratch buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ch.Neighbors(NodeID(i % n))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNeighborsWaypoint measures the moving-node query path,
+// including amortized grid rebuilds as simulation time advances.
+func BenchmarkNeighborsWaypoint(b *testing.B) {
+	for _, path := range []struct {
+		name   string
+		linear bool
+	}{{"grid", false}, {"linear", true}} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", path.name, n), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.LinearScan = path.linear
+				ch, sched := benchWaypointChannel(b, n, cfg)
+				ch.Neighbors(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%64 == 0 {
+						// Advance the clock so positions (and the grid
+						// snapshot) actually go stale.
+						at := sched.Now() + 0.25
+						sched.At(at, func() {})
+						sched.Run(at)
+					}
+					ch.Neighbors(NodeID(i % n))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBroadcast measures one-hop delivery fan-out, which funnels
+// through the same neighbor query.
+func BenchmarkBroadcast(b *testing.B) {
+	for _, path := range []struct {
+		name   string
+		linear bool
+	}{{"grid", false}, {"linear", true}} {
+		for _, n := range []int{80, 320} {
+			b.Run(fmt.Sprintf("%s/n=%d", path.name, n), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.LinearScan = path.linear
+				ch, sched := benchChannel(b, n, cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ch.Broadcast(NodeID(i%n), 512, nil)
+					if sched.Len() > 4096 {
+						sched.RunAll()
+					}
+				}
+			})
 		}
 	}
 }
 
 func BenchmarkUnicast80Nodes(b *testing.B) {
-	ch, sched := benchChannel(b, 80)
+	ch, sched := benchChannel(b, 80, DefaultConfig())
 	// Find a connected pair once.
 	var from, to NodeID = 0, 0
 	for i := 0; i < 80 && to == from; i++ {
@@ -63,13 +151,5 @@ func BenchmarkUnicast80Nodes(b *testing.B) {
 		if sched.Len() > 4096 {
 			sched.RunAll()
 		}
-	}
-}
-
-func BenchmarkNeighborScan(b *testing.B) {
-	ch, _ := benchChannel(b, 160)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch.Neighbors(NodeID(i % 160))
 	}
 }

@@ -1,0 +1,346 @@
+// Spatial neighbor index and position epoch cache.
+//
+// Every GPSR hop, regional flood and broadcast funnels through
+// Channel.Neighbors, which the seed implementation served with a full
+// O(N) scan that recomputed every node's mobility position per call — a
+// single regional flood was O(N²) position math. This file replaces the
+// scan with two cooperating structures:
+//
+//   - A position epoch cache: a node's position is computed at most once
+//     per (node, event-time) pair and reused by every Neighbors /
+//     Broadcast / Unicast / routing call that fires at the same
+//     simulation instant. Invalidation is lazy — bumping a single epoch
+//     counter when the clock advances — so it costs nothing per event.
+//
+//   - A uniform grid over node positions in CSR layout: cell occupants
+//     live grouped in one flat array (grid.nodes) delimited by
+//     grid.cellStart, indexed densely by cell coordinate — no per-cell
+//     allocations, no map lookups in the hot loop. A neighbor query
+//     inspects only the cells intersecting the query disk instead of all
+//     N nodes.
+//
+// Mobility makes the grid stale the moment it is built. Rather than
+// rebuilding per event, the index exploits mobility.SpeedBounded: a node
+// can have drifted at most maxSpeed·age meters since the snapshot, so a
+// query with radius Range+drift over snapshot positions provably
+// includes every true neighbor; exact membership is then decided with
+// current (epoch-cached) positions of the few candidates. The grid is
+// rebuilt only when drift exceeds a slack of Range/4. Models with
+// unbounded speeds fall back to a rebuild per distinct event time, which
+// still amortizes all same-instant queries. With beaconing enabled the
+// grid indexes *observed* (beacon) positions, which change only at
+// beacon refreshes; a refresh that moves a node across a cell boundary
+// invalidates the snapshot, so the next query rebuilds — batched beacon
+// refreshes cost one rebuild.
+//
+// Determinism contract: Neighbors returns exactly the nodes the retained
+// linear scan (Config.LinearScan) returns, in the same order (ascending
+// NodeID), and both paths touch mobility state identically — runs are
+// bit-for-bit identical with the index on or off. The equivalence suite
+// at the repository root (TestGridLinearEquivalence) enforces this.
+package radio
+
+import (
+	"math"
+	"math/bits"
+
+	"precinct/internal/geo"
+)
+
+// cellKey packs a cell's integer coordinates into one comparable value
+// (used to detect cell crossings on beacon refreshes).
+type cellKey int64
+
+func keyOf(cx, cy int32) cellKey { return cellKey(int64(cx)<<32 | int64(uint32(cy))) }
+
+// maxGridCells bounds the dense cell array. When node spread would need
+// more cells, the index cell size doubles until it fits — coarser cells
+// only add candidates, never lose them.
+const maxGridCells = 1 << 20
+
+// grid is the uniform spatial index in CSR layout.
+type grid struct {
+	cell     float64 // index cell side; starts at Range/2, doubles if spread demands
+	invCell  float64
+	slack    float64 // rebuild once drift exceeds this (Range/4)
+	maxSpeed float64 // +Inf when the mobility model has no speed bound
+
+	// Dense cell addressing: cell (cx, cy) maps to row-major index
+	// (cy-minCy)*w + (cx-minCx); cells outside the [min, min+w/h) box
+	// are empty by construction.
+	minCx, minCy int32
+	w, h         int32
+
+	// CSR storage: nodes holds all node indices grouped by cell;
+	// cell k's occupants are nodes[cellStart[k]:cellStart[k+1]].
+	cellStart []int32
+	nodes     []int32
+	cursor    []int32   // scatter scratch for rebuilds
+	cellOf    []cellKey // cell per node at snapshot time
+
+	builtAt float64
+	built   bool
+	drift   float64 // staleness bound of the current snapshot, meters
+}
+
+func newGrid(n int, rng, maxSpeed float64) *grid {
+	// Half-range cells keep the candidate-to-neighbor overcount low: the
+	// cells intersecting the query disk hug it much tighter than
+	// full-range cells would, at the price of a few more (dense, cheap)
+	// cell inspections.
+	cell := rng / 2
+	return &grid{
+		cell:     cell,
+		invCell:  1 / cell,
+		slack:    rng / 4,
+		maxSpeed: maxSpeed,
+		nodes:    make([]int32, n),
+		cellOf:   make([]cellKey, n),
+	}
+}
+
+func (g *grid) cellAt(p geo.Point) cellKey {
+	return keyOf(int32(math.Floor(p.X*g.invCell)), int32(math.Floor(p.Y*g.invCell)))
+}
+
+// noteMove records that node i's indexed (observed) position changed.
+// Crossing a cell boundary invalidates the snapshot; the next query
+// rebuilds. Beacon refreshes arrive in batches, so this costs one
+// rebuild per batch, not per node.
+func (g *grid) noteMove(i int, p geo.Point) {
+	if !g.built {
+		return
+	}
+	if k := g.cellAt(p); k != g.cellOf[i] {
+		g.cellOf[i] = k
+		g.built = false
+	}
+}
+
+// syncEpoch advances the position epoch when the simulation clock has
+// moved since the last position query, invalidating every cached
+// position in O(1).
+func (ch *Channel) syncEpoch() {
+	if now := ch.sched.Now(); now != ch.epochAt {
+		ch.epoch++
+		ch.epochAt = now
+	}
+}
+
+// position returns node i's location at the current simulation instant
+// through the epoch cache: the mobility model is consulted at most once
+// per (node, event-time).
+func (ch *Channel) position(i int) geo.Point {
+	ch.syncEpoch()
+	if ch.posEpoch[i] != ch.epoch {
+		ch.posCache[i] = ch.mob.Position(i, ch.epochAt)
+		ch.posEpoch[i] = ch.epoch
+	}
+	return ch.posCache[i]
+}
+
+// observedCached returns the position queries should compare against:
+// the last-beacon position when beaconing is on (already refreshed by
+// refreshStaleBeacons at query start), the epoch-cached true position
+// otherwise.
+func (ch *Channel) observedCached(i int) geo.Point {
+	if ch.beaconAt != nil {
+		return ch.beaconPos[i]
+	}
+	return ch.position(i)
+}
+
+// ensureGrid guarantees the snapshot can serve a query: fresh enough
+// under the drift bound, rebuilt otherwise. It also records the current
+// drift so the query knows its search radius.
+func (ch *Channel) ensureGrid() {
+	g := ch.grid
+	now := ch.sched.Now()
+	if g.built {
+		if now == g.builtAt {
+			return
+		}
+		if ch.beaconAt != nil {
+			// Observed positions change only through refreshBeacon,
+			// which invalidates on cell crossings: never silently stale.
+			g.drift = 0
+			return
+		}
+		if d := g.maxSpeed * (now - g.builtAt); d <= g.slack {
+			g.drift = d
+			return
+		}
+	}
+	ch.rebuildGrid(now)
+}
+
+// rebuildGrid snapshots every node's indexed position into the CSR
+// arrays. All storage is reused, so steady-state rebuilds allocate
+// nothing.
+func (ch *Channel) rebuildGrid(now float64) {
+	g := ch.grid
+	n := ch.mob.Len()
+	beacon := ch.beaconAt != nil
+
+	// Pass 1: current indexed positions, per-node cells, bounds.
+	// Coarsen the cell size until the dense array fits (pathological
+	// spreads only; one iteration in practice).
+	for {
+		minCx, minCy := int32(math.MaxInt32), int32(math.MaxInt32)
+		maxCx, maxCy := int32(math.MinInt32), int32(math.MinInt32)
+		for i := 0; i < n; i++ {
+			var p geo.Point
+			if beacon {
+				p = ch.beaconPos[i]
+			} else {
+				p = ch.position(i)
+			}
+			cx := int32(math.Floor(p.X * g.invCell))
+			cy := int32(math.Floor(p.Y * g.invCell))
+			g.cellOf[i] = keyOf(cx, cy)
+			minCx, maxCx = min(minCx, cx), max(maxCx, cx)
+			minCy, maxCy = min(minCy, cy), max(maxCy, cy)
+		}
+		w := int64(maxCx) - int64(minCx) + 1
+		h := int64(maxCy) - int64(minCy) + 1
+		if w*h <= maxGridCells {
+			g.minCx, g.minCy = minCx, minCy
+			g.w, g.h = int32(w), int32(h)
+			break
+		}
+		g.cell *= 2
+		g.invCell = 1 / g.cell
+	}
+
+	// Pass 2: counting sort into CSR. cellStart[k] counts, then prefix
+	// sums to starts; cursor tracks the scatter position per cell.
+	cells := int(g.w) * int(g.h)
+	if cap(g.cellStart) < cells+1 {
+		g.cellStart = make([]int32, cells+1)
+		g.cursor = make([]int32, cells+1)
+	} else {
+		g.cellStart = g.cellStart[:cells+1]
+		g.cursor = g.cursor[:cells+1]
+		clear(g.cellStart)
+	}
+	for i := 0; i < n; i++ {
+		g.cellStart[g.linIdx(g.cellOf[i])+1]++
+	}
+	for k := 1; k <= cells; k++ {
+		g.cellStart[k] += g.cellStart[k-1]
+	}
+	copy(g.cursor, g.cellStart)
+	for i := 0; i < n; i++ {
+		k := g.linIdx(g.cellOf[i])
+		g.nodes[g.cursor[k]] = int32(i)
+		g.cursor[k]++
+	}
+
+	g.builtAt = now
+	g.built = true
+	g.drift = 0
+}
+
+// linIdx maps a packed cell key to its dense row-major index. Only valid
+// for cells inside the current bounds (true for every occupied cell).
+func (g *grid) linIdx(k cellKey) int {
+	cx := int32(int64(k) >> 32)
+	cy := int32(uint32(int64(k)))
+	return int(cy-g.minCy)*int(g.w) + int(cx-g.minCx)
+}
+
+// appendGridNeighbors appends all live nodes within radio range of self
+// (excluding id) to buf, sorted by NodeID — the same set, in the same
+// order, as the linear reference scan. Candidate cells are those
+// intersecting the disk of radius Range+drift around self; exact
+// membership uses current positions.
+//
+// Matches are marked in a node-indexed scratch bitset and emitted by
+// iterating its set bits, which yields ascending-ID output without a
+// sort, without data-dependent branches, and without allocating.
+func (ch *Channel) appendGridNeighbors(buf []Neighbor, id NodeID, self geo.Point) []Neighbor {
+	g := ch.grid
+	r := ch.cfg.Range + g.drift
+	r2cand := r * r
+	r2 := ch.cfg.Range * ch.cfg.Range
+	cx0 := int32(math.Floor((self.X - r) * g.invCell))
+	cx1 := int32(math.Floor((self.X + r) * g.invCell))
+	cy0 := int32(math.Floor((self.Y - r) * g.invCell))
+	cy1 := int32(math.Floor((self.Y + r) * g.invCell))
+	cx0, cx1 = max(cx0, g.minCx), min(cx1, g.minCx+g.w-1)
+	cy0, cy1 = max(cy0, g.minCy), min(cy1, g.minCy+g.h-1)
+
+	// Hoisted epoch state: position() would re-check the clock per
+	// candidate; one sync up front covers the whole query.
+	ch.syncEpoch()
+	epoch, now := ch.epoch, ch.epochAt
+	beacon := ch.beaconAt != nil
+	alive := ch.alive
+	selfI := int(id)
+
+	mark := ch.markBuf
+	for cy := cy0; cy <= cy1; cy++ {
+		rowBase := int(cy-g.minCy) * int(g.w)
+		// The row's vertical distance to self is constant; hoist it out
+		// of the per-cell disk test.
+		ny := clamp(self.Y, float64(cy)*g.cell, float64(cy+1)*g.cell)
+		dy := self.Y - ny
+		dy2 := dy * dy
+		for cx := cx0; cx <= cx1; cx++ {
+			// Skip cells entirely outside the search disk.
+			nx := clamp(self.X, float64(cx)*g.cell, float64(cx+1)*g.cell)
+			dx := self.X - nx
+			if dx*dx+dy2 > r2cand {
+				continue
+			}
+			k := rowBase + int(cx-g.minCx)
+			for _, j := range g.nodes[g.cellStart[k]:g.cellStart[k+1]] {
+				i := int(j)
+				if i == selfI {
+					continue
+				}
+				var p geo.Point
+				if beacon {
+					p = ch.beaconPos[i]
+				} else {
+					if ch.posEpoch[i] != epoch {
+						ch.posCache[i] = ch.mob.Position(i, now)
+						ch.posEpoch[i] = epoch
+					}
+					p = ch.posCache[i]
+				}
+				if self.Dist2(p) > r2 || !alive(NodeID(i)) {
+					continue
+				}
+				mark[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+
+	for w, m := range mark {
+		if m == 0 {
+			continue
+		}
+		mark[w] = 0
+		base := w << 6
+		for ; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			if beacon {
+				buf = append(buf, Neighbor{ID: NodeID(i), Pos: ch.beaconPos[i]})
+			} else {
+				buf = append(buf, Neighbor{ID: NodeID(i), Pos: ch.posCache[i]})
+			}
+		}
+	}
+	return buf
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"precinct/internal/mobility"
+	"precinct/internal/sim"
+)
+
+// orderChannel builds a waypoint-mobility channel for the determinism
+// tests; grid vs linear scan is the only difference between invocations.
+func orderChannel(t *testing.T, n int, cfg Config, seed int64) (*Channel, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	mob, err := mobility.NewWaypoint(n, mobility.DefaultWaypointConfig(), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(cfg, sched, mob, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, sched
+}
+
+// TestNeighborsDeterministicOrder is the regression test for the neighbor
+// ordering contract: under the spatial grid index, Neighbors must return
+// exactly the set the retained linear scan returns, sorted by ascending
+// NodeID, at every query time — including with stale beacons and dead
+// nodes in play.
+func TestNeighborsDeterministicOrder(t *testing.T) {
+	const n = 60
+	configs := map[string]func(*Config){
+		"perfect-knowledge": func(*Config) {},
+		"beaconed":          func(c *Config) { c.BeaconInterval = 2 },
+	}
+	for name, mut := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			mut(&cfg)
+			linCfg := cfg
+			linCfg.LinearScan = true
+
+			grid, gridSched := orderChannel(t, n, cfg, 42)
+			lin, linSched := orderChannel(t, n, linCfg, 42)
+
+			// Kill a few nodes mid-run on both channels.
+			dead := map[NodeID]bool{}
+			alive := func(id NodeID) bool { return !dead[id] }
+			grid.SetAlive(alive)
+			lin.SetAlive(alive)
+
+			for step, at := range []float64{0, 1, 5, 5, 13.5, 30, 90} {
+				gridSched.At(at, func() {})
+				linSched.At(at, func() {})
+				gridSched.Run(at)
+				linSched.Run(at)
+				if at == 5 {
+					dead[7] = true
+					dead[23] = true
+				}
+				for id := NodeID(0); id < n; id++ {
+					g := grid.Neighbors(id)
+					for i := 1; i < len(g); i++ {
+						if g[i-1].ID >= g[i].ID {
+							t.Fatalf("t=%v node %d: neighbors not strictly ascending by ID: %v", at, id, g)
+						}
+					}
+					l := lin.Neighbors(id)
+					if fmt.Sprint(g) != fmt.Sprint(l) {
+						t.Fatalf("t=%v (step %d) node %d: grid %v != linear %v", at, step, id, g, l)
+					}
+					for _, nb := range g {
+						if dead[nb.ID] {
+							t.Fatalf("t=%v node %d: dead node %d listed as neighbor", at, id, nb.ID)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNeighborsBufferReuse documents the ownership rule of the returned
+// slice: it is valid only until the next Neighbors call on the channel.
+func TestNeighborsBufferReuse(t *testing.T) {
+	ch, _ := orderChannel(t, 30, DefaultConfig(), 7)
+	a := ch.Neighbors(0)
+	b := ch.Neighbors(0)
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Error("Neighbors did not reuse its buffer across calls")
+	}
+}

@@ -4,6 +4,11 @@
 // MAC-overhead delays, optional frame loss, and energy accounting through
 // the Feeney model in internal/energy.
 //
+// Neighbor queries — the hottest operation in the simulator — are served
+// by a uniform-grid spatial index with an epoch-based position cache (see
+// grid.go). A retained linear scan (Config.LinearScan) is the
+// correctness oracle: both paths are bit-identical by contract.
+//
 // The model is deliberately simpler than a packet-level 802.11 PHY — no
 // carrier sense across nodes, no collisions — because the paper's metrics
 // depend on hop counts, broadcast fan-out and per-message energy, all of
@@ -14,6 +19,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"precinct/internal/energy"
@@ -63,6 +69,13 @@ type Config struct {
 	// broadcast storms self-damaging the way a shared 802.11 channel
 	// does.
 	Collisions bool
+	// LinearScan serves neighbor queries with the reference O(N) scan
+	// instead of the spatial grid index. The two paths return identical
+	// results in identical order and touch mobility state identically,
+	// so runs are bit-for-bit equal either way; the linear path is
+	// retained as the correctness oracle for the equivalence suite and
+	// as a benchmark baseline.
+	LinearScan bool
 }
 
 // DefaultConfig mirrors the paper's radio parameters.
@@ -127,6 +140,25 @@ type Channel struct {
 	beaconPos   []geo.Point
 	beaconAt    []float64
 	stats       Stats
+
+	// Position epoch cache: posCache[i] is valid iff posEpoch[i] equals
+	// epoch, and epoch is bumped lazily whenever the clock moves past
+	// epochAt. See grid.go.
+	posCache []geo.Point
+	posEpoch []uint64
+	epoch    uint64
+	epochAt  float64
+
+	// grid is the spatial neighbor index; nil under Config.LinearScan.
+	grid *grid
+	// nbrBuf is the reusable neighbor buffer returned by Neighbors, so
+	// steady-state queries allocate nothing. The returned slice is only
+	// valid until the next Neighbors/Broadcast/Unicast call.
+	nbrBuf []Neighbor
+	// markBuf is the node-indexed match bitset grid queries use to emit
+	// neighbors in ascending NodeID order without sorting. Always fully
+	// zero between queries.
+	markBuf []uint64
 }
 
 // New creates a channel over the mobility model. The meter may be nil to
@@ -149,6 +181,10 @@ func New(cfg Config, sched *sim.Scheduler, mob mobility.Model, meter *energy.Met
 		rng:         lossRNG,
 		alive:       func(NodeID) bool { return true },
 		txBusyUntil: make([]float64, mob.Len()),
+		posCache:    make([]geo.Point, mob.Len()),
+		posEpoch:    make([]uint64, mob.Len()),
+		epoch:       1,  // posEpoch is zeroed, so every entry starts invalid
+		epochAt:     -1, // simulation time is >= 0: first query misses
 	}
 	if cfg.BeaconInterval > 0 {
 		ch.beaconPos = make([]geo.Point, mob.Len())
@@ -159,6 +195,14 @@ func New(cfg Config, sched *sim.Scheduler, mob mobility.Model, meter *energy.Met
 	}
 	if cfg.Collisions {
 		ch.rxBusyUntil = make([]float64, mob.Len())
+	}
+	if !cfg.LinearScan {
+		maxSpeed := math.Inf(1)
+		if sb, ok := mob.(mobility.SpeedBounded); ok {
+			maxSpeed = sb.MaxSpeed()
+		}
+		ch.grid = newGrid(mob.Len(), cfg.Range, maxSpeed)
+		ch.markBuf = make([]uint64, (mob.Len()+63)/64)
 	}
 	return ch, nil
 }
@@ -207,9 +251,10 @@ func (ch *Channel) Stats() Stats { return ch.stats }
 // N returns the number of nodes.
 func (ch *Channel) N() int { return ch.mob.Len() }
 
-// Position returns a node's current location.
+// Position returns a node's current location (epoch-cached: the mobility
+// model is consulted at most once per node per event time).
 func (ch *Channel) Position(id NodeID) geo.Point {
-	return ch.mob.Position(int(id), ch.sched.Now())
+	return ch.position(int(id))
 }
 
 // ObservedPosition returns a node's position as its neighbors currently
@@ -217,14 +262,45 @@ func (ch *Channel) Position(id NodeID) geo.Point {
 // the node's most recent beacon when beaconing is on.
 func (ch *Channel) ObservedPosition(id NodeID) geo.Point {
 	if ch.beaconAt == nil {
-		return ch.Position(id)
+		return ch.position(int(id))
 	}
 	now := ch.sched.Now()
 	if ch.beaconAt[id] < 0 || now-ch.beaconAt[id] >= ch.cfg.BeaconInterval {
-		ch.beaconPos[id] = ch.mob.Position(int(id), now)
-		ch.beaconAt[id] = now
+		ch.refreshBeacon(int(id), now)
 	}
 	return ch.beaconPos[id]
+}
+
+// refreshBeacon records node i's current position as its newest beacon
+// and tells the spatial index (which holds observed positions in beacon
+// mode) when the node crossed a cell boundary.
+func (ch *Channel) refreshBeacon(i int, now float64) {
+	p := ch.position(i)
+	ch.beaconPos[i] = p
+	ch.beaconAt[i] = now
+	if ch.grid != nil {
+		ch.grid.noteMove(i, p)
+	}
+}
+
+// refreshStaleBeacons refreshes the beacon of every live node whose last
+// beacon is at least one interval old. GPSR beacons are time-driven, so
+// this runs at the start of every neighbor query regardless of which
+// nodes the query will touch — it is what keeps stale-beacon membership
+// identical between the grid index and the linear reference scan.
+func (ch *Channel) refreshStaleBeacons() {
+	if ch.beaconAt == nil {
+		return
+	}
+	now := ch.sched.Now()
+	for i := range ch.beaconAt {
+		if !ch.alive(NodeID(i)) {
+			continue
+		}
+		if ch.beaconAt[i] < 0 || now-ch.beaconAt[i] >= ch.cfg.BeaconInterval {
+			ch.refreshBeacon(i, now)
+		}
+	}
 }
 
 // Neighbor describes one node within radio range.
@@ -234,32 +310,54 @@ type Neighbor struct {
 }
 
 // Neighbors returns all live nodes within range of id (excluding id),
-// with the positions id knows for them — the GPSR "location table" a
-// real implementation maintains via beacons. With a beacon interval
-// configured, both membership and positions reflect the last beacon, so
-// routing decisions work on stale data while physical delivery does not.
+// sorted by NodeID, with the positions id knows for them — the GPSR
+// "location table" a real implementation maintains via beacons. With a
+// beacon interval configured, both membership and positions reflect the
+// last beacon, so routing decisions work on stale data while physical
+// delivery does not.
+//
+// The returned slice is a reusable buffer owned by the Channel: it is
+// valid only until the next Neighbors, Broadcast, Unicast or
+// ConnectedComponent call. Copy it to retain it.
 func (ch *Channel) Neighbors(id NodeID) []Neighbor {
-	now := ch.sched.Now()
-	self := ch.mob.Position(int(id), now)
+	ch.refreshStaleBeacons()
+	self := ch.position(int(id))
+	buf := ch.nbrBuf[:0]
+	if ch.grid != nil {
+		ch.ensureGrid()
+		buf = ch.appendGridNeighbors(buf, id, self)
+	} else {
+		buf = ch.appendLinearNeighbors(buf, id, self)
+	}
+	ch.nbrBuf = buf
+	return buf
+}
+
+// appendLinearNeighbors is the retained O(N) reference scan. It computes
+// every node's position (through the epoch cache) even for dead nodes so
+// that its mobility access pattern matches a grid rebuild at the same
+// instant — part of the bit-identical contract between the two paths.
+func (ch *Channel) appendLinearNeighbors(buf []Neighbor, id NodeID, self geo.Point) []Neighbor {
 	r2 := ch.cfg.Range * ch.cfg.Range
-	var out []Neighbor
 	for i := 0; i < ch.mob.Len(); i++ {
-		if NodeID(i) == id || !ch.alive(NodeID(i)) {
+		if i == int(id) {
 			continue
 		}
-		p := ch.ObservedPosition(NodeID(i))
+		p := ch.observedCached(i)
+		if !ch.alive(NodeID(i)) {
+			continue
+		}
 		if self.Dist2(p) <= r2 {
-			out = append(out, Neighbor{ID: NodeID(i), Pos: p})
+			buf = append(buf, Neighbor{ID: NodeID(i), Pos: p})
 		}
 	}
-	return out
+	return buf
 }
 
 // InRange reports whether b is currently within a's radio range.
 func (ch *Channel) InRange(a, b NodeID) bool {
-	now := ch.sched.Now()
-	pa := ch.mob.Position(int(a), now)
-	pb := ch.mob.Position(int(b), now)
+	pa := ch.position(int(a))
+	pb := ch.position(int(b))
 	return pa.Dist2(pb) <= ch.cfg.Range*ch.cfg.Range
 }
 

@@ -82,7 +82,13 @@ type State struct {
 // graph is planar and connected whenever the unit-disk graph is, which is
 // what perimeter traversal requires.
 func GabrielNeighbors(self geo.Point, nbrs []radio.Neighbor) []radio.Neighbor {
-	out := make([]radio.Neighbor, 0, len(nbrs))
+	return AppendGabrielNeighbors(make([]radio.Neighbor, 0, len(nbrs)), self, nbrs)
+}
+
+// AppendGabrielNeighbors appends the Gabriel-graph edges of nbrs to dst
+// and returns the extended slice. Passing a reused scratch slice (as
+// Router does) makes planarization allocation-free in steady state.
+func AppendGabrielNeighbors(dst []radio.Neighbor, self geo.Point, nbrs []radio.Neighbor) []radio.Neighbor {
 	for _, n := range nbrs {
 		mid := self.Midpoint(n.Pos)
 		r2 := self.Dist2(n.Pos) / 4
@@ -97,10 +103,10 @@ func GabrielNeighbors(self geo.Point, nbrs []radio.Neighbor) []radio.Neighbor {
 			}
 		}
 		if keep {
-			out = append(out, n)
+			dst = append(dst, n)
 		}
 	}
-	return out
+	return dst
 }
 
 // greedyHop returns the neighbor strictly closest to dest, when one is
@@ -143,6 +149,13 @@ func rightHand(self geo.Point, planar []radio.Neighbor, refAngle float64, prev r
 	return best, found
 }
 
+// Router carries reusable scratch for NextHop so steady-state forwarding
+// is allocation-free. The zero value is ready to use. A Router serves one
+// simulation run; it is not safe for concurrent use.
+type Router struct {
+	planar []radio.Neighbor
+}
+
 // NextHop computes the GPSR forwarding decision at the node selfID located
 // at self, holding the given neighbor table, for a packet addressed to
 // dest carrying routing state st. It mutates st in place (the updated
@@ -152,6 +165,13 @@ func rightHand(self geo.Point, planar []radio.Neighbor, refAngle float64, prev r
 // neighbors, or the perimeter walk returned to its first edge, proving
 // dest unreachable in the current topology.
 func NextHop(selfID radio.NodeID, self geo.Point, nbrs []radio.Neighbor, dest geo.Point, st *State) (radio.Neighbor, bool) {
+	var r Router
+	return r.NextHop(selfID, self, nbrs, dest, st)
+}
+
+// NextHop is the scratch-reusing form of the package-level NextHop; see
+// its documentation for the routing semantics.
+func (r *Router) NextHop(selfID radio.NodeID, self geo.Point, nbrs []radio.Neighbor, dest geo.Point, st *State) (radio.Neighbor, bool) {
 	if len(nbrs) == 0 {
 		return radio.Neighbor{}, false
 	}
@@ -178,7 +198,8 @@ func NextHop(selfID radio.NodeID, self geo.Point, nbrs []radio.Neighbor, dest ge
 		st.HasPrev = false
 	}
 
-	planar := GabrielNeighbors(self, nbrs)
+	r.planar = AppendGabrielNeighbors(r.planar[:0], self, nbrs)
+	planar := r.planar
 	if len(planar) == 0 {
 		return radio.Neighbor{}, false
 	}

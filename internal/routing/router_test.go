@@ -1,0 +1,79 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"precinct/internal/geo"
+	"precinct/internal/radio"
+)
+
+func TestAppendGabrielNeighborsMatchesGabrielNeighbors(t *testing.T) {
+	tab := randomTable(60, 9)
+	scratch := make([]radio.Neighbor, 0, 64)
+	for id := radio.NodeID(0); id < 60; id++ {
+		nbrs := tab.NeighborsOf(id)
+		self := tab.Positions[id]
+		want := GabrielNeighbors(self, nbrs)
+		scratch = AppendGabrielNeighbors(scratch[:0], self, nbrs)
+		if len(want) == 0 && len(scratch) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, scratch) {
+			t.Fatalf("node %d: append form %v != allocating form %v", id, scratch, want)
+		}
+	}
+}
+
+func TestRouterMatchesPackageNextHop(t *testing.T) {
+	tab := randomTable(60, 11)
+	dest := geo.Pt(1150, 1150)
+	var r Router
+	for id := radio.NodeID(0); id < 60; id++ {
+		nbrs := tab.NeighborsOf(id)
+		// Start from perimeter mode to force the planarization path.
+		stFree := State{Mode: Perimeter, EntryPos: tab.Positions[id], FaceEntry: tab.Positions[id]}
+		stRouter := stFree
+		hopFree, okFree := NextHop(id, tab.Positions[id], nbrs, dest, &stFree)
+		hopRouter, okRouter := r.NextHop(id, tab.Positions[id], nbrs, dest, &stRouter)
+		if okFree != okRouter || hopFree != hopRouter {
+			t.Fatalf("node %d: Router hop (%v, %v) != package hop (%v, %v)",
+				id, hopRouter, okRouter, hopFree, okFree)
+		}
+		if stFree != stRouter {
+			t.Fatalf("node %d: Router state %+v != package state %+v", id, stRouter, stFree)
+		}
+	}
+}
+
+// TestRouterNextHopDoesNotAllocate pins the zero-alloc guarantee the node
+// layer relies on: after warmup, forwarding decisions must not allocate.
+func TestRouterNextHopDoesNotAllocate(t *testing.T) {
+	tab := randomTable(80, 5)
+	dest := geo.Pt(10, 10)
+	var r Router
+	nbrs := tab.NeighborsOf(3)
+	self := tab.Positions[3]
+	allocs := testing.AllocsPerRun(200, func() {
+		// Perimeter mode exercises the planarization scratch.
+		st := State{Mode: Perimeter, EntryPos: self, FaceEntry: self}
+		r.NextHop(3, self, nbrs, dest, &st)
+	})
+	if allocs != 0 {
+		t.Errorf("Router.NextHop allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkRouterNextHopPerimeter(b *testing.B) {
+	tab := randomTable(80, 4)
+	dest := geo.Pt(10, 10)
+	var r Router
+	nbrs := tab.NeighborsOf(3)
+	self := tab.Positions[3]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := State{Mode: Perimeter, EntryPos: self, FaceEntry: self}
+		r.NextHop(3, self, nbrs, dest, &st)
+	}
+}

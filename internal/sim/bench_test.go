@@ -46,6 +46,23 @@ func BenchmarkCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkSameTimeBurst models a broadcast fan-out: many events queued
+// at one instant (one delivery per neighbor), drained in FIFO order.
+// This is the dominant scheduler pattern during regional floods.
+func BenchmarkSameTimeBurst(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	const burst = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := s.Now() + 1
+		for j := 0; j < burst; j++ {
+			s.At(at, fn)
+		}
+		s.Run(at)
+	}
+}
+
 func BenchmarkRNGStream(b *testing.B) {
 	r := NewRNG(1)
 	for i := 0; i < b.N; i++ {

@@ -83,6 +83,11 @@ type Scenario struct {
 	// (0 = perfect location knowledge). Tests the paper's robustness
 	// claim for routing-to-regions under location error.
 	BeaconInterval float64
+	// LinearRadio serves neighbor queries with the retained O(N) linear
+	// scan instead of the spatial grid index. The two are bit-identical
+	// by contract (see DESIGN.md); this switch exists for equivalence
+	// testing and benchmarking, not for normal use.
+	LinearRadio bool
 
 	// Items, MinItemSize and MaxItemSize describe the shared catalog.
 	Items       int
@@ -315,6 +320,7 @@ func (s Scenario) buildTraced(tracer trace.Tracer) (*built, error) {
 	radioCfg.LossRate = s.LossRate
 	radioCfg.BeaconInterval = s.BeaconInterval
 	radioCfg.Collisions = s.Collisions
+	radioCfg.LinearScan = s.LinearRadio
 	ch, err := radio.New(radioCfg, sched, mob, meter, rng.Stream("loss"))
 	if err != nil {
 		return nil, err

@@ -1,16 +1,21 @@
 package precinct
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"precinct/internal/stats"
 )
 
 // Sweep runs the scenarios concurrently on a worker pool and returns the
 // results in input order. workers <= 0 uses GOMAXPROCS. The first error
-// aborts the sweep (already-running scenarios finish).
+// aborts the sweep: already-running scenarios finish, but queued scenarios
+// are skipped. On failure the returned error joins every scenario error
+// that occurred (errors.Join), each tagged with its scenario index and
+// name.
 //
 // Each scenario's simulation core is single-threaded and deterministic;
 // the sweep level is where this library uses the machine's parallelism.
@@ -27,28 +32,39 @@ func Sweep(scenarios []Scenario, workers int) ([]Result, error) {
 
 	results := make([]Result, len(scenarios))
 	errs := make([]error, len(scenarios))
-	jobs := make(chan int)
 
+	// Buffering the queue lets it be filled and closed up front, so
+	// workers observing the abort flag can drain the remainder without a
+	// producer goroutine blocking on sends.
+	jobs := make(chan int, len(scenarios))
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(scenarios[i])
+				if aborted.Load() {
+					continue
+				}
+				var err error
+				results[i], err = Run(scenarios[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("precinct: scenario %d (%s): %w", i, scenarios[i].Name, err)
+					aborted.Store(true)
+				}
 			}
 		}()
 	}
-	for i := range scenarios {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("precinct: scenario %d (%s): %w", i, scenarios[i].Name, err)
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,70 @@
+package precinct
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScenario is the cheapest run that still validates; sweep tests only
+// care about orchestration, not simulation output.
+func tinyScenario(name string, seed int64) Scenario {
+	s := DefaultScenario()
+	s.Name = name
+	s.Nodes = 12
+	s.Items = 50
+	s.Duration = 60
+	s.Warmup = 10
+	s.Seed = seed
+	return s
+}
+
+func TestSweepAbortsQueuedScenariosAfterError(t *testing.T) {
+	bad := func(name string) Scenario {
+		s := tinyScenario(name, 1)
+		s.Nodes = 0 // fails validation inside Run
+		return s
+	}
+	scenarios := []Scenario{
+		tinyScenario("ok", 1),
+		bad("boom"),
+		bad("never-runs"),
+	}
+	// One worker makes execution order deterministic: "ok" runs, "boom"
+	// fails and sets the abort flag, "never-runs" must be skipped.
+	_, err := Sweep(scenarios, 1)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "scenario 1 (boom)") {
+		t.Errorf("error does not identify the failing scenario: %v", err)
+	}
+	if strings.Contains(err.Error(), "never-runs") {
+		t.Errorf("queued scenario ran after abort: %v", err)
+	}
+}
+
+func TestSweepJoinsConcurrentErrors(t *testing.T) {
+	bad := func(name string) Scenario {
+		s := tinyScenario(name, 1)
+		s.Regions = 0
+		return s
+	}
+	// Two workers, two failing scenarios. Whether both run or the abort
+	// flag skips the second depends on goroutine timing; every error that
+	// did occur must appear in the joined result, each tagged with its
+	// scenario, and errors.Join renders them one per line.
+	scenarios := []Scenario{bad("x"), bad("y")}
+	_, err := Sweep(scenarios, 2)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) < 1 || len(lines) > 2 {
+		t.Fatalf("expected 1-2 joined errors, got %d: %v", len(lines), err)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "scenario 0 (x)") && !strings.Contains(line, "scenario 1 (y)") {
+			t.Errorf("joined error line not tagged with a scenario: %q", line)
+		}
+	}
+}
