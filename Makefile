@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench-radio ci
+.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio ci
 
 all: build
 
@@ -19,6 +19,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The runtime invariant suite (DESIGN.md section 9) under the race
+# detector: fuzzed scenarios, metamorphic relations and the
+# broken-build detection test.
+check:
+	$(GO) test -race -run Invariant -count=1 ./...
+
+# A short pass over every fuzz target so the corpora and harnesses are
+# kept working; real fuzzing campaigns just raise -fuzztime.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentsIntersect$$' -fuzztime $(FUZZTIME) ./internal/geo
+	$(GO) test -run '^$$' -fuzz '^FuzzRectClamp$$' -fuzztime $(FUZZTIME) ./internal/geo
+	$(GO) test -run '^$$' -fuzz '^FuzzGeoHash$$' -fuzztime $(FUZZTIME) ./internal/region
+	$(GO) test -run '^$$' -fuzz '^FuzzRegionForPoint$$' -fuzztime $(FUZZTIME) ./internal/region
+	$(GO) test -run '^$$' -fuzz '^FuzzZipfRank$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace
+
 # One fast pass over every benchmark so regressions in the bench code
 # itself are caught without waiting for full measurement runs.
 bench-smoke:
@@ -29,4 +46,4 @@ bench-smoke:
 bench-radio:
 	$(GO) run ./cmd/precinct-bench -radiojson BENCH_radio.json
 
-ci: vet build test race bench-smoke
+ci: vet build test race check bench-smoke fuzz-smoke

@@ -9,6 +9,11 @@
 //	precinct-sim -retrieval flooding -static -area 600 -cache-frac -1
 //	precinct-sim -config scenario.json -seed 7
 //	precinct-sim -save-config scenario.json -nodes 120
+//	precinct-sim -check -nodes 40 -duration 300
+//
+// With -check the run executes under the full runtime invariant catalog
+// (DESIGN.md section 9); any violation is printed and the process exits
+// with status 2.
 package main
 
 import (
@@ -54,6 +59,7 @@ func main() {
 	churnDown := flag.Float64("churn-downtime", 60, "seconds a churned peer stays away")
 	churnGraceful := flag.Float64("churn-graceful", 0.8, "fraction of graceful departures")
 	traceFile := flag.String("trace", "", "write a JSONL protocol event trace to this file")
+	check := flag.Bool("check", false, "run with runtime invariant checkers; exit 2 on any violation")
 	verbose := flag.Bool("v", false, "print protocol and radio counters too")
 	flag.Parse()
 
@@ -122,6 +128,25 @@ func main() {
 
 	var res precinct.Result
 	var err error
+	if *check {
+		if *traceFile != "" {
+			die(fmt.Errorf("-check and -trace are mutually exclusive"))
+		}
+		var inv precinct.InvariantReport
+		res, inv, err = precinct.RunChecked(s)
+		if err != nil {
+			die(err)
+		}
+		report(s, res, *verbose)
+		fmt.Println(inv)
+		if !inv.Ok() {
+			for _, v := range inv.Violations {
+				fmt.Fprintln(os.Stderr, "precinct-sim:", v)
+			}
+			os.Exit(2)
+		}
+		return
+	}
 	if *traceFile != "" {
 		f, ferr := os.Create(*traceFile)
 		if ferr != nil {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"precinct"
 )
@@ -16,6 +17,12 @@ import (
 func main() {
 	policies := []string{"gd-ld", "gd-size", "lru", "lfu"}
 	fractions := []float64{0.005, 0.010, 0.015, 0.020, 0.025}
+	duration, warmup := 1200.0, 300.0
+	if os.Getenv("PRECINCT_EXAMPLE_QUICK") != "" {
+		// Abbreviated sweep for the smoke-test suite.
+		fractions = []float64{0.005, 0.020}
+		duration, warmup = 150, 40
+	}
 
 	// One scenario per (policy, cache size) pair, all sharing a seed so
 	// the workload and mobility traces are identical across policies.
@@ -26,8 +33,8 @@ func main() {
 			sc.Name = fmt.Sprintf("%s @ %.1f%%", policy, frac*100)
 			sc.Policy = policy
 			sc.CacheFraction = frac
-			sc.Duration = 1200
-			sc.Warmup = 300
+			sc.Duration = duration
+			sc.Warmup = warmup
 			scenarios = append(scenarios, sc)
 		}
 	}

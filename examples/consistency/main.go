@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"precinct"
 )
@@ -16,6 +17,12 @@ import (
 func main() {
 	schemes := []string{"plain-push", "pull-every-time", "push-adaptive-pull"}
 	ratios := []float64{1, 2, 3, 4, 5} // T_update / T_request
+	duration, warmup := 1200.0, 300.0
+	if os.Getenv("PRECINCT_EXAMPLE_QUICK") != "" {
+		// Abbreviated sweep for the smoke-test suite.
+		ratios = []float64{1, 5}
+		duration, warmup = 150, 40
+	}
 
 	var scenarios []precinct.Scenario
 	for _, scheme := range schemes {
@@ -24,8 +31,8 @@ func main() {
 			sc.Name = fmt.Sprintf("%s r=%.0f", scheme, ratio)
 			sc.Consistency = scheme
 			sc.UpdateInterval = sc.RequestInterval * ratio
-			sc.Duration = 1200
-			sc.Warmup = 300
+			sc.Duration = duration
+			sc.Warmup = warmup
 			scenarios = append(scenarios, sc)
 		}
 	}

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"precinct"
 )
@@ -20,10 +21,17 @@ func main() {
 	base := precinct.DefaultScenario()
 	base.Duration = 1200
 	base.Warmup = 300
+	faultStart, waveGap := 400.0, 100.0
+	if os.Getenv("PRECINCT_EXAMPLE_QUICK") != "" {
+		// Abbreviated run for the smoke-test suite.
+		base.Duration = 300
+		base.Warmup = 60
+		faultStart, waveGap = 100, 30
+	}
 	var faults []precinct.Fault
 	for i := 0; i < base.Nodes/3; i++ {
 		faults = append(faults, precinct.Fault{
-			At:   400 + float64(i%3)*100,
+			At:   faultStart + float64(i%3)*waveGap,
 			Node: i * 3, // every third peer
 			Kind: "crash",
 		})
@@ -47,7 +55,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Crashing %d of %d peers at t=400-600 s\n\n", len(faults), base.Nodes)
+	fmt.Printf("Crashing %d of %d peers at t=%.0f-%.0f s\n\n",
+		len(faults), base.Nodes, faultStart, faultStart+2*waveGap)
 	fmt.Printf("%-18s  %10s  %10s  %14s  %12s\n",
 		"scenario", "requests", "failures", "availability", "latency (s)")
 	for _, res := range results {

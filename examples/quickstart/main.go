@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"precinct"
 )
@@ -19,6 +20,11 @@ func main() {
 	sc.Name = "quickstart"
 	sc.Duration = 800 // seconds of simulated time
 	sc.Warmup = 200   // let caches fill before measuring
+	if os.Getenv("PRECINCT_EXAMPLE_QUICK") != "" {
+		// Abbreviated run for the smoke-test suite.
+		sc.Duration = 200
+		sc.Warmup = 50
+	}
 
 	res, err := precinct.Run(sc)
 	if err != nil {

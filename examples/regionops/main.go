@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"precinct/internal/energy"
 	"precinct/internal/geo"
@@ -28,6 +29,11 @@ func main() {
 		nodes    = 60
 		areaSide = 1200.0
 	)
+	seg1, seg2, seg3 := 200.0, 300.0, 500.0
+	if os.Getenv("PRECINCT_EXAMPLE_QUICK") != "" {
+		// Abbreviated run for the smoke-test suite.
+		seg1, seg2, seg3 = 40, 60, 100
+	}
 	rng := sim.NewRNG(7)
 	sched := sim.NewScheduler()
 	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(areaSide, areaSide))
@@ -61,23 +67,23 @@ func main() {
 	check(err)
 
 	fmt.Printf("start: %d regions, table version %d\n", net.Table().Len(), net.TableVersions())
-	net.Run(200)
+	net.Run(seg1)
 
 	// Separate the busiest (center) region into two.
 	fmt.Println("\n→ Separate region 4 (the center region)")
 	check(net.Separate(region.ID(4)))
-	net.Run(300)
+	net.Run(seg2)
 	report(net)
 
 	// Merge two adjacent regions of the bottom row back together.
 	fmt.Println("\n→ Merge regions 0 and 1")
 	check(net.Merge(region.ID(0), region.ID(1)))
-	net.Run(500)
+	net.Run(seg3)
 	report(net)
 
 	rep := net.Report()
-	fmt.Printf("\nafter 500 s: %d requests, %.1f%% answered, mean latency %.3f s\n",
-		rep.Requests, 100*float64(rep.Completed)/float64(max(rep.Requests, 1)),
+	fmt.Printf("\nafter %.0f s: %d requests, %.1f%% answered, mean latency %.3f s\n",
+		seg3, rep.Requests, 100*float64(rep.Completed)/float64(max(rep.Requests, 1)),
 		rep.MeanLatency)
 	fmt.Println("\nEvery Separate/Merge floods a new region-table version through")
 	fmt.Println("the network; peers relocate their stored keys to the new home")

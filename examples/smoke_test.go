@@ -1,0 +1,56 @@
+// Smoke tests for the example programs: each must build, run to
+// completion (exit 0) and print its signature output markers. The
+// PRECINCT_EXAMPLE_QUICK environment variable switches every example to
+// an abbreviated configuration so the whole suite stays fast.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exampleSmoke names an example and the output markers that prove its
+// interesting code path actually ran.
+type exampleSmoke struct {
+	name    string
+	markers []string
+}
+
+var smokes = []exampleSmoke{
+	{"quickstart", []string{"PReCinCt quickstart", "byte hit ratio", "key handoffs due to mobility"}},
+	{"cachepolicy", []string{"Latency per request (s) by cache size", "Byte hit ratio by cache size:", "gd-ld"}},
+	{"consistency", []string{"Control message overhead", "False hit ratio", "push-adaptive-pull"}},
+	{"faulttolerance", []string{"availability", "replication on", "replication off", "no faults"}},
+	{"regionops", []string{"→ Separate region 4", "→ Merge regions 0 and 1", "answered, mean latency"}},
+}
+
+func TestExampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every example program; skipped in -short")
+	}
+	repoRoot, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range smokes {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex.name)
+			cmd.Dir = repoRoot
+			cmd.Env = append(os.Environ(), "PRECINCT_EXAMPLE_QUICK=1")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", ex.name, err, out)
+			}
+			for _, marker := range ex.markers {
+				if !strings.Contains(string(out), marker) {
+					t.Errorf("output lacks marker %q:\n%s", marker, out)
+				}
+			}
+		})
+	}
+}

@@ -162,6 +162,15 @@ type Cache struct {
 	evictions uint64
 	hits      uint64
 	misses    uint64
+
+	// inflateRegressed records a greedy-dual aging-floor decrease, which
+	// the paper's algorithm forbids (L only ever rises to the utility of
+	// the latest victim). CheckInvariants reports it.
+	inflateRegressed bool
+	// evictionDisabled is a test hook: Put stops evicting, so occupancy
+	// can exceed capacity. It exists solely so the invariant checker can
+	// be proven to catch a broken build.
+	evictionDisabled bool
 }
 
 // New returns an empty cache with the given byte capacity.
@@ -242,12 +251,15 @@ func (c *Cache) Put(e Entry, now float64) (evicted []Entry, ok bool) {
 		c.used -= int64(old.Size)
 		delete(c.entries, e.Key)
 	}
-	for c.used+int64(e.Size) > c.capacity {
+	for c.used+int64(e.Size) > c.capacity && !c.evictionDisabled {
 		victim := c.minUtility()
 		if victim == nil {
 			break // cannot happen while used > 0; defensive
 		}
 		if c.policy.Aged() {
+			if victim.Utility < c.inflate {
+				c.inflateRegressed = true
+			}
 			c.inflate = victim.Utility
 		}
 		c.used -= int64(victim.Size)
@@ -262,6 +274,38 @@ func (c *Cache) Put(e Entry, now float64) (evicted []Entry, ok bool) {
 	c.entries[e.Key] = &stored
 	c.used += int64(e.Size)
 	return evicted, true
+}
+
+// SetEvictionDisabledForTest turns the eviction loop in Put off (or back
+// on). It deliberately breaks the capacity bound and exists only so tests
+// can demonstrate that the invariant checker detects the violation.
+func (c *Cache) SetEvictionDisabledForTest(disabled bool) { c.evictionDisabled = disabled }
+
+// CheckInvariants verifies the cache's paper-derived invariants:
+// occupancy never exceeds capacity, the occupancy accumulator matches the
+// sum of entry sizes, every entry is positively sized, and the greedy-dual
+// aging floor L never decreased. Returns nil when all hold.
+func (c *Cache) CheckInvariants() error {
+	if c.used > c.capacity {
+		return fmt.Errorf("cache: occupancy %d exceeds capacity %d", c.used, c.capacity)
+	}
+	var sum int64
+	for k, e := range c.entries {
+		if e.Size <= 0 {
+			return fmt.Errorf("cache: entry %d has non-positive size %d", k, e.Size)
+		}
+		sum += int64(e.Size)
+	}
+	if sum != c.used {
+		return fmt.Errorf("cache: occupancy accumulator %d != sum of entry sizes %d", c.used, sum)
+	}
+	if c.inflateRegressed {
+		return fmt.Errorf("cache: greedy-dual aging floor L decreased (currently %g)", c.inflate)
+	}
+	if c.policy.Aged() && (math.IsNaN(c.inflate) || c.inflate < 0) {
+		return fmt.Errorf("cache: invalid aging floor L=%g", c.inflate)
+	}
+	return nil
 }
 
 // minUtility returns the entry with the minimum utility; ties break to

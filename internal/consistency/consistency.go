@@ -22,6 +22,7 @@ package consistency
 
 import (
 	"fmt"
+	"math"
 
 	"precinct/internal/cache"
 )
@@ -109,6 +110,36 @@ func (c Config) Validate() error {
 // interval.
 func SmoothTTR(alpha, prevTTR, updateInterval float64) float64 {
 	return alpha*prevTTR + (1-alpha)*updateInterval
+}
+
+// CheckSmoothingBound verifies that next is a valid result of Equation 2
+// applied to (alpha, prev, interval): with alpha in [0, 1), the smoothed
+// TTR is a convex combination of the previous TTR and the observed update
+// interval, so it must lie in [min(prev, interval), max(prev, interval)];
+// it must also be finite, non-negative, and strictly positive whenever
+// alpha > 0 and the previous TTR was positive. The invariant checker calls
+// this on every TTR update the consistency layer performs.
+func CheckSmoothingBound(alpha, prev, interval, next float64) error {
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		return fmt.Errorf("consistency: smoothed TTR %v is not finite", next)
+	}
+	if next < 0 {
+		return fmt.Errorf("consistency: smoothed TTR %v is negative", next)
+	}
+	if alpha > 0 && prev > 0 && next <= 0 {
+		return fmt.Errorf("consistency: smoothed TTR collapsed to %v from prev %v (alpha %v)", next, prev, alpha)
+	}
+	lo, hi := prev, interval
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Tolerate float rounding at the interval edges.
+	eps := 1e-9 * (1 + math.Abs(hi))
+	if next < lo-eps || next > hi+eps {
+		return fmt.Errorf("consistency: smoothed TTR %v outside [%v, %v] (alpha %v, prev %v, interval %v)",
+			next, lo, hi, alpha, prev, interval)
+	}
+	return nil
 }
 
 // ApplyUpdate records an accepted update on a home/replica-region stored

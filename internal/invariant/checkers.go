@@ -1,0 +1,311 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"precinct/internal/consistency"
+	"precinct/internal/energy"
+	"precinct/internal/node"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/workload"
+)
+
+// CacheChecker verifies every peer cache's structural invariants: byte
+// occupancy never exceeds capacity, the occupancy accumulator matches the
+// entry sizes, and the GD-LD aging floor L never decreases (paper
+// Section 3: L rises to the utility of each victim).
+type CacheChecker struct{}
+
+// Name implements Checker.
+func (*CacheChecker) Name() string { return "cache" }
+
+// Sweep implements Checker.
+func (*CacheChecker) Sweep(ctx *Context) []string {
+	var out []string
+	for i := 0; i < ctx.Net.Peers(); i++ {
+		p := ctx.Net.Peer(radio.NodeID(i))
+		c := p.Cache()
+		if c == nil {
+			continue
+		}
+		if err := c.CheckInvariants(); err != nil {
+			out = append(out, fmt.Sprintf("peer %d: %v", i, err))
+		}
+	}
+	return out
+}
+
+// Finalize implements Checker.
+func (c *CacheChecker) Finalize(ctx *Context) []string { return c.Sweep(ctx) }
+
+// AdmissionChecker verifies the paper's cache admission control
+// (Section 3): an item served from within the requester's own region must
+// never enter the requester's dynamic cache.
+type AdmissionChecker struct{}
+
+// Name implements Checker.
+func (*AdmissionChecker) Name() string { return "admission" }
+
+// Sweep implements Checker.
+func (*AdmissionChecker) Sweep(*Context) []string { return nil }
+
+// Finalize implements Checker.
+func (*AdmissionChecker) Finalize(*Context) []string { return nil }
+
+// OnCacheAdmit implements the admit observer.
+func (*AdmissionChecker) OnCacheAdmit(_ *Context, id radio.NodeID, requesterRegion, serverRegion region.ID, key workload.Key) []string {
+	if requesterRegion == serverRegion {
+		return []string{fmt.Sprintf(
+			"peer %d cached key %d served from its own region %d",
+			int(id), uint32(key), int(requesterRegion))}
+	}
+	return nil
+}
+
+// CustodyChecker verifies key ownership (Section 2): at any instant a key
+// has at most one live primary custodian and at most one live replica
+// custodian (copies can be zero while in flight or after losses), and a
+// re-homing pass leaves a peer holding only copies that either belong to
+// its current region or have no eligible custodian anywhere.
+type CustodyChecker struct{}
+
+// Name implements Checker.
+func (*CustodyChecker) Name() string { return "custody" }
+
+// Sweep implements Checker.
+func (*CustodyChecker) Sweep(ctx *Context) []string {
+	var out []string
+	type holders struct{ primary, replica int }
+	seen := make(map[workload.Key]*holders)
+	for i := 0; i < ctx.Net.Peers(); i++ {
+		p := ctx.Net.Peer(radio.NodeID(i))
+		if !p.Alive() {
+			continue
+		}
+		st := p.Store()
+		for _, k := range st.Keys() {
+			it, _ := st.Get(k)
+			h := seen[k]
+			if h == nil {
+				h = &holders{}
+				seen[k] = h
+			}
+			if it.Replica {
+				h.replica++
+			} else {
+				h.primary++
+			}
+		}
+	}
+	for k, h := range seen {
+		if h.primary > 1 {
+			out = append(out, fmt.Sprintf("key %d has %d live primary custodians", uint32(k), h.primary))
+		}
+		if h.replica > 1 {
+			out = append(out, fmt.Sprintf("key %d has %d live replica custodians", uint32(k), h.replica))
+		}
+	}
+	return out
+}
+
+// Finalize implements Checker.
+func (c *CustodyChecker) Finalize(ctx *Context) []string { return c.Sweep(ctx) }
+
+// AfterRehome implements the rehome observer.
+func (*CustodyChecker) AfterRehome(ctx *Context, p *node.Peer, evacuate bool) []string {
+	var out []string
+	st := p.Store()
+	t := p.Table()
+	for _, k := range st.Keys() {
+		it, _ := st.Get(k)
+		var proper region.Region
+		var ok bool
+		if it.Replica {
+			proper, ok = t.ReplicaRegion(k)
+		} else {
+			proper, ok = t.HomeRegion(k)
+		}
+		if !ok {
+			// No proper region exists (e.g. a replica copy on a
+			// single-region table); the copy legitimately stays.
+			continue
+		}
+		if evacuate {
+			out = append(out, fmt.Sprintf(
+				"peer %d still holds key %d (region %d) after evacuating",
+				int(p.ID()), uint32(k), int(proper.ID)))
+			continue
+		}
+		if proper.ID == p.RegionID() {
+			continue // the copy is where it belongs
+		}
+		if ctx.Net.HasCustodian(t, proper.ID, p) {
+			out = append(out, fmt.Sprintf(
+				"peer %d (region %d) kept key %d although region %d has an eligible custodian",
+				int(p.ID()), int(p.RegionID()), uint32(k), int(proper.ID)))
+		}
+	}
+	return out
+}
+
+// TTRChecker verifies the Time-to-Refresh bookkeeping of Push with
+// Adaptive Pull (Section 4, Equation 2): stored TTRs stay finite and
+// non-negative, and every smoothing step lands inside the convex hull of
+// its inputs.
+type TTRChecker struct{}
+
+// Name implements Checker.
+func (*TTRChecker) Name() string { return "ttr" }
+
+// Sweep implements Checker.
+func (*TTRChecker) Sweep(ctx *Context) []string {
+	var out []string
+	for i := 0; i < ctx.Net.Peers(); i++ {
+		p := ctx.Net.Peer(radio.NodeID(i))
+		st := p.Store()
+		for _, k := range st.Keys() {
+			it, _ := st.Get(k)
+			if math.IsNaN(it.TTR) || math.IsInf(it.TTR, 0) || it.TTR < 0 {
+				out = append(out, fmt.Sprintf(
+					"peer %d stores key %d with invalid TTR %v", i, uint32(k), it.TTR))
+			}
+		}
+	}
+	return out
+}
+
+// Finalize implements Checker.
+func (c *TTRChecker) Finalize(ctx *Context) []string { return c.Sweep(ctx) }
+
+// OnTTRSmoothed implements the TTR observer.
+func (*TTRChecker) OnTTRSmoothed(_ *Context, id radio.NodeID, key workload.Key, alpha, prev, interval, next float64) []string {
+	if err := consistency.CheckSmoothingBound(alpha, prev, interval, next); err != nil {
+		return []string{fmt.Sprintf("peer %d key %d: %v", int(id), uint32(key), err)}
+	}
+	return nil
+}
+
+// ConservationChecker verifies the channel and energy conservation laws:
+// every scheduled reception resolves as exactly one of handled, collided
+// or receiver-dead (so Deliveries == Handled + Collisions + DeadDrops +
+// InFlight at all times), and the energy meter's total matches both its
+// per-node and its per-class decompositions.
+type ConservationChecker struct{}
+
+// Name implements Checker.
+func (*ConservationChecker) Name() string { return "conservation" }
+
+// Sweep implements Checker.
+func (*ConservationChecker) Sweep(ctx *Context) []string {
+	st := ctx.Ch.Stats()
+	resolved := st.Handled + st.Collisions + st.DeadDrops
+	if st.Deliveries != resolved+ctx.Ch.InFlight() {
+		return []string{fmt.Sprintf(
+			"radio: deliveries %d != handled %d + collisions %d + dead %d + in-flight %d",
+			st.Deliveries, st.Handled, st.Collisions, st.DeadDrops, ctx.Ch.InFlight())}
+	}
+	return nil
+}
+
+// Finalize implements Checker.
+func (c *ConservationChecker) Finalize(ctx *Context) []string {
+	out := c.Sweep(ctx)
+	if ctx.Meter == nil {
+		return out
+	}
+	total := ctx.Meter.Total()
+	var byNode float64
+	for i := 0; i < ctx.Ch.N(); i++ {
+		byNode += ctx.Meter.Node(i)
+	}
+	var byClass float64
+	for _, cl := range []energy.Class{
+		energy.BroadcastSend, energy.BroadcastRecv,
+		energy.P2PSend, energy.P2PRecv, energy.Discard,
+	} {
+		byClass += ctx.Meter.ByClass(cl)
+	}
+	tol := 1e-6 * math.Max(1, math.Abs(total))
+	if math.Abs(total-byNode) > tol {
+		out = append(out, fmt.Sprintf("energy: total %v != per-node sum %v", total, byNode))
+	}
+	if math.Abs(total-byClass) > tol {
+		out = append(out, fmt.Sprintf("energy: total %v != per-class sum %v", total, byClass))
+	}
+	return out
+}
+
+// SchedulerChecker verifies the event-queue bookkeeping every sweep and,
+// once the run ends, that no request leaks: with a drained event queue
+// every issued request must have completed or timed out.
+type SchedulerChecker struct{}
+
+// Name implements Checker.
+func (*SchedulerChecker) Name() string { return "scheduler" }
+
+// Sweep implements Checker.
+func (*SchedulerChecker) Sweep(ctx *Context) []string {
+	if err := ctx.Sched.CheckConsistency(); err != nil {
+		return []string{err.Error()}
+	}
+	return nil
+}
+
+// Finalize implements Checker.
+func (c *SchedulerChecker) Finalize(ctx *Context) []string {
+	out := c.Sweep(ctx)
+	if ctx.Sched.Len() == 0 && ctx.Net.PendingRequests() != 0 {
+		out = append(out, fmt.Sprintf(
+			"%d requests pending with an empty event queue", ctx.Net.PendingRequests()))
+	}
+	return out
+}
+
+// RegionChecker verifies the geographic hash layer (Section 2): the
+// region table is structurally sound on every version peers still hold,
+// and every catalog key maps to a home region and — whenever at least two
+// regions exist — a distinct replica region.
+type RegionChecker struct{}
+
+// Name implements Checker.
+func (*RegionChecker) Name() string { return "region" }
+
+// Sweep implements Checker.
+func (*RegionChecker) Sweep(ctx *Context) []string {
+	var out []string
+	tables := map[*region.Table]bool{ctx.Net.Table(): true}
+	for i := 0; i < ctx.Net.Peers(); i++ {
+		tables[ctx.Net.Peer(radio.NodeID(i)).Table()] = true
+	}
+	for t := range tables {
+		if err := t.CheckInvariants(); err != nil {
+			out = append(out, err.Error())
+		}
+	}
+	t := ctx.Net.Table()
+	for k := 0; k < ctx.Catalog.Len(); k++ {
+		key := workload.Key(k)
+		home, ok := t.HomeRegion(key)
+		if !ok {
+			out = append(out, fmt.Sprintf("key %d has no home region", k))
+			continue
+		}
+		if t.Len() < 2 {
+			continue
+		}
+		rep, ok := t.ReplicaRegion(key)
+		if !ok {
+			out = append(out, fmt.Sprintf("key %d has no replica region on a %d-region table", k, t.Len()))
+			continue
+		}
+		if rep.ID == home.ID {
+			out = append(out, fmt.Sprintf("key %d: replica region %d equals home region", k, int(home.ID)))
+		}
+	}
+	return out
+}
+
+// Finalize implements Checker.
+func (c *RegionChecker) Finalize(ctx *Context) []string { return c.Sweep(ctx) }

@@ -1,0 +1,141 @@
+// Package fuzzgen deterministically expands integer seeds into randomized
+// but valid simulation scenarios for the invariant test suite: varied
+// node counts, mobility models, region partitions, radio impairments,
+// workloads, consistency schemes and failure/churn schedules. The same
+// seed always yields the same scenario, so a failing seed is a complete,
+// reproducible bug report.
+//
+// The package also provides the metamorphic transformations the suite
+// uses: relabeling, radio-backend toggling and fault-order shuffling all
+// must leave a run's Report bit-identical.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"precinct"
+)
+
+// Expand grows a seed into a scenario. The generated scenario always
+// validates and runs in well under a second at test scale.
+func Expand(seed int64) precinct.Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	s := precinct.DefaultScenario()
+	s.Name = fmt.Sprintf("fuzz-%d", seed)
+	s.Seed = seed
+
+	s.Nodes = 16 + rng.Intn(25) // 16..40
+	s.AreaSide = 600 + 150*float64(rng.Intn(5))
+	s.Regions = []int{4, 9, 16}[rng.Intn(3)]
+	s.VoronoiRegions = rng.Float64() < 0.2
+
+	s.MobilityModel = []string{"waypoint", "static", "random-walk", "gauss-markov"}[rng.Intn(4)]
+	s.MaxSpeed = 1 + 9*rng.Float64()
+	s.Pause = 10 * rng.Float64()
+
+	s.Range = 200 + 100*rng.Float64()
+	if rng.Float64() < 0.3 {
+		s.LossRate = 0.1 * rng.Float64()
+	}
+	s.Collisions = rng.Float64() < 0.3
+	if rng.Float64() < 0.3 {
+		s.BeaconInterval = 1 + 2*rng.Float64()
+	}
+
+	s.Items = 100 + rng.Intn(201)
+	s.ZipfTheta = rng.Float64()
+	s.RequestInterval = 10 + 20*rng.Float64()
+
+	s.Retrieval = []string{"precinct", "precinct", "flooding", "expanding-ring"}[rng.Intn(4)]
+	s.Policy = []string{"gd-ld", "gd-ld", "gd-size", "lru", "lfu"}[rng.Intn(5)]
+	s.CacheFraction = 0.005 + 0.02*rng.Float64()
+	s.EnRoute = rng.Float64() < 0.7
+	s.Replication = rng.Float64() < 0.7
+
+	// Half the scenarios run a write workload so the consistency and TTR
+	// invariants get exercised; weight toward the paper's hybrid scheme.
+	if rng.Float64() < 0.5 {
+		s.UpdateInterval = 20 + 60*rng.Float64()
+		s.UpdateZipfTheta = 0.8 * rng.Float64()
+		s.Consistency = []string{
+			"push-adaptive-pull", "push-adaptive-pull", "plain-push", "pull-every-time",
+		}[rng.Intn(4)]
+		s.TTRAlpha = 0.1 + 0.8*rng.Float64()
+	} else {
+		s.Consistency = "none"
+	}
+
+	s.Warmup = 30
+	s.Duration = 120 + float64(rng.Intn(121))
+
+	// Failure schedule: strictly increasing, pairwise distinct fault
+	// times on distinct nodes, so the schedule's execution order is fully
+	// determined by content and a shuffled Faults slice is a valid
+	// metamorphic transformation.
+	if n := rng.Intn(4); n > 0 {
+		perm := rng.Perm(s.Nodes)
+		t := s.Warmup + 10
+		var revive []precinct.Fault
+		for i := 0; i < n; i++ {
+			t += 7 + 25*rng.Float64()
+			kind := "crash"
+			if rng.Float64() < 0.5 {
+				kind = "quit"
+			}
+			s.Faults = append(s.Faults, precinct.Fault{At: t, Node: perm[i], Kind: kind})
+			if rng.Float64() < 0.5 {
+				revive = append(revive, precinct.Fault{Node: perm[i], Kind: "revive"})
+			}
+		}
+		for _, f := range revive {
+			t += 7 + 25*rng.Float64()
+			f.At = t
+			s.Faults = append(s.Faults, f)
+		}
+		if t >= s.Duration-5 {
+			s.Duration = t + 30
+		}
+	}
+
+	if rng.Float64() < 0.25 {
+		s.ChurnInterval = 40 + 40*rng.Float64()
+		s.ChurnDowntime = 20 + 20*rng.Float64()
+		s.ChurnGraceful = rng.Float64()
+	}
+	if !s.VoronoiRegions && rng.Float64() < 0.15 {
+		s.AdaptiveRegions = true
+	}
+	return s
+}
+
+// Relabel returns the scenario with a different Name. Renaming must not
+// affect the run at all.
+func Relabel(s precinct.Scenario, name string) precinct.Scenario {
+	s.Name = name
+	return s
+}
+
+// ToggleLinearRadio flips the neighbor-query backend between the spatial
+// grid index and the reference linear scan; the two are bit-identical by
+// contract.
+func ToggleLinearRadio(s precinct.Scenario) precinct.Scenario {
+	s.LinearRadio = !s.LinearRadio
+	return s
+}
+
+// ShuffleFaults deterministically permutes the order of the Faults slice
+// without touching its contents. Because Expand emits pairwise-distinct
+// fault times, scheduling order is content-determined and the permuted
+// scenario must produce an identical Report.
+func ShuffleFaults(s precinct.Scenario, seed int64) precinct.Scenario {
+	if len(s.Faults) < 2 {
+		return s
+	}
+	faults := make([]precinct.Fault, len(s.Faults))
+	copy(faults, s.Faults)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(faults), func(i, j int) { faults[i], faults[j] = faults[j], faults[i] })
+	s.Faults = faults
+	return s
+}

@@ -121,9 +121,11 @@ func (n *Network) inspectRegions() {
 	if n.table.Len() < cfg.MaxRegions {
 		var worst region.ID = region.Invalid
 		worstPop := cfg.SplitAbove
-		for id, c := range pop {
-			if c > worstPop {
-				worst, worstPop = id, c
+		// Scan in table order so population ties resolve to the lowest
+		// region ID deterministically (map iteration order is random).
+		for _, r := range n.table.Regions() {
+			if c := pop[r.ID]; c > worstPop {
+				worst, worstPop = r.ID, c
 			}
 		}
 		if worst != region.Invalid {

@@ -161,6 +161,9 @@ func (n *Network) applyStoredUpdate(p *Peer, k workload.Key, version uint64, now
 	updated.UpdatedAt = now
 	p.store.Put(updated)
 	n.stats.UpdatesApplied++
+	if n.probe != nil {
+		n.probe.OnTTRSmoothed(p.id, k, n.cfg.Consistency.Alpha, prev, interval, updated.TTR)
+	}
 }
 
 // holderTTR returns the TTR to advertise for a key from this peer's

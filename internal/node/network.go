@@ -31,6 +31,9 @@ type Options struct {
 	RNG       *sim.RNG
 	// Tracer receives structured protocol events when non-nil.
 	Tracer trace.Tracer
+	// Probe receives invariant-checking callbacks when non-nil; see the
+	// Probe interface for the observer contract.
+	Probe Probe
 }
 
 // Stats counts protocol-layer events beyond the metrics collector.
@@ -59,6 +62,7 @@ type Network struct {
 	meter   *energy.Meter
 	rng     *sim.RNG
 	tracer  trace.Tracer
+	probe   Probe
 
 	// router holds GPSR forwarding scratch so steady-state routing
 	// allocates nothing. The simulation core is single-threaded, so one
@@ -104,6 +108,7 @@ func New(opts Options) (*Network, error) {
 		meter:   opts.Meter,
 		rng:     opts.RNG,
 		tracer:  opts.Tracer,
+		probe:   opts.Probe,
 		truth:   make([]uint64, opts.Catalog.Len()),
 		pending: make(map[uint64]*pendingReq),
 	}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"math/rand"
+	"sort"
 
 	"precinct/internal/cache"
 	"precinct/internal/radio"
@@ -195,7 +196,15 @@ func (p *Peer) rehomeKeys(evacuate bool) {
 		})
 		p.store.Remove(k)
 	}
-	for _, g := range groups {
+	// Send in ascending region order: map iteration order is random, and
+	// message order must be deterministic for runs to be reproducible.
+	order := make([]region.ID, 0, len(groups))
+	for id := range groups {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		g := groups[id]
 		m := &message{
 			Kind: kindHandoff, ID: p.net.newID(),
 			Origin: p.id, OriginPos: p.net.ch.Position(p.id),
@@ -212,6 +221,9 @@ func (p *Peer) rehomeKeys(evacuate bool) {
 			continue
 		}
 		p.net.forwardWithRetry(p, m)
+	}
+	if p.net.probe != nil {
+		p.net.probe.AfterRehome(p, evacuate)
 	}
 }
 

@@ -507,6 +507,9 @@ func (n *Network) admitToCache(p *Peer, m *message, now float64) {
 		}
 		expiry = now + m.TTR
 	}
+	if n.probe != nil {
+		n.probe.OnCacheAdmit(p.id, p.regionID, m.ServerRegion, m.Key)
+	}
 	p.cache.Put(cache.Entry{
 		Key: m.Key, Size: m.Size, Version: m.Version,
 		RegionDist: regDist, TTRExpiry: expiry,

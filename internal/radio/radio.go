@@ -122,6 +122,8 @@ type Stats struct {
 	Collisions      uint64 // lost to overlapping receptions
 	Undeliverable   uint64 // unicast to a node out of range
 	BytesOnAir      uint64
+	Handled         uint64 // receptions that reached the frame handler
+	DeadDrops       uint64 // receptions whose receiver died mid-flight
 }
 
 // Channel is the shared medium. One Channel serves one simulation run and
@@ -140,6 +142,7 @@ type Channel struct {
 	beaconPos   []geo.Point
 	beaconAt    []float64
 	stats       Stats
+	inFlight    uint64 // receptions scheduled but not yet resolved
 
 	// Position epoch cache: posCache[i] is valid iff posEpoch[i] equals
 	// epoch, and epoch is bumped lazily whenever the clock moves past
@@ -247,6 +250,12 @@ func (ch *Channel) Config() Config { return ch.cfg }
 
 // Stats returns a snapshot of the channel counters.
 func (ch *Channel) Stats() Stats { return ch.stats }
+
+// InFlight returns the number of receptions scheduled but not yet
+// resolved. At any instant the channel satisfies the conservation law
+// Deliveries == Handled + Collisions + DeadDrops + InFlight; the
+// invariant checker asserts it every sweep.
+func (ch *Channel) InFlight() uint64 { return ch.inFlight }
 
 // N returns the number of nodes.
 func (ch *Channel) N() int { return ch.mob.Len() }
@@ -418,8 +427,15 @@ func (ch *Channel) Broadcast(from NodeID, size int, payload any) int {
 		ch.stats.Deliveries++
 		to := nb.ID
 		air := ch.airtime(size)
+		ch.inFlight++
 		ch.sched.After(delay, func() {
-			if ch.alive(to) && !ch.collided(to, air) {
+			ch.inFlight--
+			if !ch.alive(to) {
+				ch.stats.DeadDrops++
+				return
+			}
+			if !ch.collided(to, air) {
+				ch.stats.Handled++
 				ch.handler(to, f)
 			}
 		})
@@ -463,8 +479,15 @@ func (ch *Channel) Unicast(from, to NodeID, size int, payload any) bool {
 	f := Frame{From: from, To: to, Size: onAir, Payload: payload}
 	ch.stats.Deliveries++
 	air := ch.airtime(size)
+	ch.inFlight++
 	ch.sched.After(delay, func() {
-		if ch.alive(to) && !ch.collided(to, air) {
+		ch.inFlight--
+		if !ch.alive(to) {
+			ch.stats.DeadDrops++
+			return
+		}
+		if !ch.collided(to, air) {
+			ch.stats.Handled++
 			ch.handler(to, f)
 		}
 	})

@@ -351,6 +351,38 @@ func (t *Table) Clone() *Table {
 	return cp
 }
 
+// CheckInvariants verifies the table's structural invariants: at least
+// one region, regions strictly sorted by ID (IDs are never reused, so
+// every ID is below nextID), region bounds lying inside the service area,
+// and — for grid partitions — positive region area. The invariant runner
+// calls this on every sweep.
+func (t *Table) CheckInvariants() error {
+	if len(t.regions) == 0 {
+		return fmt.Errorf("region: table has no regions")
+	}
+	if t.area.Width() <= 0 || t.area.Height() <= 0 {
+		return fmt.Errorf("region: degenerate service area %v", t.area)
+	}
+	prev := Invalid
+	for _, r := range t.regions {
+		if r.ID <= prev {
+			return fmt.Errorf("region: IDs not strictly increasing (%d after %d)", int(r.ID), int(prev))
+		}
+		prev = r.ID
+		if r.ID >= t.nextID {
+			return fmt.Errorf("region: region %d at or above nextID %d", int(r.ID), int(t.nextID))
+		}
+		if !t.voronoi && (r.Bounds.Width() <= 0 || r.Bounds.Height() <= 0) {
+			return fmt.Errorf("region: %v has degenerate bounds", r)
+		}
+		u := t.area.Union(r.Bounds)
+		if u != t.area {
+			return fmt.Errorf("region: %v extends outside the service area %v", r, t.area)
+		}
+	}
+	return nil
+}
+
 // RegionDistance returns the distance between the centers of two regions,
 // the "region distance" term of the GD-LD utility function. Unknown IDs
 // yield 0.

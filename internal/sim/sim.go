@@ -72,6 +72,11 @@ type Scheduler struct {
 	executed  uint64
 	cancelled uint64
 	stopped   bool
+
+	// afterEvent, when non-nil, runs after every executed event with the
+	// clock at that event's time. Observers (the invariant runner) hang
+	// off this; the hook must not schedule or cancel events.
+	afterEvent func(now float64)
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -87,6 +92,39 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// SetAfterEvent installs an observer called after each executed event.
+// Pass nil to remove it. The observer must not mutate the queue.
+func (s *Scheduler) SetAfterEvent(fn func(now float64)) { s.afterEvent = fn }
+
+// CheckConsistency verifies the scheduler's internal bookkeeping: the
+// pending map and the heap must describe the same event set, heap indices
+// must be self-consistent, the heap property must hold, and no pending
+// event may be scheduled before the current clock. It is O(n) over the
+// queue and intended for invariant sweeps, not hot paths.
+func (s *Scheduler) CheckConsistency() error {
+	if len(s.pending) != len(s.queue) {
+		return fmt.Errorf("sim: pending map has %d events but queue has %d", len(s.pending), len(s.queue))
+	}
+	for i, ev := range s.queue {
+		if ev.index != i {
+			return fmt.Errorf("sim: event %d carries heap index %d at position %d", ev.handle, ev.index, i)
+		}
+		if s.pending[ev.handle] != ev {
+			return fmt.Errorf("sim: queued event %d missing from pending map", ev.handle)
+		}
+		if ev.time < s.now {
+			return fmt.Errorf("sim: pending event %d at t=%v is before now=%v", ev.handle, ev.time, s.now)
+		}
+		if i > 0 {
+			parent := (i - 1) / 2
+			if s.queue.Less(i, parent) {
+				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, parent)
+			}
+		}
+	}
+	return nil
+}
 
 // At schedules fn to run at absolute simulation time t. Scheduling in the
 // past panics: it would silently reorder causality and every such call is
@@ -148,6 +186,9 @@ func (s *Scheduler) Run(until float64) uint64 {
 		next.fn()
 		s.executed++
 		n++
+		if s.afterEvent != nil {
+			s.afterEvent(s.now)
+		}
 	}
 	// Advance the clock to the horizon so subsequent scheduling is
 	// relative to the end of the observed window.
@@ -171,6 +212,9 @@ func (s *Scheduler) RunAll() uint64 {
 		next.fn()
 		s.executed++
 		n++
+		if s.afterEvent != nil {
+			s.afterEvent(s.now)
+		}
 	}
 	return n
 }

@@ -1,0 +1,109 @@
+package precinct
+
+import (
+	"fmt"
+	"os"
+
+	"precinct/internal/invariant"
+	"precinct/internal/radio"
+)
+
+// InvariantViolation is one detected breach of a protocol invariant.
+type InvariantViolation struct {
+	// Checker names the invariant family ("cache", "custody", ...).
+	Checker string
+	// Time is the simulation time of detection in seconds.
+	Time float64
+	// Detail describes the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v InvariantViolation) String() string {
+	return fmt.Sprintf("[%s] t=%.3f: %s", v.Checker, v.Time, v.Detail)
+}
+
+// InvariantReport summarizes one checked run.
+type InvariantReport struct {
+	// Sweeps is how many periodic check passes ran; Events how many
+	// scheduler events the runner observed.
+	Sweeps uint64
+	Events uint64
+	// TotalViolations counts every breach; Violations records the first
+	// ones (capped, see internal/invariant.Config).
+	TotalViolations uint64
+	Violations      []InvariantViolation
+}
+
+// Ok reports whether the run was violation-free.
+func (r InvariantReport) Ok() bool { return r.TotalViolations == 0 }
+
+// String renders a one-line summary.
+func (r InvariantReport) String() string {
+	return fmt.Sprintf("invariants: %d violation(s) over %d sweeps / %d events",
+		r.TotalViolations, r.Sweeps, r.Events)
+}
+
+// debugBreakEnv deliberately sabotages a built simulation according to
+// the PRECINCT_DEBUG_BREAK environment variable, so the invariant
+// checkers can be demonstrated to catch a broken build end to end:
+//
+//	no-evict — disable cache eviction on every peer (violates the
+//	           capacity bound).
+//
+// Unset or empty means no sabotage. Unknown values are an error.
+func debugBreakEnv(b *built) error {
+	switch mode := os.Getenv("PRECINCT_DEBUG_BREAK"); mode {
+	case "":
+		return nil
+	case "no-evict":
+		for i := 0; i < b.network.Peers(); i++ {
+			if c := b.network.Peer(radio.NodeID(i)).Cache(); c != nil {
+				c.SetEvictionDisabledForTest(true)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("precinct: unknown PRECINCT_DEBUG_BREAK mode %q", mode)
+	}
+}
+
+// RunChecked executes the scenario with the full runtime invariant
+// catalog attached (see DESIGN.md section 9). The checkers are pure
+// observers: the Result is bit-identical to what Run returns for the
+// same scenario. The error reports build failures only; detected
+// violations are returned in the InvariantReport.
+func RunChecked(s Scenario) (Result, InvariantReport, error) {
+	b, err := s.buildTraced(nil)
+	if err != nil {
+		return Result{}, InvariantReport{}, err
+	}
+	if err := debugBreakEnv(b); err != nil {
+		return Result{}, InvariantReport{}, err
+	}
+	runner := invariant.New(invariant.Config{})
+	runner.Attach(invariant.Context{
+		Net:     b.network,
+		Ch:      b.channel,
+		Meter:   b.meter,
+		Sched:   b.network.Scheduler(),
+		Catalog: b.catalog,
+	})
+	rep := b.network.Run(s.Duration)
+	runner.Finalize()
+
+	inv := InvariantReport{
+		Sweeps:          runner.Sweeps(),
+		Events:          runner.Events(),
+		TotalViolations: runner.Total(),
+	}
+	for _, v := range runner.Violations() {
+		inv.Violations = append(inv.Violations, InvariantViolation(v))
+	}
+	return Result{
+		Scenario: s,
+		Report:   fromMetrics(rep),
+		Protocol: fromStats(b.network.Stats()),
+		Radio:    fromRadio(b.channel.Stats()),
+	}, inv, nil
+}

@@ -112,6 +112,8 @@ type RadioStats struct {
 	Collisions      uint64
 	Undeliverable   uint64
 	BytesOnAir      uint64
+	Handled         uint64
+	DeadDrops       uint64
 }
 
 func fromRadio(s radio.Stats) RadioStats {
@@ -123,6 +125,8 @@ func fromRadio(s radio.Stats) RadioStats {
 		Collisions:      s.Collisions,
 		Undeliverable:   s.Undeliverable,
 		BytesOnAir:      s.BytesOnAir,
+		Handled:         s.Handled,
+		DeadDrops:       s.DeadDrops,
 	}
 }
 

@@ -1,6 +1,7 @@
 package precinct
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -31,9 +32,12 @@ func TestSweepAbortsQueuedScenariosAfterError(t *testing.T) {
 	}
 	// One worker makes execution order deterministic: "ok" runs, "boom"
 	// fails and sets the abort flag, "never-runs" must be skipped.
-	_, err := Sweep(scenarios, 1)
+	results, err := Sweep(scenarios, 1)
 	if err == nil {
 		t.Fatal("expected an error")
+	}
+	if results != nil {
+		t.Errorf("a failed sweep must return nil results, got %d partial results", len(results))
 	}
 	if !strings.Contains(err.Error(), "scenario 1 (boom)") {
 		t.Errorf("error does not identify the failing scenario: %v", err)
@@ -66,5 +70,44 @@ func TestSweepJoinsConcurrentErrors(t *testing.T) {
 		if !strings.Contains(line, "scenario 0 (x)") && !strings.Contains(line, "scenario 1 (y)") {
 			t.Errorf("joined error line not tagged with a scenario: %q", line)
 		}
+	}
+}
+
+// TestSweepEmptyInput: an empty sweep is a no-op, not an error.
+func TestSweepEmptyInput(t *testing.T) {
+	results, err := Sweep(nil, 4)
+	if err != nil {
+		t.Fatalf("empty sweep errored: %v", err)
+	}
+	if results != nil {
+		t.Fatalf("empty sweep returned results: %v", results)
+	}
+}
+
+// TestReplicatePropagatesScenarioErrors: a scenario that fails validation
+// inside the replicated sweep must surface through Replicate with the
+// per-seed scenario name, and must yield no partial results or report.
+func TestReplicatePropagatesScenarioErrors(t *testing.T) {
+	bad := tinyScenario("rep", 1)
+	bad.Nodes = 0 // fails validation inside Run
+	results, mean, err := Replicate(bad, []int64{101, 102}, 1)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "rep/seed=101") {
+		t.Errorf("error does not carry the per-seed scenario name: %v", err)
+	}
+	if results != nil {
+		t.Errorf("failed Replicate must return nil results, got %d", len(results))
+	}
+	if !reflect.DeepEqual(mean, Report{}) {
+		t.Errorf("failed Replicate must return a zero mean report, got %+v", mean)
+	}
+}
+
+// TestReplicateRejectsEmptySeeds: no seeds is a configuration error.
+func TestReplicateRejectsEmptySeeds(t *testing.T) {
+	if _, _, err := Replicate(tinyScenario("rep", 1), nil, 1); err == nil {
+		t.Fatal("expected an error for an empty seed list")
 	}
 }
