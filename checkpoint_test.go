@@ -1,0 +1,504 @@
+package precinct_test
+
+// Tests for the checkpoint/restore subsystem: resume equivalence (the
+// subsystem's defining property), sweep resume, corruption fail-closed
+// behavior, replay bisection, and the golden-snapshot compatibility
+// fixture.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"precinct"
+	"precinct/internal/checkpoint"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// resumeSeeds returns the fuzz seeds the resume-equivalence proof runs
+// over: at least 8 (the acceptance floor), trimmed under -short.
+func resumeSeeds() []int64 {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// TestResumeEquivalence is the subsystem's core proof: checkpoint a run
+// mid-flight, restore it fresh, and the final Result plus the full trace
+// stream must be bit-identical to the uninterrupted run.
+func TestResumeEquivalence(t *testing.T) {
+	for _, seed := range resumeSeeds() {
+		sc := fuzzgen.Expand(seed)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			var bufFull bytes.Buffer
+			full, err := precinct.RunTraced(sc, &bufFull)
+			if err != nil {
+				t.Fatalf("RunTraced: %v", err)
+			}
+
+			dir := t.TempDir()
+			mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+			var buf1, buf2 bytes.Buffer
+			partial, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 20, StopAfter: mid, TraceWriter: &buf1,
+			})
+			if err != nil {
+				t.Fatalf("interrupted run: %v", err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "run.ckpt")); err != nil {
+				t.Fatalf("no snapshot after StopAfter: %v", err)
+			}
+			if partial.Report.Requests >= full.Report.Requests && full.Report.Requests > 0 {
+				t.Logf("note: interrupted run already saw all %d requests", full.Report.Requests)
+			}
+
+			resumed, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 20, Resume: true, TraceWriter: &buf2,
+			})
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !reflect.DeepEqual(resumed, full) {
+				t.Errorf("resumed result differs from uninterrupted run:\n resumed: %+v\n full:    %+v",
+					resumed.Report, full.Report)
+			}
+			joined := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+			if !bytes.Equal(joined, bufFull.Bytes()) {
+				t.Errorf("trace streams differ: interrupted %d + resumed %d bytes vs full %d bytes",
+					buf1.Len(), buf2.Len(), bufFull.Len())
+			}
+
+			// A third resume must hit the completion record, not re-run.
+			var buf3 bytes.Buffer
+			again, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Resume: true, TraceWriter: &buf3,
+			})
+			if err != nil {
+				t.Fatalf("re-resume: %v", err)
+			}
+			if !reflect.DeepEqual(again, full) {
+				t.Error("completion-record result differs from uninterrupted run")
+			}
+			if buf3.Len() != 0 {
+				t.Error("completion-record fast path re-ran the simulation")
+			}
+		})
+	}
+}
+
+// TestResumeEquivalenceChecked proves the same property for checked runs:
+// the invariant sweep schedule survives the snapshot, and the resumed
+// run's Result still matches RunChecked's.
+func TestResumeEquivalenceChecked(t *testing.T) {
+	for _, seed := range resumeSeeds()[:2] {
+		sc := fuzzgen.Expand(seed)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			full, _, err := precinct.RunChecked(sc)
+			if err != nil {
+				t.Fatalf("RunChecked: %v", err)
+			}
+			dir := t.TempDir()
+			mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+			if _, _, err := precinct.RunCheckpointedChecked(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 20, StopAfter: mid,
+			}); err != nil {
+				t.Fatalf("interrupted checked run: %v", err)
+			}
+			resumed, inv, err := precinct.RunCheckpointedChecked(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 20, Resume: true,
+			})
+			if err != nil {
+				t.Fatalf("resumed checked run: %v", err)
+			}
+			if !inv.Ok() {
+				t.Fatalf("resumed segment violated invariants: %s", inv)
+			}
+			if !reflect.DeepEqual(resumed, full) {
+				t.Errorf("resumed checked result differs from uninterrupted run:\n resumed: %+v\n full:    %+v",
+					resumed.Report, full.Report)
+			}
+		})
+	}
+}
+
+// TestSweepCheckpointedResume interrupts a whole sweep and resumes it:
+// finished scenarios come back from their completion records, the rest
+// from their snapshots, and the final results match a plain Sweep.
+func TestSweepCheckpointedResume(t *testing.T) {
+	scenarios := make([]precinct.Scenario, 3)
+	for i := range scenarios {
+		scenarios[i] = fuzzgen.Expand(int64(20 + i))
+	}
+	plain, err := precinct.Sweep(scenarios, 2)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	dir := t.TempDir()
+	if _, err := precinct.SweepCheckpointed(scenarios, 2, precinct.CheckpointOptions{
+		Dir: dir, Interval: 15, StopAfter: 60,
+	}); err != nil {
+		t.Fatalf("interrupted sweep: %v", err)
+	}
+	resumed, err := precinct.SweepCheckpointed(scenarios, 2, precinct.CheckpointOptions{
+		Dir: dir, Interval: 15, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, plain) {
+		t.Error("resumed sweep results differ from plain Sweep")
+	}
+	again, err := precinct.SweepCheckpointed(scenarios, 2, precinct.CheckpointOptions{
+		Dir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("re-resumed sweep: %v", err)
+	}
+	if !reflect.DeepEqual(again, plain) {
+		t.Error("completion-record sweep results differ from plain Sweep")
+	}
+}
+
+// makeSnapshot interrupts a run and returns the snapshot path plus the
+// scenario it captured.
+func makeSnapshot(t *testing.T, seed int64, label string) (string, precinct.Scenario) {
+	t.Helper()
+	sc := fuzzgen.Expand(seed)
+	dir := t.TempDir()
+	mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: label, Interval: 20, StopAfter: mid,
+	}); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	path := filepath.Join(dir, label+".ckpt")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	return path, sc
+}
+
+// sections parses the container framing and returns the byte ranges of
+// each section (name-length field through checksum), for surgical
+// corruption in tests.
+func sections(t *testing.T, data []byte) [][2]int {
+	t.Helper()
+	off := len(checkpoint.Magic) + 8
+	var out [][2]int
+	for off < len(data) {
+		start := off
+		nameLen := int(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2 + nameLen
+		payLen := int(binary.BigEndian.Uint64(data[off : off+8]))
+		off += 8 + payLen + 4
+		out = append(out, [2]int{start, off})
+	}
+	return out
+}
+
+// TestCheckpointCorruption verifies every corruption mode fails closed
+// with a descriptive error: truncation, a flipped payload byte, an
+// unknown format version, and reordered sections.
+func TestCheckpointCorruption(t *testing.T) {
+	path, sc := makeSnapshot(t, 3, "corrupt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Decode(data); err != nil {
+		t.Fatalf("pristine snapshot does not decode: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantMsg string
+	}{
+		{
+			name:    "truncated",
+			mutate:  func(d []byte) []byte { return d[:len(d)-10] },
+			wantMsg: "truncated",
+		},
+		{
+			name: "bad-crc",
+			mutate: func(d []byte) []byte {
+				d[len(d)/2] ^= 0xff
+				return d
+			},
+			wantMsg: "checksum mismatch",
+		},
+		{
+			name: "unknown-version",
+			mutate: func(d []byte) []byte {
+				binary.BigEndian.PutUint32(d[len(checkpoint.Magic):], 99)
+				return d
+			},
+			wantMsg: "unknown format version",
+		},
+		{
+			name: "reordered-sections",
+			mutate: func(d []byte) []byte {
+				secs := sections(t, d)
+				if len(secs) < 3 {
+					t.Fatalf("expected several sections, got %d", len(secs))
+				}
+				// Swap the second and third sections wholesale; each block
+				// keeps a valid CRC, only the order is wrong.
+				a, b := secs[1], secs[2]
+				out := append([]byte(nil), d[:a[0]]...)
+				out = append(out, d[b[0]:b[1]]...)
+				out = append(out, d[a[0]:a[1]]...)
+				out = append(out, d[b[1]:]...)
+				return out
+			},
+			wantMsg: "canonical order",
+		},
+		{
+			name:    "bad-magic",
+			mutate:  func(d []byte) []byte { d[0] ^= 0xff; return d },
+			wantMsg: "bad magic",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			corrupt := tc.mutate(append([]byte(nil), data...))
+			_, err := checkpoint.Decode(corrupt)
+			if err == nil {
+				t.Fatal("corrupt snapshot decoded")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+
+			// Resuming from the corrupt file must fail, not silently
+			// restart the run from scratch.
+			dir := t.TempDir()
+			bad := filepath.Join(dir, "run.ckpt")
+			if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Resume: true, StopAfter: sc.Warmup,
+			}); err == nil {
+				t.Error("resume from a corrupt snapshot did not fail")
+			}
+		})
+	}
+}
+
+// TestResumeScenarioMismatch: a snapshot under the right label but from
+// a different scenario must be rejected.
+func TestResumeScenarioMismatch(t *testing.T) {
+	path, sc := makeSnapshot(t, 4, "run")
+	other := sc
+	other.Seed++
+	if _, err := precinct.RunCheckpointed(other, precinct.CheckpointOptions{
+		Dir: filepath.Dir(path), Label: "run", Resume: true,
+	}); err == nil || !strings.Contains(err.Error(), "different scenario") {
+		t.Fatalf("mismatched scenario resume: err = %v", err)
+	}
+}
+
+// TestBisectSnapshots: two snapshots of the same run at the same time,
+// one with an artificially perturbed random stream, must bisect to a
+// concrete first divergent event; identical snapshots must not.
+func TestBisectSnapshots(t *testing.T) {
+	pathA, _ := makeSnapshot(t, 5, "a")
+	snap, err := checkpoint.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical snapshots: no divergence.
+	pathSame := filepath.Join(t.TempDir(), "same.ckpt")
+	if err := checkpoint.WriteFile(pathSame, snap); err != nil {
+		t.Fatal(err)
+	}
+	div, err := precinct.BisectSnapshots(pathA, pathSame, 0)
+	if err != nil {
+		t.Fatalf("bisect identical: %v", err)
+	}
+	if div.Found {
+		t.Fatalf("identical snapshots diverged: %s", div)
+	}
+	if div.Step == 0 {
+		t.Fatal("bisect of identical snapshots executed no events")
+	}
+
+	// Perturb every peer's random stream: the runs agree until the first
+	// alive peer's next draw, then split. (Perturbing a single peer could
+	// go unnoticed if a churn fault has killed exactly that peer.)
+	perturbed := false
+	for i := range snap.RNG {
+		if strings.HasPrefix(snap.RNG[i].Name, "peer/") {
+			snap.RNG[i].State[0] ^= 0x1
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Fatal("snapshot has no peer/* stream")
+	}
+	pathB := filepath.Join(t.TempDir(), "b.ckpt")
+	if err := checkpoint.WriteFile(pathB, snap); err != nil {
+		t.Fatal(err)
+	}
+	div, err = precinct.BisectSnapshots(pathA, pathB, 0)
+	if err != nil {
+		t.Fatalf("bisect perturbed: %v", err)
+	}
+	if !div.Found {
+		t.Fatal("perturbed stream produced no divergence")
+	}
+	if div.Step == 0 {
+		t.Errorf("divergence reported at step 0; the digest must not inspect RNG internals directly: %s", div)
+	}
+	t.Logf("bisect verdict: %s", div)
+}
+
+// TestReplayMatchesOriginal: replaying a snapshot to the horizon must
+// reproduce the uninterrupted run's result, and replaying with tracing
+// must emit exactly the post-snapshot suffix of the full trace.
+func TestReplayMatchesOriginal(t *testing.T) {
+	sc := fuzzgen.Expand(6)
+	var bufFull bytes.Buffer
+	full, err := precinct.RunTraced(sc, &bufFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+	var buf1 bytes.Buffer
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: "run", Interval: 20, StopAfter: mid, TraceWriter: &buf1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	res, _, err := precinct.Replay(filepath.Join(dir, "run.ckpt"), precinct.ReplayOptions{TraceWriter: &buf2})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(res, full) {
+		t.Errorf("replayed result differs from uninterrupted run:\n replay: %+v\n full:   %+v",
+			res.Report, full.Report)
+	}
+	joined := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+	if !bytes.Equal(joined, bufFull.Bytes()) {
+		t.Error("interrupted trace + replay trace do not reassemble the full trace")
+	}
+}
+
+// goldenScenario is the fixed configuration behind testdata/golden.ckpt.
+// Changing it invalidates the fixture; regenerate with
+// PRECINCT_UPDATE_GOLDEN=1 go test -run TestGoldenSnapshot ./...
+func goldenScenario() precinct.Scenario {
+	sc := precinct.DefaultScenario()
+	sc.Name = "golden"
+	sc.Seed = 7
+	sc.Nodes = 20
+	sc.AreaSide = 800
+	sc.Regions = 4
+	sc.Items = 200
+	sc.UpdateInterval = 40
+	sc.Consistency = "push-adaptive-pull"
+	sc.Warmup = 20
+	sc.Duration = 90
+	return sc
+}
+
+// TestGoldenSnapshot restores the checked-in snapshot fixture with
+// today's code and replays it to completion: the format must stay
+// readable and the replayed Result must match the recorded one.
+func TestGoldenSnapshot(t *testing.T) {
+	const ckptPath = "testdata/golden.ckpt"
+	const resultPath = "testdata/golden_result.json"
+	sc := goldenScenario()
+
+	if os.Getenv("PRECINCT_UPDATE_GOLDEN") == "1" {
+		dir := t.TempDir()
+		if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+			Dir: dir, Label: "golden", Interval: 10, StopAfter: 45,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "golden.ckpt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ckptPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		full, err := precinct.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.MarshalIndent(full, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(resultPath, append(j, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden fixture regenerated")
+	}
+
+	res, _, err := precinct.Replay(ckptPath, precinct.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("golden snapshot no longer restores: %v", err)
+	}
+	wantJSON, err := os.ReadFile(resultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want precinct.Result
+	if err := json.Unmarshal(wantJSON, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompact, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantCompact) {
+		t.Errorf("golden replay result drifted from the recorded fixture;\n got:  %s\n want: %s\n(regenerate with PRECINCT_UPDATE_GOLDEN=1 if the change is intentional)",
+			got, wantCompact)
+	}
+}
+
+// TestCheckpointOptionValidation: bad directories are flag-style errors,
+// never panics.
+func TestCheckpointOptionValidation(t *testing.T) {
+	sc := fuzzgen.Expand(1)
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{}); err == nil {
+		t.Error("empty Dir accepted")
+	}
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{Dir: "/nonexistent/path"}); err == nil {
+		t.Error("missing Dir accepted")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{Dir: f}); err == nil {
+		t.Error("non-directory Dir accepted")
+	}
+}

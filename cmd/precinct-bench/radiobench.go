@@ -34,10 +34,10 @@ type benchEntry struct {
 }
 
 type radioBenchReport struct {
-	Go       string       `json:"go"`
-	GOOS     string       `json:"goos"`
-	GOARCH   string       `json:"goarch"`
-	Results  []benchEntry `json:"results"`
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	Results []benchEntry `json:"results"`
 	// Summary holds the headline ratios the acceptance criteria track:
 	// linear-scan ns/op divided by grid ns/op per benchmark family.
 	Summary map[string]float64 `json:"summary"`

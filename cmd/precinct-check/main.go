@@ -7,9 +7,13 @@
 //	precinct-check                  # seeds 1..20
 //	precinct-check -seeds 100       # seeds 1..100
 //	precinct-check -start 42 -seeds 1 -v
+//	precinct-check -seeds 50 -checkpoint-dir ckpt -resume
 //
-// The process exits with status 2 when any scenario violates an
-// invariant and 1 on configuration errors.
+// With -checkpoint-dir every scenario runs checkpointed; a re-run of the
+// same batch with -resume skips finished scenarios and resumes
+// interrupted ones from their last snapshot. The process exits with
+// status 2 when any scenario violates an invariant and 1 on
+// configuration errors.
 package main
 
 import (
@@ -27,11 +31,25 @@ func main() {
 	start := flag.Int64("start", 1, "first seed")
 	seeds := flag.Int64("seeds", 20, "number of consecutive seeds to run")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent scenario runs")
+	ckptDir := flag.String("checkpoint-dir", "", "run each scenario checkpointed, snapshots in this directory (must exist)")
+	resume := flag.Bool("resume", false, "skip finished scenarios and resume interrupted ones from -checkpoint-dir")
 	verbose := flag.Bool("v", false, "print every scenario result, not only failures")
 	flag.Parse()
 	if *seeds <= 0 || *workers <= 0 {
 		fmt.Fprintln(os.Stderr, "precinct-check: -seeds and -workers must be positive")
 		os.Exit(1)
+	}
+	if *resume && *ckptDir == "" {
+		die(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *ckptDir != "" {
+		info, err := os.Stat(*ckptDir)
+		if err != nil {
+			die(fmt.Errorf("-checkpoint-dir: %w", err))
+		}
+		if !info.IsDir() {
+			die(fmt.Errorf("-checkpoint-dir: %s is not a directory", *ckptDir))
+		}
 	}
 
 	type outcome struct {
@@ -50,7 +68,17 @@ func main() {
 			for i := range jobs {
 				seed := *start + i
 				sc := fuzzgen.Expand(seed)
-				_, inv, err := precinct.RunChecked(sc)
+				var inv precinct.InvariantReport
+				var err error
+				if *ckptDir != "" {
+					_, inv, err = precinct.RunCheckpointedChecked(sc, precinct.CheckpointOptions{
+						Dir:    *ckptDir,
+						Resume: *resume,
+						Label:  fmt.Sprintf("seed%d", seed),
+					})
+				} else {
+					_, inv, err = precinct.RunChecked(sc)
+				}
 				results[i] = outcome{seed: seed, sc: sc, inv: inv, err: err}
 			}
 		}()
@@ -81,4 +109,9 @@ func main() {
 	if failed > 0 {
 		os.Exit(2)
 	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "precinct-check: "+err.Error())
+	os.Exit(1)
 }

@@ -1,0 +1,114 @@
+// Command precinct-replay restores a checkpoint snapshot and re-runs it
+// forward. The simulation is deterministic, so the replayed segment
+// reproduces exactly what the original run did after the snapshot — and
+// because tracing and invariant checking are attached at restore time,
+// a failure window can be inspected with full instrumentation without
+// re-running the history before it.
+//
+//	precinct-replay run.ckpt                      # replay to the scenario horizon
+//	precinct-replay -until 450 -trace out.jsonl run.ckpt
+//	precinct-replay -check run.ckpt               # replay under the invariant catalog
+//	precinct-replay -bisect a.ckpt b.ckpt         # first divergent event of two snapshots
+//
+// With -bisect the two snapshots must come from the same scenario at the
+// same simulated time; the runs are stepped in lockstep and the first
+// event after which their observable state differs is reported. Exit
+// status is 0 when the runs agree, 2 when a divergence (or an invariant
+// violation under -check) is found, and 1 on any error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"precinct"
+)
+
+func main() {
+	bisect := flag.Bool("bisect", false, "compare two snapshots of the same run: report the first divergent event")
+	until := flag.Float64("until", 0, "simulated-time horizon (0 = the scenario's duration)")
+	check := flag.Bool("check", false, "replay under the runtime invariant catalog; exit 2 on any violation")
+	traceFile := flag.String("trace", "", "write the replayed segment's JSONL event trace to this file")
+	verbose := flag.Bool("v", false, "print protocol and radio counters too")
+	flag.Parse()
+
+	if *bisect {
+		if flag.NArg() != 2 {
+			die(fmt.Errorf("-bisect needs exactly two snapshot files, got %d", flag.NArg()))
+		}
+		if *check || *traceFile != "" {
+			die(fmt.Errorf("-bisect cannot be combined with -check or -trace"))
+		}
+		div, err := precinct.BisectSnapshots(flag.Arg(0), flag.Arg(1), *until)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(div)
+		if div.Found {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		die(fmt.Errorf("need exactly one snapshot file, got %d", flag.NArg()))
+	}
+	o := precinct.ReplayOptions{Until: *until, Check: *check}
+	var f *os.File
+	if *traceFile != "" {
+		var err error
+		f, err = os.Create(*traceFile)
+		if err != nil {
+			die(err)
+		}
+		o.TraceWriter = f
+	}
+	res, inv, err := precinct.Replay(flag.Arg(0), o)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		die(err)
+	}
+	report(res, *verbose)
+	if *check {
+		fmt.Println(inv)
+		if !inv.Ok() {
+			for _, v := range inv.Violations {
+				fmt.Fprintln(os.Stderr, "precinct-replay:", v)
+			}
+			os.Exit(2)
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "precinct-replay:", err)
+	os.Exit(1)
+}
+
+func report(res precinct.Result, verbose bool) {
+	s, r := res.Scenario, res.Report
+	fmt.Printf("scenario: %s — %d nodes, %.0f m area, %d regions, retrieval=%s, consistency=%s\n",
+		s.Name, s.Nodes, s.AreaSide, s.Regions, s.Retrieval, s.Consistency)
+	fmt.Printf("requests:           %d (completed %d, failed %d)\n", r.Requests, r.Completed, r.Failures)
+	classes := make([]string, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("  %-17s %d\n", c+":", r.ByClass[c])
+	}
+	fmt.Printf("latency:            mean %.3f s, p95 %.3f s\n", r.MeanLatency, r.P95Latency)
+	fmt.Printf("byte hit ratio:     %.4f\n", r.ByteHitRatio)
+	fmt.Printf("energy:             %.1f mJ total\n", r.EnergyTotal)
+	if verbose {
+		fmt.Printf("protocol: %+v\n", res.Protocol)
+		fmt.Printf("radio:    %+v\n", res.Radio)
+	}
+}

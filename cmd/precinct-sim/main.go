@@ -10,10 +10,15 @@
 //	precinct-sim -config scenario.json -seed 7
 //	precinct-sim -save-config scenario.json -nodes 120
 //	precinct-sim -check -nodes 40 -duration 300
+//	precinct-sim -checkpoint-dir ckpt -duration 3600
+//	precinct-sim -checkpoint-dir ckpt -resume
 //
 // With -check the run executes under the full runtime invariant catalog
 // (DESIGN.md section 9); any violation is printed and the process exits
-// with status 2.
+// with status 2. With -checkpoint-dir the run writes periodic snapshots
+// (DESIGN.md section 10) that -resume continues from after an
+// interruption — the resumed run is bit-identical to an uninterrupted
+// one.
 package main
 
 import (
@@ -60,8 +65,16 @@ func main() {
 	churnGraceful := flag.Float64("churn-graceful", 0.8, "fraction of graceful departures")
 	traceFile := flag.String("trace", "", "write a JSONL protocol event trace to this file")
 	check := flag.Bool("check", false, "run with runtime invariant checkers; exit 2 on any violation")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic snapshots to this directory (must exist)")
+	ckptInterval := flag.Float64("checkpoint-interval", 0, "target simulated seconds between snapshots (0 = 60)")
+	resume := flag.Bool("resume", false, "resume from a snapshot in -checkpoint-dir if one exists")
+	stopAfter := flag.Float64("stop-after", 0, "interrupt at the first snapshot boundary at or after this simulated time")
 	verbose := flag.Bool("v", false, "print protocol and radio counters too")
 	flag.Parse()
+
+	if err := validateCheckpointFlags(*ckptDir, *ckptInterval, *resume, *stopAfter); err != nil {
+		die(err)
+	}
 
 	s := def
 	if *configFile != "" {
@@ -126,18 +139,54 @@ func main() {
 		return
 	}
 
+	if *check && *traceFile != "" {
+		die(fmt.Errorf("-check and -trace are mutually exclusive"))
+	}
+	var traceW *os.File
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			die(ferr)
+		}
+		traceW = f
+	}
+
 	var res precinct.Result
+	var inv precinct.InvariantReport
 	var err error
-	if *check {
-		if *traceFile != "" {
-			die(fmt.Errorf("-check and -trace are mutually exclusive"))
+	switch {
+	case *ckptDir != "":
+		opts := precinct.CheckpointOptions{
+			Dir:       *ckptDir,
+			Interval:  *ckptInterval,
+			Resume:    *resume,
+			StopAfter: *stopAfter,
 		}
-		var inv precinct.InvariantReport
+		if traceW != nil {
+			opts.TraceWriter = traceW
+		}
+		if *check {
+			res, inv, err = precinct.RunCheckpointedChecked(s, opts)
+		} else {
+			res, err = precinct.RunCheckpointed(s, opts)
+		}
+	case *check:
 		res, inv, err = precinct.RunChecked(s)
-		if err != nil {
-			die(err)
+	case traceW != nil:
+		res, err = precinct.RunTraced(s, traceW)
+	default:
+		res, err = precinct.Run(s)
+	}
+	if traceW != nil {
+		if cerr := traceW.Close(); err == nil {
+			err = cerr
 		}
-		report(s, res, *verbose)
+	}
+	if err != nil {
+		die(err)
+	}
+	report(s, res, *verbose)
+	if *check {
 		fmt.Println(inv)
 		if !inv.Ok() {
 			for _, v := range inv.Violations {
@@ -145,24 +194,38 @@ func main() {
 			}
 			os.Exit(2)
 		}
-		return
 	}
-	if *traceFile != "" {
-		f, ferr := os.Create(*traceFile)
-		if ferr != nil {
-			die(ferr)
+}
+
+// validateCheckpointFlags rejects inconsistent or unusable checkpoint
+// flag combinations up front, with a descriptive error instead of a
+// mid-run failure.
+func validateCheckpointFlags(dir string, interval float64, resume bool, stopAfter float64) error {
+	if dir == "" {
+		switch {
+		case resume:
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		case stopAfter != 0:
+			return fmt.Errorf("-stop-after requires -checkpoint-dir")
+		case interval != 0:
+			return fmt.Errorf("-checkpoint-interval requires -checkpoint-dir")
 		}
-		res, err = precinct.RunTraced(s, f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	} else {
-		res, err = precinct.Run(s)
+		return nil
 	}
+	info, err := os.Stat(dir)
 	if err != nil {
-		die(err)
+		return fmt.Errorf("-checkpoint-dir: %w", err)
 	}
-	report(s, res, *verbose)
+	if !info.IsDir() {
+		return fmt.Errorf("-checkpoint-dir: %s is not a directory", dir)
+	}
+	if interval < 0 {
+		return fmt.Errorf("-checkpoint-interval must not be negative")
+	}
+	if stopAfter < 0 {
+		return fmt.Errorf("-stop-after must not be negative")
+	}
+	return nil
 }
 
 func die(err error) {

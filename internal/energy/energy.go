@@ -173,6 +173,43 @@ func (mt *Meter) ByClass(c Class) float64 { return mt.perClass[c] }
 // Messages returns the number of messages charged in one traffic class.
 func (mt *Meter) Messages(c Class) uint64 { return mt.messages[c] }
 
+// State is the serializable accumulator state of a Meter. The model is
+// configuration and is not part of the snapshot.
+type State struct {
+	PerNode  []float64
+	PerClass []float64
+	Messages []uint64
+	Total    float64
+}
+
+// StateSnapshot captures the meter's accumulators.
+func (mt *Meter) StateSnapshot() State {
+	st := State{
+		PerNode:  append([]float64(nil), mt.perNode...),
+		PerClass: append([]float64(nil), mt.perClass[:]...),
+		Messages: append([]uint64(nil), mt.messages[:]...),
+		Total:    mt.total,
+	}
+	return st
+}
+
+// RestoreState overwrites the accumulators from a snapshot, validating
+// that the node count and class layout match this meter's configuration.
+func (mt *Meter) RestoreState(st State) error {
+	if len(st.PerNode) != len(mt.perNode) {
+		return fmt.Errorf("energy: snapshot has %d nodes, meter has %d", len(st.PerNode), len(mt.perNode))
+	}
+	if len(st.PerClass) != int(numClasses) || len(st.Messages) != int(numClasses) {
+		return fmt.Errorf("energy: snapshot has %d/%d class buckets, want %d",
+			len(st.PerClass), len(st.Messages), int(numClasses))
+	}
+	copy(mt.perNode, st.PerNode)
+	copy(mt.perClass[:], st.PerClass)
+	copy(mt.messages[:], st.Messages)
+	mt.total = st.Total
+	return nil
+}
+
 // Reset zeroes all accumulators; the model and node count are kept.
 func (mt *Meter) Reset() {
 	for i := range mt.perNode {

@@ -126,21 +126,39 @@ func DefaultCheckers() []Checker {
 	}
 }
 
+// ProcSweep is the scheduler Proc kind of the runner's recurring sweep
+// tick. Checked runs remain checkpointable: a restore re-arms the sweep
+// through ArmSweepAt when the snapshot carries this kind.
+const ProcSweep = "invariant-sweep"
+
 // Attach wires the runner into an assembled simulation: it installs
 // itself as the network's probe and the scheduler's after-event observer,
 // and schedules the recurring sweep. Call before the first Run.
 func (r *Runner) Attach(ctx Context) {
+	r.AttachObservers(ctx)
+	r.ArmSweepAt(ctx.Sched.Now() + r.cfg.SweepInterval)
+}
+
+// AttachObservers installs the probe and after-event hooks without
+// arming the sweep tick — the checkpoint restore path re-arms the tick
+// at the snapshot's recorded time via ArmSweepAt instead.
+func (r *Runner) AttachObservers(ctx Context) {
 	c := ctx
 	r.ctx = &c
 	r.lastEvent = c.Sched.Now()
 	c.Net.SetProbe(r)
 	c.Sched.SetAfterEvent(r.afterEvent)
-	var tick func()
-	tick = func() {
+}
+
+// SweepInterval returns the configured sweep period in simulated seconds.
+func (r *Runner) SweepInterval() float64 { return r.cfg.SweepInterval }
+
+// ArmSweepAt schedules the next recurring sweep at an absolute time.
+func (r *Runner) ArmSweepAt(at float64) {
+	r.ctx.Sched.AtProc(sim.Proc{Kind: ProcSweep, Owner: -1}, at, func() {
 		r.Sweep()
-		c.Sched.After(r.cfg.SweepInterval, tick)
-	}
-	c.Sched.After(r.cfg.SweepInterval, tick)
+		r.ArmSweepAt(r.ctx.Sched.Now() + r.cfg.SweepInterval)
+	})
 }
 
 // record stamps and stores violation details from one checker.

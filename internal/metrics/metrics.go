@@ -131,6 +131,72 @@ func (c *Collector) Completed() uint64 {
 	return total
 }
 
+// State is the serializable state of a Collector: every accumulator,
+// with the fixed-size per-class arrays flattened to slices so the layout
+// is explicit in the serialized form.
+type State struct {
+	Latencies     []float64
+	LatSumByClass []float64
+	ByClass       []uint64
+	StaleByClass  []uint64
+
+	BytesRequested int64
+	BytesFromCache int64
+
+	ControlMessages     uint64
+	SearchMessages      uint64
+	MaintenanceMessages uint64
+
+	ValidHits uint64
+	StaleHits uint64
+
+	UpdatesIssued uint64
+	PollsIssued   uint64
+}
+
+// StateSnapshot captures the collector's accumulators.
+func (c *Collector) StateSnapshot() State {
+	return State{
+		Latencies:           append([]float64(nil), c.latencies...),
+		LatSumByClass:       append([]float64(nil), c.latSumByClass[:]...),
+		ByClass:             append([]uint64(nil), c.byClass[:]...),
+		StaleByClass:        append([]uint64(nil), c.staleByClass[:]...),
+		BytesRequested:      c.bytesRequested,
+		BytesFromCache:      c.bytesFromCache,
+		ControlMessages:     c.controlMessages,
+		SearchMessages:      c.searchMessages,
+		MaintenanceMessages: c.maintenanceMessages,
+		ValidHits:           c.validHits,
+		StaleHits:           c.staleHits,
+		UpdatesIssued:       c.updatesIssued,
+		PollsIssued:         c.pollsIssued,
+	}
+}
+
+// RestoreState overwrites the accumulators from a snapshot, validating
+// that the per-class layout matches this build's class set.
+func (c *Collector) RestoreState(st State) error {
+	if len(st.LatSumByClass) != int(numClasses) || len(st.ByClass) != int(numClasses) ||
+		len(st.StaleByClass) != int(numClasses) {
+		return fmt.Errorf("metrics: snapshot has %d/%d/%d class buckets, want %d",
+			len(st.LatSumByClass), len(st.ByClass), len(st.StaleByClass), int(numClasses))
+	}
+	c.latencies = append([]float64(nil), st.Latencies...)
+	copy(c.latSumByClass[:], st.LatSumByClass)
+	copy(c.byClass[:], st.ByClass)
+	copy(c.staleByClass[:], st.StaleByClass)
+	c.bytesRequested = st.BytesRequested
+	c.bytesFromCache = st.BytesFromCache
+	c.controlMessages = st.ControlMessages
+	c.searchMessages = st.SearchMessages
+	c.maintenanceMessages = st.MaintenanceMessages
+	c.validHits = st.ValidHits
+	c.staleHits = st.StaleHits
+	c.updatesIssued = st.UpdatesIssued
+	c.pollsIssued = st.PollsIssued
+	return nil
+}
+
 // Report is an immutable summary of a run.
 type Report struct {
 	Requests  uint64

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"precinct/internal/region"
+	"precinct/internal/sim"
 )
 
 // AdaptiveConfig parameterizes the dynamic region controller.
@@ -84,13 +85,17 @@ func (n *Network) AdaptiveStats() AdaptiveStats { return n.adaptive }
 
 // startAdaptiveController arms the periodic reshape check.
 func (n *Network) startAdaptiveController() {
-	cfg := n.cfg.Adaptive
-	var tick func()
-	tick = func() {
+	n.armAdaptive(n.sched.Now() + n.cfg.Adaptive.Interval)
+}
+
+// armAdaptive registers the next inspection at an absolute time; the
+// tick inspects first, then re-arms (so the rearm draw order matches an
+// uninterrupted run exactly).
+func (n *Network) armAdaptive(at float64) {
+	n.sched.AtProc(sim.Proc{Kind: procAdaptive, Owner: -1}, at, func() {
 		n.inspectRegions()
-		n.sched.After(cfg.Interval, tick)
-	}
-	n.sched.After(cfg.Interval, tick)
+		n.armAdaptive(n.sched.Now() + n.cfg.Adaptive.Interval)
+	})
 }
 
 // regionPopulation counts live peers per region of the latest table.

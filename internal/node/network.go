@@ -418,7 +418,7 @@ func (n *Network) Run(duration float64) metrics.Report {
 			n.startAdaptiveController()
 		}
 		if n.meter != nil && n.cfg.Warmup > 0 && n.cfg.Warmup <= duration {
-			n.sched.At(n.cfg.Warmup, n.meter.Reset)
+			n.armMeterReset(n.cfg.Warmup)
 		}
 	}
 	n.sched.Run(duration)
@@ -432,6 +432,11 @@ func (n *Network) Report() metrics.Report {
 		r = r.WithEnergy(n.meter.Total())
 	}
 	return r
+}
+
+// armMeterReset schedules the energy-meter reset at the warmup boundary.
+func (n *Network) armMeterReset(at float64) {
+	n.sched.AtProc(sim.Proc{Kind: procMeterReset, Owner: -1}, at, n.meter.Reset)
 }
 
 // startDrivers schedules each peer's request, update and mobility-check

@@ -7,7 +7,19 @@ import (
 	"precinct/internal/cache"
 	"precinct/internal/radio"
 	"precinct/internal/region"
+	"precinct/internal/sim"
 	"precinct/internal/trace"
+)
+
+// Proc kinds for the node layer's re-armable recurring processes. The
+// checkpoint restore path dispatches on these (see Network.Rearm).
+const (
+	procRequest    = "request"
+	procUpdate     = "update"
+	procMobility   = "mobility"
+	procAdaptive   = "adaptive"
+	procMeterReset = "meter-reset"
+	procReqTimeout = "req-timeout"
 )
 
 // Peer is one mobile node's protocol state.
@@ -92,10 +104,18 @@ func (p *Peer) markSeen(id uint64) bool {
 	return false
 }
 
-// scheduleNextRequest arms the peer's Poisson request process.
+// scheduleNextRequest arms the peer's Poisson request process: the gap
+// to the next request is drawn now, so the stream state at a checkpoint
+// boundary already accounts for every armed event.
 func (p *Peer) scheduleNextRequest() {
 	gap := p.net.gen.NextRequestGap(p.rng)
-	p.net.sched.After(gap, func() {
+	p.armRequest(p.net.sched.Now() + gap)
+}
+
+// armRequest registers the request event at an absolute time. Restore
+// calls this directly with the snapshot's recorded fire time.
+func (p *Peer) armRequest(at float64) {
+	p.net.sched.AtProc(sim.Proc{Kind: procRequest, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			k := p.net.gen.PickKey(p.rng)
 			p.net.RequestFrom(p.id, k)
@@ -107,7 +127,12 @@ func (p *Peer) scheduleNextRequest() {
 // scheduleNextUpdate arms the peer's Poisson update process.
 func (p *Peer) scheduleNextUpdate() {
 	gap := p.net.gen.NextUpdateGap(p.rng)
-	p.net.sched.After(gap, func() {
+	p.armUpdate(p.net.sched.Now() + gap)
+}
+
+// armUpdate registers the update event at an absolute time.
+func (p *Peer) armUpdate(at float64) {
+	p.net.sched.AtProc(sim.Proc{Kind: procUpdate, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			k := p.net.gen.PickUpdateKey(p.rng)
 			p.net.UpdateFrom(p.id, k)
@@ -119,7 +144,12 @@ func (p *Peer) scheduleNextUpdate() {
 // scheduleMobilityCheck arms the periodic inter-region mobility detector
 // (Section 2.3: "peers check their positions periodically").
 func (p *Peer) scheduleMobilityCheck() {
-	p.net.sched.After(p.net.cfg.MobilityCheckInterval, func() {
+	p.armMobilityCheck(p.net.sched.Now() + p.net.cfg.MobilityCheckInterval)
+}
+
+// armMobilityCheck registers the mobility check at an absolute time.
+func (p *Peer) armMobilityCheck(at float64) {
+	p.net.sched.AtProc(sim.Proc{Kind: procMobility, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			p.checkMobility()
 		}

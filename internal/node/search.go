@@ -49,6 +49,18 @@ type pendingReq struct {
 	pendingReply *message
 }
 
+// armReqTimeout schedules (or re-schedules) a pending request's timeout
+// at an absolute time. The event is tagged with the request ID so a
+// checkpoint can capture it while the request is outstanding and a
+// restore can re-arm it against the deserialized pending map — without
+// this, any in-flight request would block the quiescence a snapshot
+// needs, which in lossy networks can starve checkpointing entirely.
+func (n *Network) armReqTimeout(req *pendingReq, at float64) {
+	req.timeout = n.sched.AtProc(sim.Proc{Kind: procReqTimeout, Owner: int(req.id)}, at, func() {
+		n.onTimeout(req.id)
+	})
+}
+
 // RequestFrom runs the full search process for key k issued by the given
 // peer at the current simulation time (Figure 1's Search procedure).
 func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
@@ -88,9 +100,7 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 			req.phase = phasePoll
 			req.cachedVersion = e.Version
 			if n.sendPoll(p, req) {
-				req.timeout = n.sched.After(n.cfg.RemoteTimeout, func() {
-					n.onTimeout(req.id)
-				})
+				n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
 				return
 			}
 			// No route to the home region: fall through to a search.
@@ -117,12 +127,12 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 	case Flooding:
 		req.phase = phaseFlood
 		n.floodSearch(p, req, n.cfg.NetworkTTL)
-		req.timeout = n.sched.After(n.cfg.RemoteTimeout, func() { n.onTimeout(req.id) })
+		n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
 	case ExpandingRing:
 		req.phase = phaseRing
 		req.ringTTL = 1
 		n.floodSearch(p, req, req.ringTTL)
-		req.timeout = n.sched.After(n.ringWait(req.ringTTL), func() { n.onTimeout(req.id) })
+		n.armReqTimeout(req, n.sched.Now()+n.ringWait(req.ringTTL))
 	}
 }
 
@@ -141,7 +151,7 @@ func (n *Network) startRegionalPhase(p *Peer, req *pendingReq) {
 	}
 	p.markSeen(m.ID) // the origin must not re-flood its own request
 	n.broadcast(p.id, m)
-	req.timeout = n.sched.After(n.cfg.RegionalTimeout, func() { n.onTimeout(req.id) })
+	n.armReqTimeout(req, n.sched.Now()+n.cfg.RegionalTimeout)
 }
 
 // startHomePhase routes the request toward the key's home region. It
@@ -164,7 +174,7 @@ func (n *Network) startHomePhase(p *Peer, req *pendingReq) bool {
 	if !n.forwardRouted(p, m) {
 		return false
 	}
-	req.timeout = n.sched.After(n.cfg.RemoteTimeout, func() { n.onTimeout(req.id) })
+	n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
 	return true
 }
 
@@ -187,7 +197,7 @@ func (n *Network) startReplicaPhase(p *Peer, req *pendingReq) bool {
 	if !n.forwardRouted(p, m) {
 		return false
 	}
-	req.timeout = n.sched.After(n.cfg.RemoteTimeout, func() { n.onTimeout(req.id) })
+	n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
 	return true
 }
 
@@ -259,7 +269,7 @@ func (n *Network) onTimeout(id uint64) {
 		}
 		req.ringTTL = next
 		n.floodSearch(p, req, next)
-		req.timeout = n.sched.After(n.ringWait(next), func() { n.onTimeout(req.id) })
+		n.armReqTimeout(req, n.sched.Now()+n.ringWait(next))
 	case phaseReplica, phaseFlood:
 		n.fail(req)
 	}
@@ -457,7 +467,7 @@ func (p *Peer) onReply(m *message) {
 		req.phase = phasePoll
 		req.cachedVersion = m.Version
 		if n.sendPoll(p, req) {
-			req.timeout = n.sched.After(n.cfg.RemoteTimeout, func() { n.onTimeout(req.id) })
+			n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
 			return
 		}
 		// The home region is unreachable for validation; fall through

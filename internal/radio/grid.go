@@ -103,6 +103,11 @@ func (g *grid) cellAt(p geo.Point) cellKey {
 	return keyOf(int32(math.Floor(p.X*g.invCell)), int32(math.Floor(p.Y*g.invCell)))
 }
 
+// invalidate discards the current snapshot so the next query rebuilds
+// from scratch (used after a checkpoint restore, when indexed positions
+// may have nothing to do with the snapshot's).
+func (g *grid) invalidate() { g.built = false }
+
 // noteMove records that node i's indexed (observed) position changed.
 // Crossing a cell boundary invalidates the snapshot; the next query
 // rebuilds. Beacon refreshes arrive in batches, so this costs one

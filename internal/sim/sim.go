@@ -12,11 +12,44 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Handle identifies a scheduled event so it can be cancelled before it
 // fires. The zero Handle is invalid.
 type Handle uint64
+
+// Proc names a re-armable recurring process. Events carry closures,
+// which cannot be serialized — so checkpointing is only possible at a
+// quiescent boundary where every pending event is tagged with a Proc the
+// restore path knows how to rebuild (a peer's request loop, a fault, the
+// churn tick, ...). Kind selects the re-arm recipe; Owner is the peer or
+// fault index it applies to (-1 for network-wide processes).
+type Proc struct {
+	Kind  string
+	Owner int
+}
+
+// ProcEvent is one pending tagged event: what to re-arm, when it was due
+// to fire, and its insertion sequence number. Restore re-registers
+// ProcEvents in ascending Seq order so that same-time events keep their
+// FIFO tie-break order.
+type ProcEvent struct {
+	Proc Proc
+	Time float64
+	Seq  uint64
+}
+
+// SchedulerState is the serializable scheduler state at a quiescent
+// boundary: the clock and counters, plus every pending tagged event.
+type SchedulerState struct {
+	Now       float64
+	Seq       uint64
+	NextID    uint64
+	Executed  uint64
+	Cancelled uint64
+	Procs     []ProcEvent
+}
 
 // event is a pending callback on the event queue.
 type event struct {
@@ -66,6 +99,7 @@ func (q *eventQueue) Pop() any {
 type Scheduler struct {
 	queue     eventQueue
 	pending   map[Handle]*event
+	procs     map[Handle]Proc // tags on pending re-armable events
 	now       float64
 	seq       uint64
 	nextID    Handle
@@ -77,11 +111,18 @@ type Scheduler struct {
 	// clock at that event's time. Observers (the invariant runner) hang
 	// off this; the hook must not schedule or cancel events.
 	afterEvent func(now float64)
+	// extraAfter are additional after-event observers (the checkpoint
+	// boundary detector) that coexist with the primary one.
+	extraAfter []func(now float64)
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{pending: make(map[Handle]*event), nextID: 1}
+	return &Scheduler{
+		pending: make(map[Handle]*event),
+		procs:   make(map[Handle]Proc),
+		nextID:  1,
+	}
 }
 
 // Now returns the current simulation time in seconds.
@@ -96,6 +137,26 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // SetAfterEvent installs an observer called after each executed event.
 // Pass nil to remove it. The observer must not mutate the queue.
 func (s *Scheduler) SetAfterEvent(fn func(now float64)) { s.afterEvent = fn }
+
+// AddAfterEvent appends an additional after-event observer, leaving the
+// primary SetAfterEvent slot untouched so multiple subsystems (invariant
+// runner, checkpoint boundary detection) can observe the same run. The
+// same no-mutation contract applies.
+func (s *Scheduler) AddAfterEvent(fn func(now float64)) {
+	if fn != nil {
+		s.extraAfter = append(s.extraAfter, fn)
+	}
+}
+
+// notifyAfterEvent runs every observer with the clock at the event time.
+func (s *Scheduler) notifyAfterEvent() {
+	if s.afterEvent != nil {
+		s.afterEvent(s.now)
+	}
+	for _, fn := range s.extraAfter {
+		fn(s.now)
+	}
+}
 
 // CheckConsistency verifies the scheduler's internal bookkeeping: the
 // pending map and the heap must describe the same event set, heap indices
@@ -152,6 +213,76 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
+// AtProc schedules fn at absolute time t, tagged as a re-armable
+// process. Tagged events are what make a boundary quiescent: they can be
+// rebuilt from (Proc, Time) alone, so a checkpoint taken while only
+// tagged events are pending can be restored exactly.
+func (s *Scheduler) AtProc(p Proc, t float64, fn func()) Handle {
+	if p.Kind == "" {
+		panic("sim: AtProc with empty proc kind")
+	}
+	h := s.At(t, fn)
+	s.procs[h] = p
+	return h
+}
+
+// Quiescent reports whether every pending event is a tagged re-armable
+// process — i.e. no transient work (frame deliveries, request timeouts,
+// retries) is in flight and the run can be checkpointed.
+func (s *Scheduler) Quiescent() bool { return len(s.queue) == len(s.procs) }
+
+// PendingProcs returns the pending tagged events in ascending Seq order.
+func (s *Scheduler) PendingProcs() []ProcEvent {
+	out := make([]ProcEvent, 0, len(s.procs))
+	for _, ev := range s.queue {
+		if p, ok := s.procs[ev.handle]; ok {
+			out = append(out, ProcEvent{Proc: p, Time: ev.time, Seq: ev.seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// StateSnapshot captures the scheduler at a quiescent boundary. It fails
+// when any pending event is untagged — such an event's closure cannot be
+// rebuilt, so a snapshot taken now could not be restored faithfully.
+func (s *Scheduler) StateSnapshot() (SchedulerState, error) {
+	if !s.Quiescent() {
+		return SchedulerState{}, fmt.Errorf(
+			"sim: not quiescent: %d pending events, only %d re-armable",
+			len(s.queue), len(s.procs))
+	}
+	return SchedulerState{
+		Now:       s.now,
+		Seq:       s.seq,
+		NextID:    uint64(s.nextID),
+		Executed:  s.executed,
+		Cancelled: s.cancelled,
+		Procs:     s.PendingProcs(),
+	}, nil
+}
+
+// RestoreState rewinds the clock and counters to a snapshot. The queue
+// must be empty — the caller re-arms the snapshot's Procs afterwards (in
+// ascending Seq order, so same-time events keep their relative order).
+// Re-armed events receive fresh sequence numbers at or above Seq; that
+// preserves every ordering that matters, because all snapshot events
+// were inserted before (and all post-restore events after) the boundary.
+func (s *Scheduler) RestoreState(st SchedulerState) error {
+	if len(s.queue) != 0 {
+		return fmt.Errorf("sim: RestoreState on a scheduler with %d pending events", len(s.queue))
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("sim: negative snapshot clock %v", st.Now)
+	}
+	s.now = st.Now
+	s.seq = st.Seq
+	s.nextID = Handle(st.NextID)
+	s.executed = st.Executed
+	s.cancelled = st.Cancelled
+	return nil
+}
+
 // Cancel removes a pending event. It returns false when the event already
 // fired or was cancelled.
 func (s *Scheduler) Cancel(h Handle) bool {
@@ -160,6 +291,7 @@ func (s *Scheduler) Cancel(h Handle) bool {
 		return false
 	}
 	delete(s.pending, h)
+	delete(s.procs, h)
 	heap.Remove(&s.queue, ev.index)
 	s.cancelled++
 	return true
@@ -182,13 +314,12 @@ func (s *Scheduler) Run(until float64) uint64 {
 		}
 		heap.Pop(&s.queue)
 		delete(s.pending, next.handle)
+		delete(s.procs, next.handle)
 		s.now = next.time
 		next.fn()
 		s.executed++
 		n++
-		if s.afterEvent != nil {
-			s.afterEvent(s.now)
-		}
+		s.notifyAfterEvent()
 	}
 	// Advance the clock to the horizon so subsequent scheduling is
 	// relative to the end of the observed window.
@@ -196,6 +327,29 @@ func (s *Scheduler) Run(until float64) uint64 {
 		s.now = until
 	}
 	return n
+}
+
+// Step executes exactly one event if the next one is due at or before
+// `until`, and reports whether an event fired. The clock is NOT advanced
+// to the horizon when the queue is ahead of it — Step exists for
+// lockstep comparison of two runs (replay bisection), where the caller
+// needs to observe state between individual events.
+func (s *Scheduler) Step(until float64) bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := s.queue[0]
+	if next.time > until {
+		return false
+	}
+	heap.Pop(&s.queue)
+	delete(s.pending, next.handle)
+	delete(s.procs, next.handle)
+	s.now = next.time
+	next.fn()
+	s.executed++
+	s.notifyAfterEvent()
+	return true
 }
 
 // RunAll executes events until the queue is empty. Callbacks that keep
@@ -208,13 +362,12 @@ func (s *Scheduler) RunAll() uint64 {
 		next := s.queue[0]
 		heap.Pop(&s.queue)
 		delete(s.pending, next.handle)
+		delete(s.procs, next.handle)
 		s.now = next.time
 		next.fn()
 		s.executed++
 		n++
-		if s.afterEvent != nil {
-			s.afterEvent(s.now)
-		}
+		s.notifyAfterEvent()
 	}
 	return n
 }
@@ -223,16 +376,39 @@ func (s *Scheduler) RunAll() uint64 {
 // schedulers seeded identically hand out identical streams for the same
 // name, regardless of the order in which components ask for them — that is
 // what keeps scenario runs reproducible as the codebase grows.
+//
+// The registry memoizes streams by name so every stream's underlying
+// Source is reachable for checkpointing: a snapshot is the sorted (name,
+// state) list and a restore writes states back into the live Sources
+// without invalidating the *rand.Rand wrappers protocol code holds.
 type RNG struct {
-	seed int64
+	seed    int64
+	streams map[string]*streamEntry
+}
+
+type streamEntry struct {
+	src  *Source
+	rand *rand.Rand
+}
+
+// StreamState is the serializable state of one named stream.
+type StreamState struct {
+	Name  string
+	State SourceState
 }
 
 // NewRNG returns a stream factory rooted at seed.
-func NewRNG(seed int64) *RNG { return &RNG{seed: seed} }
+func NewRNG(seed int64) *RNG {
+	return &RNG{seed: seed, streams: make(map[string]*streamEntry)}
+}
 
-// Stream returns an independent *rand.Rand for the component name. The
-// stream seed mixes the root seed with an FNV-1a hash of the name.
+// Stream returns the *rand.Rand for the component name, creating it on
+// first use. The stream seed mixes the root seed with an FNV-1a hash of
+// the name. Repeated calls with the same name return the same stream.
 func (r *RNG) Stream(name string) *rand.Rand {
+	if e, ok := r.streams[name]; ok {
+		return e.rand
+	}
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -246,5 +422,45 @@ func (r *RNG) Stream(name string) *rand.Rand {
 	if mixed == 0 {
 		mixed = int64(prime64)
 	}
-	return rand.New(rand.NewSource(mixed))
+	src := NewSource(mixed)
+	e := &streamEntry{src: src, rand: rand.New(src)}
+	r.streams[name] = e
+	return e.rand
+}
+
+// StateSnapshot returns the state of every stream created so far, sorted
+// by name so the serialized form is deterministic.
+func (r *RNG) StateSnapshot() []StreamState {
+	out := make([]StreamState, 0, len(r.streams))
+	for name, e := range r.streams {
+		out = append(out, StreamState{Name: name, State: e.src.State()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreState writes saved states back into live streams. It is strict
+// in both directions — a snapshot naming a stream this RNG never created,
+// or a live stream absent from the snapshot, means the restored topology
+// does not match the captured one, and restoring would silently
+// desynchronize the run.
+func (r *RNG) RestoreState(states []StreamState) error {
+	if len(states) != len(r.streams) {
+		return fmt.Errorf("sim: snapshot has %d rng streams, live run has %d", len(states), len(r.streams))
+	}
+	seen := make(map[string]bool, len(states))
+	for _, st := range states {
+		if seen[st.Name] {
+			return fmt.Errorf("sim: duplicate rng stream %q in snapshot", st.Name)
+		}
+		seen[st.Name] = true
+		e, ok := r.streams[st.Name]
+		if !ok {
+			return fmt.Errorf("sim: snapshot names unknown rng stream %q", st.Name)
+		}
+		if err := e.src.SetState(st.State); err != nil {
+			return fmt.Errorf("sim: stream %q: %w", st.Name, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,84 @@
+package sim
+
+// A serializable random source. The checkpoint subsystem (DESIGN.md
+// section 10) must capture and restore every random stream bit-exactly,
+// and math/rand's default source keeps its state unexported — so the
+// kernel owns its own generator: xoshiro256** (Blackman & Vigna, 2018),
+// seeded through SplitMix64. The state is four words, trivially
+// snapshot-able, and the generator's quality is more than adequate for
+// simulation workloads.
+//
+// Every stream handed out by RNG.Stream wraps a *Source, and the RNG
+// keeps a registry of them by name, so a snapshot is just the (name,
+// state) pairs and a restore writes the states back into the live
+// sources without touching the *rand.Rand wrappers protocol code holds.
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SourceState is the serializable state of one Source: the four
+// xoshiro256** state words. It is never all-zero.
+type SourceState [4]uint64
+
+// Source is a deterministic, serializable rand.Source64.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is the recommended seeder for xoshiro generators: it maps any
+// 64-bit seed to well-mixed, never-all-zero state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSource returns a source seeded from the given value. Distinct seeds
+// give independent streams.
+func NewSource(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed implements rand.Source: it resets the state from the seed.
+func (s *Source) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range s.s {
+		s.s[i] = splitmix64(&x)
+	}
+}
+
+// Uint64 implements rand.Source64 (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return result
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the current state words.
+func (s *Source) State() SourceState { return s.s }
+
+// SetState overwrites the state. The all-zero state is the xoshiro fixed
+// point (the generator would emit zeros forever) and is rejected.
+func (s *Source) SetState(st SourceState) error {
+	if st == (SourceState{}) {
+		return fmt.Errorf("sim: all-zero source state is invalid")
+	}
+	s.s = st
+	return nil
+}

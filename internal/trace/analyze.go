@@ -33,7 +33,10 @@ func Read(r io.Reader) ([]Event, error) {
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		// The scanner stops before delivering the offending line (e.g. one
+		// longer than the 4 MiB buffer), so the error belongs to the line
+		// after the last one it handed out.
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
 	}
 	return events, nil
 }

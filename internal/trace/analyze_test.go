@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,25 @@ func TestReadSkipsBlankAndRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Read(strings.NewReader("not json\n")); err == nil {
 		t.Error("garbage line accepted")
+	}
+}
+
+// TestReadOverlongLine feeds a line longer than the scanner buffer and
+// requires the error to carry both the cause and the line number —
+// previously the scanner error was surfaced with no position at all.
+func TestReadOverlongLine(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString(`{"t":1,"kind":"request-issued","node":0}` + "\n")
+	in.WriteString(`{"pad":"` + strings.Repeat("x", 5*1024*1024) + `"}` + "\n")
+	_, err := Read(&in)
+	if err == nil {
+		t.Fatal("over-long line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
 	}
 }
 

@@ -92,18 +92,10 @@ func RunChecked(s Scenario) (Result, InvariantReport, error) {
 	rep := b.network.Run(s.Duration)
 	runner.Finalize()
 
-	inv := InvariantReport{
-		Sweeps:          runner.Sweeps(),
-		Events:          runner.Events(),
-		TotalViolations: runner.Total(),
-	}
-	for _, v := range runner.Violations() {
-		inv.Violations = append(inv.Violations, InvariantViolation(v))
-	}
 	return Result{
 		Scenario: s,
 		Report:   fromMetrics(rep),
 		Protocol: fromStats(b.network.Stats()),
 		Radio:    fromRadio(b.channel.Stats()),
-	}, inv, nil
+	}, invariantReportOf(runner), nil
 }

@@ -22,11 +22,13 @@ package precinct
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"precinct/internal/cache"
 	"precinct/internal/consistency"
 	"precinct/internal/energy"
 	"precinct/internal/geo"
+	"precinct/internal/metrics"
 	"precinct/internal/mobility"
 	"precinct/internal/node"
 	"precinct/internal/radio"
@@ -223,6 +225,98 @@ type built struct {
 	meter    *energy.Meter
 	catalog  *workload.Catalog
 	table    *region.Table
+
+	// Checkpoint support: the restore path needs direct access to the
+	// scheduler, RNG registry, collector and mobility model, plus the
+	// churn parameters so its processes can be re-armed at recorded times.
+	sched         *sim.Scheduler
+	rng           *sim.RNG
+	coll          *metrics.Collector
+	mob           mobility.Model
+	churnRNG      *rand.Rand // nil when churn is off
+	churnDowntime float64
+}
+
+// Proc kinds for the precinct layer's re-armable recurring processes.
+const (
+	procChurn       = "churn"
+	procChurnRevive = "churn-revive"
+	procFault       = "fault"
+)
+
+// armChurnTick registers the next churn decision at an absolute time.
+// The tick body preserves the exact draw order of the original inline
+// closure: victim draw, graceful draw, revive arming, then the gap draw
+// for the next tick — resume equivalence depends on that order.
+func (b *built) armChurnTick(at float64) {
+	s := b.scenario
+	b.sched.AtProc(sim.Proc{Kind: procChurn, Owner: -1}, at, func() {
+		id := radio.NodeID(b.churnRNG.Intn(s.Nodes))
+		if b.network.Peer(id).Alive() {
+			if b.churnRNG.Float64() < s.ChurnGraceful {
+				b.network.Quit(id)
+			} else {
+				b.network.Crash(id)
+			}
+			b.armChurnRevive(b.sched.Now()+b.churnDowntime, int(id))
+		}
+		b.armChurnTick(b.sched.Now() + b.churnRNG.ExpFloat64()*s.ChurnInterval)
+	})
+}
+
+// armChurnRevive registers a churned-out peer's return.
+func (b *built) armChurnRevive(at float64, node int) {
+	id := radio.NodeID(node)
+	b.sched.AtProc(sim.Proc{Kind: procChurnRevive, Owner: node}, at, func() {
+		b.network.Revive(id)
+	})
+}
+
+// armFault registers injected fault i at an absolute time. The fault
+// index is the Proc owner, so a restore can re-arm exactly the faults
+// that had not yet fired.
+func (b *built) armFault(i int, at float64) error {
+	if i < 0 || i >= len(b.scenario.Faults) {
+		return fmt.Errorf("precinct: fault index %d out of range", i)
+	}
+	f := b.scenario.Faults[i]
+	id := radio.NodeID(f.Node)
+	var fn func()
+	switch f.Kind {
+	case "crash":
+		fn = func() { b.network.Crash(id) }
+	case "quit":
+		fn = func() { b.network.Quit(id) }
+	case "revive":
+		fn = func() { b.network.Revive(id) }
+	default:
+		return fmt.Errorf("precinct: fault %d has unknown kind %q", i, f.Kind)
+	}
+	b.sched.AtProc(sim.Proc{Kind: procFault, Owner: i}, at, fn)
+	return nil
+}
+
+// rearm re-registers one precinct-layer recurring process from a
+// scheduler snapshot, delegating node-layer kinds to the network.
+func (b *built) rearm(p sim.Proc, at float64) error {
+	switch p.Kind {
+	case procChurn:
+		if b.churnRNG == nil {
+			return fmt.Errorf("precinct: snapshot arms churn but churn is not configured")
+		}
+		b.armChurnTick(at)
+		return nil
+	case procChurnRevive:
+		if p.Owner < 0 || p.Owner >= b.scenario.Nodes {
+			return fmt.Errorf("precinct: churn revive for unknown node %d", p.Owner)
+		}
+		b.armChurnRevive(at, p.Owner)
+		return nil
+	case procFault:
+		return b.armFault(p.Owner, at)
+	default:
+		return b.network.Rearm(p, at)
+	}
 }
 
 // policyByName constructs a replacement policy.
@@ -250,6 +344,16 @@ func (s Scenario) build() (*built, error) { return s.buildTraced(nil) }
 
 // buildTraced wires the scenario with an optional protocol tracer.
 func (s Scenario) buildTraced(tracer trace.Tracer) (*built, error) {
+	return s.buildFull(tracer, true)
+}
+
+// buildFull wires the scenario. When arm is false the initial recurring
+// processes (churn tick, injected faults) are created but not scheduled:
+// the checkpoint restore path re-arms them at the snapshot's recorded
+// times instead (scheduling a past fault time would panic). All random
+// streams are still created either way, so a restored RNG registry sees
+// the same stream set the captured one had.
+func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	if s.Nodes <= 0 {
 		return nil, fmt.Errorf("precinct: nodes must be positive, got %d", s.Nodes)
 	}
@@ -429,26 +533,20 @@ func (s Scenario) buildTraced(tracer trace.Tracer) (*built, error) {
 	if s.ChurnInterval < 0 || s.ChurnDowntime < 0 || s.ChurnGraceful < 0 || s.ChurnGraceful > 1 {
 		return nil, fmt.Errorf("precinct: invalid churn parameters")
 	}
+	b := &built{
+		scenario: s, network: network, channel: ch,
+		meter: meter, catalog: catalog, table: table,
+		sched: sched, rng: rng, coll: coll, mob: mob,
+	}
 	if s.ChurnInterval > 0 {
-		churnRNG := rng.Stream("churn")
-		downtime := s.ChurnDowntime
-		if downtime == 0 {
-			downtime = 60
+		b.churnRNG = rng.Stream("churn")
+		b.churnDowntime = s.ChurnDowntime
+		if b.churnDowntime == 0 {
+			b.churnDowntime = 60
 		}
-		var tick func()
-		tick = func() {
-			id := radio.NodeID(churnRNG.Intn(s.Nodes))
-			if network.Peer(id).Alive() {
-				if churnRNG.Float64() < s.ChurnGraceful {
-					network.Quit(id)
-				} else {
-					network.Crash(id)
-				}
-				sched.After(downtime, func() { network.Revive(id) })
-			}
-			sched.After(churnRNG.ExpFloat64()*s.ChurnInterval, tick)
+		if arm {
+			b.armChurnTick(sched.Now() + b.churnRNG.ExpFloat64()*s.ChurnInterval)
 		}
-		sched.After(churnRNG.ExpFloat64()*s.ChurnInterval, tick)
 	}
 	for i, f := range s.Faults {
 		if f.Node < 0 || f.Node >= s.Nodes {
@@ -457,22 +555,16 @@ func (s Scenario) buildTraced(tracer trace.Tracer) (*built, error) {
 		if f.At < 0 || f.At > s.Duration {
 			return nil, fmt.Errorf("precinct: fault %d at %v outside the run", i, f.At)
 		}
-		id := radio.NodeID(f.Node)
-		switch f.Kind {
-		case "crash":
-			sched.At(f.At, func() { network.Crash(id) })
-		case "quit":
-			sched.At(f.At, func() { network.Quit(id) })
-		case "revive":
-			sched.At(f.At, func() { network.Revive(id) })
-		default:
+		if f.Kind != "crash" && f.Kind != "quit" && f.Kind != "revive" {
 			return nil, fmt.Errorf("precinct: fault %d has unknown kind %q", i, f.Kind)
 		}
+		if arm {
+			if err := b.armFault(i, f.At); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return &built{
-		scenario: s, network: network, channel: ch,
-		meter: meter, catalog: catalog, table: table,
-	}, nil
+	return b, nil
 }
 
 // Run executes the scenario to completion and returns its results.

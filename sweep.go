@@ -23,21 +23,40 @@ func Sweep(scenarios []Scenario, workers int) ([]Result, error) {
 	if len(scenarios) == 0 {
 		return nil, nil
 	}
+	results := make([]Result, len(scenarios))
+	err := runPool(len(scenarios), workers, func(i int) error {
+		var err error
+		results[i], err = Run(scenarios[i])
+		if err != nil {
+			return fmt.Errorf("precinct: scenario %d (%s): %w", i, scenarios[i].Name, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runPool executes job(0..n-1) on a worker pool. workers <= 0 uses
+// GOMAXPROCS. The first error aborts the pool: already-running jobs
+// finish, queued jobs are skipped, and the returned error joins every
+// job error that occurred.
+func runPool(n, workers int, job func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > n {
+		workers = n
 	}
 
-	results := make([]Result, len(scenarios))
-	errs := make([]error, len(scenarios))
+	errs := make([]error, n)
 
 	// Buffering the queue lets it be filled and closed up front, so
 	// workers observing the abort flag can drain the remainder without a
 	// producer goroutine blocking on sends.
-	jobs := make(chan int, len(scenarios))
-	for i := range scenarios {
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -52,10 +71,8 @@ func Sweep(scenarios []Scenario, workers int) ([]Result, error) {
 				if aborted.Load() {
 					continue
 				}
-				var err error
-				results[i], err = Run(scenarios[i])
-				if err != nil {
-					errs[i] = fmt.Errorf("precinct: scenario %d (%s): %w", i, scenarios[i].Name, err)
+				if err := job(i); err != nil {
+					errs[i] = err
 					aborted.Store(true)
 				}
 			}
@@ -63,10 +80,7 @@ func Sweep(scenarios []Scenario, workers int) ([]Result, error) {
 	}
 	wg.Wait()
 
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return errors.Join(errs...)
 }
 
 // Replicate runs the same scenario under each seed (in parallel) and
