@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio resume-smoke ci
+.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare resume-smoke scale-smoke cover soak ci
 
 all: build
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRegionForPoint$$' -fuzztime $(FUZZTIME) ./internal/region
 	$(GO) test -run '^$$' -fuzz '^FuzzZipfRank$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # One fast pass over every benchmark so regressions in the bench code
 # itself are caught without waiting for full measurement runs.
@@ -45,6 +46,43 @@ bench-smoke:
 # Run on a quiet machine; takes a few minutes at paper scale.
 bench-radio:
 	$(GO) run ./cmd/precinct-bench -radiojson BENCH_radio.json
+
+# Regenerate the committed scale-tier numbers (BENCH_scale.json):
+# end-to-end runs over nodes {250,500,1000,2000} x loss {0,0.1,0.3}.
+# Run on a quiet machine.
+bench-scale:
+	$(GO) run ./cmd/precinct-bench -scale BENCH_scale.json
+
+# Bench regression gate: re-run a fast probe subset (radio neighbor
+# queries + two mid-size scale cells) and compare against the committed
+# baselines; more than TOLERANCE slower, or more allocations, exits 3.
+# Wall-clock probes are machine-dependent, so ci runs this advisory
+# (note the leading '-' there); to make it binding, regenerate the
+# baselines on the measurement machine (make bench-radio bench-scale),
+# or widen the gate on a noisy box:
+#
+#	make bench-compare TOLERANCE=0.30
+TOLERANCE ?= 0.15
+bench-compare:
+	$(GO) run ./cmd/precinct-bench -compare -tolerance $(TOLERANCE)
+
+# Per-package coverage floors. Baselines recorded at PR 4 (2026-08):
+# internal/cache 86.6%, internal/node 82.5% of statements; the floor is
+# the baseline minus 1 point of slack for coverage-neutral churn. Raise
+# the floors when coverage improves; never lower them to admit a drop.
+COVER_FLOOR_CACHE ?= 85.6
+COVER_FLOOR_NODE ?= 81.5
+cover:
+	@fail=0; \
+	for spec in "internal/cache $(COVER_FLOOR_CACHE)" "internal/node $(COVER_FLOOR_NODE)"; do \
+		set -- $$spec; pkg=$$1; floor=$$2; \
+		pct=$$($(GO) test -cover ./$$pkg/ | awk -F'coverage: ' '/coverage:/{split($$2,a,"%"); print a[1]}'); \
+		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output"; fail=1; continue; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		if [ "$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p+0 >= f+0)}')" != 1 ]; then \
+			echo "cover: $$pkg dropped below its $$floor% floor"; fail=1; \
+		fi; \
+	done; exit $$fail
 
 # End-to-end checkpoint/resume proof through the real CLI (DESIGN.md
 # section 10): run a scenario to completion, run it again interrupted at
@@ -60,4 +98,27 @@ resume-smoke:
 	diff "$$dir/full.txt" "$$dir/resumed.txt" && \
 	echo "resume-smoke: resumed run identical to uninterrupted run"
 
-ci: vet build test race check bench-smoke fuzz-smoke resume-smoke
+# Scale-tier smoke: a 1000-node, lossy scenario (paper density: the
+# area grows with sqrt(N), ~400 m regions) must (1) complete under the
+# full runtime invariant catalog and (2) survive an interrupted
+# checkpoint/resume round-trip bit-identically to an uninterrupted run.
+scale-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	flags="-nodes 1000 -area 4243 -regions 121 -loss 0.1 -warmup 30 -duration 180" && \
+	$(GO) run ./cmd/precinct-sim $$flags -check > "$$dir/checked.txt" && \
+	$(GO) run ./cmd/precinct-sim $$flags > "$$dir/full.txt" && \
+	$(GO) run ./cmd/precinct-sim $$flags -checkpoint-dir "$$dir" -checkpoint-interval 30 -stop-after 90 > /dev/null && \
+	test -n "$$(ls "$$dir"/*.ckpt)" && \
+	$(GO) run ./cmd/precinct-sim $$flags -checkpoint-dir "$$dir" -resume > "$$dir/resumed.txt" && \
+	diff "$$dir/full.txt" "$$dir/resumed.txt" && \
+	echo "scale-smoke: 1000-node lossy run passed the invariant catalog and resumed bit-identically"
+
+# The build-tagged endurance tier (soak_test.go): one 2000-node, 30%
+# loss scenario for a long horizon under the invariant catalog, plus
+# checkpoint/resume and heap/linear equivalence at that scale. Minutes,
+# not seconds — run explicitly, not from ci.
+soak:
+	$(GO) test -tags soak -run Soak -timeout 60m -v .
+
+ci: vet build test race check cover bench-smoke fuzz-smoke resume-smoke scale-smoke
+	-$(MAKE) bench-compare

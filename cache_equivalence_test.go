@@ -1,0 +1,148 @@
+package precinct_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+	"precinct/internal/node"
+	"precinct/internal/radio"
+	"precinct/internal/region"
+	"precinct/internal/workload"
+)
+
+// evictRec is one observed eviction: which peer evicted which key.
+type evictRec struct {
+	Node radio.NodeID
+	Key  workload.Key
+}
+
+// evictLog is a node.Probe that records the run's complete eviction
+// sequence and ignores everything else.
+type evictLog struct {
+	seq []evictRec
+}
+
+func (l *evictLog) OnCacheAdmit(radio.NodeID, region.ID, region.ID, workload.Key) {}
+func (l *evictLog) OnTTRSmoothed(radio.NodeID, workload.Key, float64, float64, float64, float64) {
+}
+func (l *evictLog) AfterRehome(*node.Peer, bool) {}
+func (l *evictLog) OnCacheEvict(id radio.NodeID, key workload.Key) {
+	l.seq = append(l.seq, evictRec{Node: id, Key: key})
+}
+
+// runWithEvictLog executes a scenario with an eviction-sequence probe
+// attached and returns the result plus the ordered eviction log.
+func runWithEvictLog(t *testing.T, s precinct.Scenario) (precinct.Result, []evictRec) {
+	t.Helper()
+	log := &evictLog{}
+	res, err := precinct.RunProbedForTest(s, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, log.seq
+}
+
+// TestCacheIndexEquivalence enforces the cache determinism contract the
+// same way TestGridLinearEquivalence does for the radio layer: a run
+// whose caches evict through the heap victim index must be bit-for-bit
+// identical — same eviction sequence, same Report/Protocol/Radio — to
+// the same run using the retained O(n) linear reference scan
+// (Scenario.LinearCache). The corpus is ≥16 fuzzgen seeds covering both
+// aged policies (GD-LD and GD-Size), message loss, and the large-N
+// scale tier.
+func TestCacheIndexEquivalence(t *testing.T) {
+	type tc struct {
+		name string
+		s    precinct.Scenario
+	}
+	var cases []tc
+
+	// Regular fuzzgen seeds, policy pinned to the two aged policies and
+	// half of them forced lossy.
+	for seed := int64(1); seed <= 12; seed++ {
+		s := fuzzgen.Expand(seed)
+		if seed%2 == 0 {
+			s.Policy = "gd-size"
+		} else {
+			s.Policy = "gd-ld"
+		}
+		if seed%2 == 1 && s.LossRate == 0 {
+			s.LossRate = 0.1
+		}
+		// Make sure caches exist and see pressure.
+		if s.CacheFraction <= 0 {
+			s.CacheFraction = 0.01
+		}
+		cases = append(cases, tc{fmt.Sprintf("fuzz-%d/%s", seed, s.Policy), s})
+	}
+
+	// Scale-tier seeds: large-N, always lossy. Capped under -short.
+	maxNodes := 2000
+	scaleSeeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		maxNodes = 500
+		scaleSeeds = scaleSeeds[:4]
+	}
+	for i, seed := range scaleSeeds {
+		s := fuzzgen.ExpandScale(seed, maxNodes)
+		if i%2 == 0 {
+			s.Policy = "gd-ld"
+		} else {
+			s.Policy = "gd-size"
+		}
+		cases = append(cases, tc{fmt.Sprintf("scale-%d/%s", seed, s.Policy), s})
+	}
+
+	if len(cases) < 16 {
+		t.Fatalf("only %d seeds; the contract requires at least 16", len(cases))
+	}
+
+	var totalEvictions atomic.Int64
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := c.s
+			s.LinearCache = false
+			heap, heapEv := runWithEvictLog(t, s)
+			s.LinearCache = true
+			linear, linEv := runWithEvictLog(t, s)
+
+			if !reflect.DeepEqual(heapEv, linEv) {
+				n := len(heapEv)
+				if len(linEv) < n {
+					n = len(linEv)
+				}
+				for i := 0; i < n; i++ {
+					if heapEv[i] != linEv[i] {
+						t.Fatalf("eviction sequences diverged at %d: heap %+v, linear %+v",
+							i, heapEv[i], linEv[i])
+					}
+				}
+				t.Fatalf("eviction sequence lengths diverged: heap %d, linear %d",
+					len(heapEv), len(linEv))
+			}
+			if !reflect.DeepEqual(heap.Report, linear.Report) {
+				t.Errorf("Report diverged:\nheap:   %+v\nlinear: %+v", heap.Report, linear.Report)
+			}
+			if !reflect.DeepEqual(heap.Protocol, linear.Protocol) {
+				t.Errorf("ProtocolStats diverged:\nheap:   %+v\nlinear: %+v", heap.Protocol, linear.Protocol)
+			}
+			if !reflect.DeepEqual(heap.Radio, linear.Radio) {
+				t.Errorf("RadioStats diverged:\nheap:   %+v\nlinear: %+v", heap.Radio, linear.Radio)
+			}
+			totalEvictions.Add(int64(len(heapEv)))
+		})
+	}
+	// The subtests run in parallel, so the vacuity check must wait for
+	// them; a cleanup on the parent runs after all parallel children.
+	t.Cleanup(func() {
+		if !t.Failed() && totalEvictions.Load() == 0 {
+			t.Error("no scenario evicted anything; the equivalence is vacuous")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package main
+
+// Benchmark regression gate, run via -compare. It re-runs a small,
+// fast subset of the radio and scale suites on the current build and
+// compares each probe against the committed baselines (BENCH_radio.json
+// and BENCH_scale.json). A probe regresses when it is more than
+// -tolerance (default 15%) slower, or allocates more than tolerance
+// above baseline. Timing probes are inherently machine-dependent, which
+// is why `make bench-compare` is advisory in ci (prefixed with `-`);
+// run it on the baseline machine, or regenerate the baselines, to get a
+// binding comparison. Raise the knob for noisy boxes:
+//
+//	precinct-bench -compare -tolerance 0.30
+//
+// Exit status 3 signals a regression; 0 means every probe is within
+// tolerance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"precinct/internal/radio"
+)
+
+// loadJSON decodes a committed baseline report.
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// compareProbe prints one probe's verdict and reports whether it
+// regressed: current must stay within (1+tol) of baseline. A slack of
+// one absolute unit keeps integer alloc counts from tripping on ±1.
+func compareProbe(name, metric string, base, curr, tol float64) bool {
+	limit := base*(1+tol) + 1
+	ok := curr <= limit
+	verdict := "ok"
+	if !ok {
+		verdict = "REGRESSED"
+	}
+	fmt.Printf("  %-34s %-16s base %12.1f  now %12.1f  (limit %12.1f)  %s\n",
+		name, metric, base, curr, limit, verdict)
+	return !ok
+}
+
+// runBenchCompare re-runs the probe subset and compares against the
+// baselines at baseRadio and baseScale. It returns whether any probe
+// regressed beyond tol.
+func runBenchCompare(baseRadio, baseScale string, tol float64) (bool, error) {
+	var radioBase radioBenchReport
+	if err := loadJSON(baseRadio, &radioBase); err != nil {
+		return false, fmt.Errorf("radio baseline: %w", err)
+	}
+	var scaleBase scaleBenchReport
+	if err := loadJSON(baseScale, &scaleBase); err != nil {
+		return false, fmt.Errorf("scale baseline: %w", err)
+	}
+	radioByName := map[string]benchEntry{}
+	for _, e := range radioBase.Results {
+		radioByName[e.Name] = e
+	}
+	scaleByName := map[string]scaleEntry{}
+	for _, e := range scaleBase.Results {
+		scaleByName[e.Name] = e
+	}
+
+	regressed := false
+
+	// Radio probes: the grid-backend neighbor queries that dominate the
+	// hot path, re-run exactly as writeRadioBench runs them.
+	fmt.Printf("radio probes vs %s (tolerance %.0f%%):\n", baseRadio, tol*100)
+	for _, probe := range []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"neighbors/static/grid/n=320", func(b *testing.B) {
+			ch, _ := staticChannel(320, false)
+			ch.Neighbors(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.Neighbors(radio.NodeID(i % 320))
+			}
+		}},
+		{"neighbors/waypoint/grid/n=320", func(b *testing.B) {
+			ch, sched := waypointChannel(320, false)
+			ch.Neighbors(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%64 == 0 {
+					at := sched.Now() + 0.25
+					sched.At(at, func() {})
+					sched.Run(at)
+				}
+				ch.Neighbors(radio.NodeID(i % 320))
+			}
+		}},
+	} {
+		base, ok := radioByName[probe.name]
+		if !ok {
+			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", baseRadio, probe.name)
+		}
+		r := testing.Benchmark(probe.bench)
+		if compareProbe(probe.name, "ns/op", base.NsPerOp, float64(r.NsPerOp()), tol) {
+			regressed = true
+		}
+		if compareProbe(probe.name, "allocs/op", float64(base.AllocsPerOp), float64(r.AllocsPerOp()), tol) {
+			regressed = true
+		}
+	}
+
+	// Scale probes: two mid-size cells of the grid, rebuilt with the
+	// baseline's durations so sim workload matches exactly.
+	fmt.Printf("scale probes vs %s (tolerance %.0f%%):\n", baseScale, tol*100)
+	for _, cell := range []struct {
+		n    int
+		loss float64
+	}{{500, 0}, {500, 0.1}} {
+		name := fmt.Sprintf("scale/n=%d/loss=%g", cell.n, cell.loss)
+		base, ok := scaleByName[name]
+		if !ok {
+			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", baseScale, name)
+		}
+		e, err := runScaleCell(scaleScenario(cell.n, cell.loss, scaleBase.Quick))
+		if err != nil {
+			return false, err
+		}
+		if e.Events != base.Events {
+			return false, fmt.Errorf("%s: event count diverged from baseline (%d vs %d); the workload changed — regenerate %s",
+				name, e.Events, base.Events, baseScale)
+		}
+		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol) {
+			regressed = true
+		}
+		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol) {
+			regressed = true
+		}
+	}
+
+	if regressed {
+		fmt.Println("bench-compare: REGRESSED (see limits above; override with -tolerance or regenerate baselines)")
+	} else {
+		fmt.Println("bench-compare: ok")
+	}
+	return regressed, nil
+}

@@ -28,12 +28,35 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render ASCII charts instead of aligned tables")
 	radioJSON := flag.String("radiojson", "", "run the radio hot-path benchmark suite, write JSON results to `file`, and exit")
+	scaleJSON := flag.String("scale", "", "run the large-N scale-tier benchmark grid, write JSON results to `file`, and exit (-quick shrinks the grid)")
+	compare := flag.Bool("compare", false, "re-run a benchmark subset and compare against the committed baselines; exit 3 on regression")
+	baseRadio := flag.String("baseline-radio", "BENCH_radio.json", "radio baseline for -compare")
+	baseScale := flag.String("baseline-scale", "BENCH_scale.json", "scale baseline for -compare")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs baseline for -compare")
 	flag.Parse()
 
 	if *radioJSON != "" {
 		if err := writeRadioBench(*radioJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *scaleJSON != "" {
+		if err := writeScaleBench(*scaleJSON, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare {
+		regressed, err := runBenchCompare(*baseRadio, *baseScale, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(3)
 		}
 		return
 	}

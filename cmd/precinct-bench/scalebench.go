@@ -1,0 +1,154 @@
+package main
+
+// Scale-tier benchmark suite, run via -scale. It runs the large-N
+// scenario grid — nodes in {250, 500, 1000, 2000} crossed with loss
+// rates {0, 0.1, 0.3} at constant node density — end to end and emits a
+// machine-readable JSON report (BENCH_scale.json at the repository root
+// holds the committed numbers; see EXPERIMENTS.md §Scale tier). Each
+// cell records wall clock, scheduler throughput (events/sec), allocation
+// pressure (allocs/event) and the headline protocol metrics, so both
+// performance and behavior are tracked across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"precinct"
+)
+
+type scaleEntry struct {
+	// Name is "scale/n=<nodes>/loss=<loss>".
+	Name           string  `json:"name"`
+	Nodes          int     `json:"nodes"`
+	Loss           float64 `json:"loss"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Requests       uint64  `json:"requests"`
+	ByteHitRatio   float64 `json:"byte_hit_ratio"`
+	MeanLatency    float64 `json:"mean_latency_s"`
+	P95Latency     float64 `json:"p95_latency_s"`
+}
+
+type scaleBenchReport struct {
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	Quick   bool         `json:"quick"`
+	Results []scaleEntry `json:"results"`
+	// Summary holds the headline numbers the regression gate tracks.
+	Summary map[string]float64 `json:"summary"`
+}
+
+// scaleScenario builds one cell of the grid: n nodes at the paper's
+// density (area grows with sqrt(n), ~400 m grid regions) with the given
+// frame loss rate.
+func scaleScenario(n int, loss float64, quick bool) precinct.Scenario {
+	s := precinct.DefaultScenario()
+	s.Name = fmt.Sprintf("scale-n%d-loss%g", n, loss)
+	s.Nodes = n
+	s.AreaSide = 1200 * math.Sqrt(float64(n)/80)
+	rows := int(math.Round(s.AreaSide / 400))
+	if rows < 3 {
+		rows = 3
+	}
+	s.Regions = rows * rows
+	s.LossRate = loss
+	s.Duration = 300
+	s.Warmup = 60
+	if quick {
+		s.Duration = 120
+		s.Warmup = 30
+	}
+	return s
+}
+
+// runScaleCell executes one grid cell, measuring wall clock and the
+// allocation count around the run.
+func runScaleCell(s precinct.Scenario) (scaleEntry, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, stats, err := precinct.RunWithStats(s)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return scaleEntry{}, err
+	}
+	e := scaleEntry{
+		Name:         fmt.Sprintf("scale/n=%d/loss=%g", s.Nodes, s.LossRate),
+		Nodes:        s.Nodes,
+		Loss:         s.LossRate,
+		SimSeconds:   s.Duration,
+		WallSeconds:  wall.Seconds(),
+		Events:       stats.Events,
+		Requests:     res.Report.Requests,
+		ByteHitRatio: res.Report.ByteHitRatio,
+		MeanLatency:  res.Report.MeanLatency,
+		P95Latency:   res.Report.P95Latency,
+	}
+	if stats.Events > 0 {
+		e.EventsPerSec = float64(stats.Events) / wall.Seconds()
+		e.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(stats.Events)
+	}
+	return e, nil
+}
+
+// writeScaleBench runs the grid and writes the JSON report to path.
+// quick shrinks the grid and durations for smoke use in CI.
+func writeScaleBench(path string, quick bool) error {
+	rep := scaleBenchReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Quick:   quick,
+		Summary: map[string]float64{},
+	}
+	nodes := []int{250, 500, 1000, 2000}
+	losses := []float64{0, 0.1, 0.3}
+	if quick {
+		nodes = []int{250, 500}
+		losses = []float64{0, 0.1}
+	}
+
+	fmt.Println("scale tier, end-to-end runs:")
+	for _, n := range nodes {
+		for _, loss := range losses {
+			s := scaleScenario(n, loss, quick)
+			e, err := runScaleCell(s)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rep.Results = append(rep.Results, e)
+			fmt.Printf("  %-24s %8.2fs wall %10.0f ev/s %6.1f allocs/ev  hit %.3f  p95 %.3fs\n",
+				e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent,
+				e.ByteHitRatio, e.P95Latency)
+			if e.Requests == 0 {
+				return fmt.Errorf("%s: no requests issued", s.Name)
+			}
+		}
+	}
+
+	for _, e := range rep.Results {
+		key := fmt.Sprintf("n%d_loss%g", e.Nodes, e.Loss)
+		rep.Summary[key+"_events_per_sec"] = e.EventsPerSec
+		rep.Summary[key+"_allocs_per_event"] = e.AllocsPerEvent
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

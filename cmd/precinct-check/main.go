@@ -8,6 +8,8 @@
 //	precinct-check -seeds 100       # seeds 1..100
 //	precinct-check -start 42 -seeds 1 -v
 //	precinct-check -seeds 50 -checkpoint-dir ckpt -resume
+//	precinct-check -scale -seeds 6  # large-N lossy corpus (ExpandScale)
+//	precinct-check -scale -max-nodes 500 -seeds 4
 //
 // With -checkpoint-dir every scenario runs checkpointed; a re-run of the
 // same batch with -resume skips finished scenarios and resumes
@@ -33,11 +35,21 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent scenario runs")
 	ckptDir := flag.String("checkpoint-dir", "", "run each scenario checkpointed, snapshots in this directory (must exist)")
 	resume := flag.Bool("resume", false, "skip finished scenarios and resume interrupted ones from -checkpoint-dir")
+	scale := flag.Bool("scale", false, "expand seeds with the large-N lossy scale generator instead of the regular fuzzer")
+	maxNodes := flag.Int("max-nodes", 2000, "node-count cap for -scale scenarios")
 	verbose := flag.Bool("v", false, "print every scenario result, not only failures")
 	flag.Parse()
 	if *seeds <= 0 || *workers <= 0 {
 		fmt.Fprintln(os.Stderr, "precinct-check: -seeds and -workers must be positive")
 		os.Exit(1)
+	}
+	if *maxNodes <= 0 {
+		fmt.Fprintln(os.Stderr, "precinct-check: -max-nodes must be positive")
+		os.Exit(1)
+	}
+	expand := fuzzgen.Expand
+	if *scale {
+		expand = func(seed int64) precinct.Scenario { return fuzzgen.ExpandScale(seed, *maxNodes) }
 	}
 	if *resume && *ckptDir == "" {
 		die(fmt.Errorf("-resume requires -checkpoint-dir"))
@@ -67,7 +79,7 @@ func main() {
 			defer wg.Done()
 			for i := range jobs {
 				seed := *start + i
-				sc := fuzzgen.Expand(seed)
+				sc := expand(seed)
 				var inv precinct.InvariantReport
 				var err error
 				if *ckptDir != "" {

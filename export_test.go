@@ -1,0 +1,22 @@
+package precinct
+
+import "precinct/internal/node"
+
+// RunProbedForTest executes the scenario with a node-layer probe
+// attached — the hook the cache equivalence suite uses to observe whole
+// runs' eviction sequences. Probes are pure observers, so the run is
+// bit-identical to Run on the same scenario.
+func RunProbedForTest(s Scenario, pr node.Probe) (Result, error) {
+	b, err := s.build()
+	if err != nil {
+		return Result{}, err
+	}
+	b.network.SetProbe(pr)
+	rep := b.network.Run(s.Duration)
+	return Result{
+		Scenario: s,
+		Report:   fromMetrics(rep),
+		Protocol: fromStats(b.network.Stats()),
+		Radio:    fromRadio(b.channel.Stats()),
+	}, nil
+}

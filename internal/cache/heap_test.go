@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"precinct/internal/workload"
+)
+
+// policyForTest builds a named policy, failing the test on error.
+func policyForTest(t *testing.T, name string) Policy {
+	t.Helper()
+	switch name {
+	case "gd-ld":
+		p, err := NewGDLD(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	case "gd-size":
+		return GDSize{}
+	case "lru":
+		return LRU{}
+	case "lfu":
+		return LFU{}
+	default:
+		t.Fatalf("unknown policy %q", name)
+		return nil
+	}
+}
+
+// cacheOp is one step of a fuzzed operation stream.
+type cacheOp struct {
+	kind    int // 0 put, 1 get, 2 remove, 3 update, 4 restore round-trip
+	key     workload.Key
+	size    int
+	dist    float64
+	version uint64
+	now     float64
+}
+
+// genOps draws a deterministic operation stream that exercises every
+// mutation path of the cache, with enough Put pressure to force long
+// eviction chains.
+func genOps(seed int64, n int) []cacheOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]cacheOp, 0, n)
+	for i := 0; i < n; i++ {
+		o := cacheOp{
+			key: workload.Key(rng.Intn(60)),
+			now: float64(i) + rng.Float64(),
+		}
+		switch r := rng.Intn(10); {
+		case r < 5: // half the stream inserts
+			o.kind = 0
+			o.size = 128 + 64*rng.Intn(30)
+			o.dist = float64(50 * rng.Intn(20))
+			o.version = uint64(rng.Intn(5))
+		case r < 8:
+			o.kind = 1
+		case r < 9:
+			o.kind = 2
+		default:
+			o.kind = 3
+			o.version = uint64(rng.Intn(10))
+		}
+		if rng.Intn(97) == 0 {
+			o.kind = 4 // occasional snapshot/restore round-trip
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// replay runs an operation stream on one cache, returning the full
+// eviction sequence (keys in order).
+func replay(t *testing.T, c *Cache, ops []cacheOp) []workload.Key {
+	t.Helper()
+	var evictions []workload.Key
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			ev, _ := c.Put(Entry{
+				Key: o.key, Size: o.size, RegionDist: o.dist, Version: o.version,
+			}, o.now)
+			for _, e := range ev {
+				evictions = append(evictions, e.Key)
+			}
+		case 1:
+			c.Get(o.key, o.now)
+		case 2:
+			c.Remove(o.key)
+		case 3:
+			c.Update(o.key, o.version, o.now+30)
+		case 4:
+			if err := c.RestoreState(c.StateSnapshot()); err != nil {
+				t.Fatalf("op %d: restore round-trip: %v", i, err)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return evictions
+}
+
+// TestHeapLinearOpEquivalence replays fuzzed operation streams on a
+// heap-indexed cache and on the retained linear reference, for every
+// policy, and requires identical eviction sequences, counters and final
+// contents. This is the unit-level half of the equivalence proof
+// (DESIGN.md section 11); TestCacheIndexEquivalence at the repo root is
+// the whole-scenario half.
+func TestHeapLinearOpEquivalence(t *testing.T) {
+	for _, policy := range []string{"gd-ld", "gd-size", "lru", "lfu"} {
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				ops := genOps(seed*7919, 1200)
+
+				heap, err := New(8192, policyForTest(t, policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				linear, err := NewLinear(8192, policyForTest(t, policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if heap.Linear() || !linear.Linear() {
+					t.Fatal("Linear() does not reflect the constructors")
+				}
+
+				heapEv := replay(t, heap, ops)
+				linEv := replay(t, linear, ops)
+
+				if !reflect.DeepEqual(heapEv, linEv) {
+					t.Fatalf("seed %d: eviction sequences diverged:\nheap   %v\nlinear %v",
+						seed, heapEv, linEv)
+				}
+				if len(heapEv) == 0 {
+					t.Fatalf("seed %d: no evictions; the equivalence is vacuous", seed)
+				}
+				hs, ls := heap.StateSnapshot(), linear.StateSnapshot()
+				if !reflect.DeepEqual(hs, ls) {
+					t.Fatalf("seed %d: final states diverged:\nheap   %+v\nlinear %+v",
+						seed, hs, ls)
+				}
+			}
+		})
+	}
+}
+
+// TestVictimIndexTracksMinUtility cross-checks the heap minimum against
+// the reference scan after every mutation of a fuzzed stream — a
+// stronger, per-step version of the sequence equivalence above.
+func TestVictimIndexTracksMinUtility(t *testing.T) {
+	c, err := New(4096, policyForTest(t, "gd-ld"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := genOps(42, 2000)
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			c.Put(Entry{Key: o.key, Size: o.size, RegionDist: o.dist}, o.now)
+		case 1:
+			c.Get(o.key, o.now)
+		case 2:
+			c.Remove(o.key)
+		case 3:
+			c.Update(o.key, o.version, o.now+30)
+		case 4:
+			if err := c.RestoreState(c.StateSnapshot()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		heapMin, scanMin := c.victim(), c.minUtility()
+		if heapMin != scanMin {
+			t.Fatalf("op %d: heap min %+v, reference scan %+v", i, heapMin, scanMin)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("stream caused no evictions")
+	}
+}
+
+// TestVictimIndexDetectsCorruption proves the CheckInvariants extension
+// actually fires: breaking the heap order must be reported.
+func TestVictimIndexDetectsCorruption(t *testing.T) {
+	c, err := New(4096, policyForTest(t, "gd-ld"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := workload.Key(1); k <= 4; k++ {
+		c.Put(Entry{Key: k, Size: 512, RegionDist: float64(k) * 100}, float64(k))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("healthy cache reported %v", err)
+	}
+	// Swap two heap slots without fixing positions: both the position
+	// map and (generally) the order invariant are now wrong.
+	h := c.index.heap
+	if len(h) < 2 {
+		t.Fatal("expected at least 2 indexed entries")
+	}
+	h[0], h[1] = h[1], h[0]
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("corrupted victim index not detected")
+	}
+}
+
+// TestPutEvictedScratchReuse pins the documented aliasing contract: the
+// slice Put returns is valid until the next Put, and eviction-heavy
+// steady state does not grow allocations per call.
+func TestPutEvictedScratchReuse(t *testing.T) {
+	c, err := New(1024, policyForTest(t, "gd-size"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(Entry{Key: 1, Size: 512}, 0)
+	c.Put(Entry{Key: 2, Size: 512}, 1)
+	ev, ok := c.Put(Entry{Key: 3, Size: 1024}, 2)
+	if !ok || len(ev) != 2 {
+		t.Fatalf("evicted %v, want both residents", ev)
+	}
+	ev2, _ := c.Put(Entry{Key: 4, Size: 1024}, 3)
+	if len(ev2) != 1 || ev2[0].Key != 3 {
+		t.Fatalf("second Put evicted %v, want [3]", ev2)
+	}
+	if &ev[0] != &ev2[0] {
+		t.Fatal("scratch buffer was not reused across Puts")
+	}
+}

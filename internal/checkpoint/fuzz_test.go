@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenBytes loads the committed golden snapshot (the wire-format
+// fixture TestGoldenSnapshot pins) so the fuzzer starts from a valid
+// container instead of having to discover the framing by chance.
+func goldenBytes(t testing.TB) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden.ckpt"))
+	if err != nil {
+		t.Fatalf("golden snapshot fixture: %v", err)
+	}
+	return data
+}
+
+// FuzzDecode fuzzes the container parser with arbitrary byte strings,
+// seeded from the golden snapshot and hand-built corruptions of it
+// (the same classes TestCheckpointCorruption covers as unit tests:
+// truncation, flipped CRC bytes, bumped version, renamed section,
+// trailing garbage). Decode's contract is fail-closed: on any input it
+// must either return a complete, re-encodable snapshot or a descriptive
+// error — never panic, never hand back partial state.
+func FuzzDecode(f *testing.F) {
+	golden := goldenBytes(f)
+	f.Add(golden)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(golden[:len(golden)/2])          // truncated mid-section
+	f.Add(golden[:len(Magic)+8])           // header only
+	f.Add(append(golden, 0xAA))            // trailing garbage
+	f.Add(bytes.Repeat([]byte{0xFF}, 256)) // dense noise
+
+	if len(golden) > len(Magic)+8 {
+		// Unknown version.
+		v := append([]byte(nil), golden...)
+		binary.BigEndian.PutUint32(v[len(Magic):], Version+1)
+		f.Add(v)
+		// Flip a byte deep in a payload so a CRC must catch it.
+		c := append([]byte(nil), golden...)
+		c[len(c)/2] ^= 0x01
+		f.Add(c)
+		// Corrupt the first section's name.
+		n := append([]byte(nil), golden...)
+		n[len(Magic)+8+2] ^= 0x01
+		f.Add(n)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned partial state alongside an error")
+			}
+			return
+		}
+		// Accepted input: the snapshot must survive an encode/decode
+		// round-trip, i.e. acceptance implies a fully coherent object,
+		// not a lucky parse.
+		out, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsRejectCleanly replays FuzzDecode's corruption seeds as a
+// plain test, so the corpus keeps meaning "these inputs fail closed"
+// even in runs that never invoke the fuzzing engine.
+func TestFuzzSeedsRejectCleanly(t *testing.T) {
+	golden := goldenBytes(t)
+	if _, err := Decode(golden); err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	bad := map[string][]byte{
+		"empty":       {},
+		"magic-only":  []byte(Magic),
+		"half":        golden[:len(golden)/2],
+		"header-only": golden[:len(Magic)+8],
+		"trailing":    append(append([]byte(nil), golden...), 0xAA),
+	}
+	v := append([]byte(nil), golden...)
+	binary.BigEndian.PutUint32(v[len(Magic):], Version+1)
+	bad["version"] = v
+	c := append([]byte(nil), golden...)
+	c[len(c)/2] ^= 0x01
+	bad["bitflip"] = c
+	for name, data := range bad {
+		if s, err := Decode(data); err == nil {
+			t.Errorf("%s: corrupt input decoded without error (%v)", name, s.Meta)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package fuzzgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"precinct"
@@ -109,6 +110,59 @@ func Expand(seed int64) precinct.Scenario {
 	return s
 }
 
+// ExpandScale grows a seed into a large-N, lossy scenario for the scale
+// tier: 250–2000 peers at the paper's node density (the area grows with
+// sqrt(N) and the grid keeps ~400 m regions), always with a nonzero
+// LossRate. maxNodes caps the node count so tests can stay tractable
+// under -short (the invariant suite passes 500 there, 2000 otherwise).
+// Durations are short — event volume already scales with N — so a
+// 2000-node scenario completes in seconds, not minutes.
+func ExpandScale(seed int64, maxNodes int) precinct.Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1e5ca1e))
+	s := precinct.DefaultScenario()
+	s.Name = fmt.Sprintf("scale-%d", seed)
+	s.Seed = seed
+
+	nodes := 250 << rng.Intn(4) // 250, 500, 1000, 2000
+	if maxNodes > 0 && nodes > maxNodes {
+		nodes = maxNodes
+	}
+	s.Nodes = nodes
+	// Constant density: the paper's 80 nodes / (1200 m)² square.
+	s.AreaSide = 1200 * math.Sqrt(float64(nodes)/80)
+	rows := int(math.Round(s.AreaSide / 400))
+	if rows < 3 {
+		rows = 3
+	}
+	s.Regions = rows * rows
+
+	s.MobilityModel = []string{"waypoint", "static", "random-walk"}[rng.Intn(3)]
+	s.MaxSpeed = 2 + 8*rng.Float64()
+	s.Pause = 5
+
+	s.LossRate = []float64{0.05, 0.1, 0.3}[rng.Intn(3)] // always lossy
+	s.Collisions = rng.Float64() < 0.3
+
+	s.Items = 500 + rng.Intn(501)
+	s.ZipfTheta = 0.8
+	s.RequestInterval = 20 + 20*rng.Float64()
+
+	s.Policy = []string{"gd-ld", "gd-ld", "gd-size"}[rng.Intn(3)]
+	s.CacheFraction = 0.005 + 0.02*rng.Float64()
+
+	if rng.Float64() < 0.5 {
+		s.UpdateInterval = 40 + 40*rng.Float64()
+		s.Consistency = []string{
+			"push-adaptive-pull", "plain-push", "pull-every-time",
+		}[rng.Intn(3)]
+		s.TTRAlpha = 0.5
+	}
+
+	s.Warmup = 20
+	s.Duration = 60 + float64(rng.Intn(61))
+	return s
+}
+
 // Relabel returns the scenario with a different Name. Renaming must not
 // affect the run at all.
 func Relabel(s precinct.Scenario, name string) precinct.Scenario {
@@ -121,6 +175,14 @@ func Relabel(s precinct.Scenario, name string) precinct.Scenario {
 // contract.
 func ToggleLinearRadio(s precinct.Scenario) precinct.Scenario {
 	s.LinearRadio = !s.LinearRadio
+	return s
+}
+
+// ToggleLinearCache flips cache victim selection between the heap index
+// and the reference linear scan; like ToggleLinearRadio, the two are
+// bit-identical by contract (DESIGN.md section 11).
+func ToggleLinearCache(s precinct.Scenario) precinct.Scenario {
+	s.LinearCache = !s.LinearCache
 	return s
 }
 

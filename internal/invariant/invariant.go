@@ -72,6 +72,9 @@ type (
 	rehomeObserver interface {
 		AfterRehome(ctx *Context, p *node.Peer, evacuate bool) []string
 	}
+	evictObserver interface {
+		OnCacheEvict(ctx *Context, id radio.NodeID, key workload.Key) []string
+	}
 )
 
 // Config parameterizes a Runner.
@@ -222,6 +225,15 @@ func (r *Runner) OnTTRSmoothed(id radio.NodeID, key workload.Key, alpha, prev, i
 	for _, c := range r.checkers {
 		if o, ok := c.(ttrObserver); ok {
 			r.record(c.Name(), o.OnTTRSmoothed(r.ctx, id, key, alpha, prev, interval, next))
+		}
+	}
+}
+
+// OnCacheEvict implements node.Probe.
+func (r *Runner) OnCacheEvict(id radio.NodeID, key workload.Key) {
+	for _, c := range r.checkers {
+		if o, ok := c.(evictObserver); ok {
+			r.record(c.Name(), o.OnCacheEvict(r.ctx, id, key))
 		}
 	}
 }

@@ -72,6 +72,19 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
+// Reserve pre-sizes the latency sample buffer for about n completed
+// requests, so large-N runs do not regrow it doubling-by-doubling in
+// the event loop. Purely a capacity hint: it never shrinks the buffer
+// and has no effect on any observation or snapshot.
+func (c *Collector) Reserve(n int) {
+	if n <= 0 || cap(c.latencies) >= n {
+		return
+	}
+	grown := make([]float64, len(c.latencies), n)
+	copy(grown, c.latencies)
+	c.latencies = grown
+}
+
 // Request records a completed (or failed) request.
 //
 //	latency: seconds from issue to answer (ignored for failures)

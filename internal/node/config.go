@@ -66,6 +66,11 @@ type Config struct {
 	// CacheBytes is the dynamic cache capacity per peer in bytes.
 	// Zero disables dynamic caching (the Section 5 validation setup).
 	CacheBytes int64
+	// LinearCache selects the retained O(n) reference victim scan for
+	// eviction instead of the default heap index. Both pick identical
+	// victims (DESIGN.md section 11); the flag exists so the equivalence
+	// can be re-proven on whole scenarios at any time.
+	LinearCache bool
 
 	// EnRoute lets peers on the path to the home region answer requests
 	// from their caches (Section 3.1).

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"precinct/internal/consistency"
@@ -270,6 +272,237 @@ func TestPlainPushRefreshesHolderAndCaches(t *testing.T) {
 	h.sched.Run(30)
 	if fhr := h.net.Report().FalseHitRatio; fhr != 0 {
 		t.Errorf("false hits after plain push flood: %v", fhr)
+	}
+}
+
+// primeRegionalPairLossy is primeRegionalPair tolerating frame loss:
+// the priming fetch is retried until the copy lands in a's cache, so
+// the pair is usable at any LossRate.
+func primeRegionalPairLossy(t *testing.T, h *harness, k workload.Key) (a, b *Peer) {
+	t.Helper()
+	a = h.requesterFor(t, k)
+	// A multi-hop fetch at 30% frame loss fails most attempts (every
+	// hop of the request and the reply must survive), so the retry
+	// budget is generous; the RNG is seeded, so the outcome is still
+	// deterministic.
+	for try := 0; try < 64; try++ {
+		h.net.RequestFrom(a.ID(), k)
+		h.sched.Run(h.sched.Now() + 10)
+		if _, ok := a.Cache().Peek(k); ok {
+			break
+		}
+	}
+	if _, ok := a.Cache().Peek(k); !ok {
+		t.Fatal("priming fetch did not cache even after retries")
+	}
+	for i := 0; i < h.net.Peers(); i++ {
+		q := h.net.Peer(radio.NodeID(i))
+		if q.ID() != a.ID() && q.RegionID() == a.RegionID() {
+			if _, holds := q.Store().Get(k); !holds {
+				return a, q
+			}
+		}
+	}
+	return a, nil
+}
+
+// TestTTRPollConvergesUnderLoss drives the validation-poll path with
+// frames actually dropping: a regional answer under pull-every-time
+// must still terminate — either the poll round-trip survives and the
+// answer is validated, or the poll times out and the stashed reply is
+// served optimistically. Either way the request completes with bounded
+// latency and nothing hangs or leaks. Repeated requests keep converging
+// at both paper loss points.
+func TestTTRPollConvergesUnderLoss(t *testing.T) {
+	for _, tc := range []struct {
+		loss     float64
+		requests int
+	}{
+		{loss: 0.1, requests: 5},
+		{loss: 0.3, requests: 5},
+	} {
+		t.Run(fmt.Sprintf("loss=%g", tc.loss), func(t *testing.T) {
+			o := defaultHarnessOpts()
+			o.loss = tc.loss
+			o.mutate = func(c *Config) {
+				c.Consistency = consistency.DefaultConfig(consistency.PullEveryTime)
+			}
+			h := build(t, o)
+			k := h.cat.Keys()[0]
+			_, b := primeRegionalPairLossy(t, h, k)
+			if b == nil {
+				t.Skip("no regional pair available")
+			}
+			before := h.net.Report()
+			for i := 0; i < tc.requests; i++ {
+				h.net.RequestFrom(b.ID(), k)
+				h.sched.Run(h.sched.Now() + 30)
+			}
+			rep := h.net.Report()
+			issued := rep.Requests - before.Requests
+			settled := (rep.Completed + rep.Failures) - (before.Completed + before.Failures)
+			if issued != uint64(tc.requests) {
+				t.Fatalf("issued %d requests, report says %d", tc.requests, issued)
+			}
+			if settled != issued {
+				t.Fatalf("%d of %d lossy requests never settled", issued-settled, issued)
+			}
+			if rep.PollsIssued == before.PollsIssued {
+				t.Fatal("pull-every-time issued no validation polls under loss")
+			}
+			// No writer exists in this scenario, so however each poll
+			// fared — answered or timed out into an optimistic serve —
+			// nothing stale can have been served.
+			if rep.FalseHitRatio != 0 {
+				t.Errorf("false hits without any update: %v", rep.FalseHitRatio)
+			}
+			if rep.MaxLatency > 30 {
+				t.Errorf("a request took %v s; poll timeouts must bound latency", rep.MaxLatency)
+			}
+		})
+	}
+}
+
+// nearestOutsideRequester picks the admission-eligible requester (not
+// in the key's home region, not a store holder) geographically closest
+// to a holder, so the fetch route stays short enough to survive heavy
+// frame loss within a bounded number of retries.
+func nearestOutsideRequester(t *testing.T, h *harness, k workload.Key) *Peer {
+	t.Helper()
+	home, _ := h.table.HomeRegion(k)
+	var owner *Peer
+	for i := 0; i < h.net.Peers(); i++ {
+		p := h.net.Peer(radio.NodeID(i))
+		if _, ok := p.Store().Get(k); ok {
+			owner = p
+			break
+		}
+	}
+	if owner == nil {
+		t.Fatal("no store holder for key")
+	}
+	var best *Peer
+	bestD := math.MaxFloat64
+	for i := 0; i < h.net.Peers(); i++ {
+		p := h.net.Peer(radio.NodeID(i))
+		if p.RegionID() == home.ID {
+			continue
+		}
+		if _, holds := p.Store().Get(k); holds {
+			continue
+		}
+		if d := h.ch.Position(p.ID()).Dist(h.ch.Position(owner.ID())); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	if best == nil {
+		t.Fatal("no requester outside home region")
+	}
+	return best
+}
+
+// TestPushInvalidationUnderLoss updates a cached key through plain-push
+// floods while frames drop. The accounting contract: if the refresh
+// reached the cacher, its next hit serves fresh bytes and no false hit
+// is recorded; if loss starved the cacher of the update, the stale
+// serve must be visible in the false-hit metrics — staleness may happen
+// under loss, silent staleness may not.
+func TestPushInvalidationUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.1, 0.3} {
+		t.Run(fmt.Sprintf("loss=%g", loss), func(t *testing.T) {
+			o := defaultHarnessOpts()
+			o.loss = loss
+			o.mutate = func(c *Config) {
+				c.Consistency = consistency.DefaultConfig(consistency.PlainPush)
+			}
+			h := build(t, o)
+			k := h.cat.Keys()[3]
+			p := nearestOutsideRequester(t, h, k)
+			for try := 0; try < 64; try++ {
+				h.net.RequestFrom(p.ID(), k)
+				h.sched.Run(h.sched.Now() + 10)
+				if _, ok := p.Cache().Peek(k); ok {
+					break
+				}
+			}
+			e, ok := p.Cache().Peek(k)
+			if !ok {
+				t.Fatal("priming fetch did not cache")
+			}
+			if e.Version != 1 {
+				t.Fatalf("cached version %d before any update", e.Version)
+			}
+
+			q := h.requesterFor(t, k)
+			h.net.UpdateFrom(q.ID(), k)
+			h.sched.Run(h.sched.Now() + 30)
+
+			e, ok = p.Cache().Peek(k)
+			if !ok {
+				// The push refresh may evict/replace; re-fetch to probe.
+				h.net.RequestFrom(p.ID(), k)
+				h.sched.Run(h.sched.Now() + 10)
+				e, ok = p.Cache().Peek(k)
+				if !ok {
+					t.Skip("copy no longer cached; nothing to probe")
+				}
+			}
+			stale := e.Version < 2
+
+			before := h.net.Report()
+			h.net.RequestFrom(p.ID(), k)
+			h.sched.Run(h.sched.Now() + 10)
+			rep := h.net.Report()
+			if rep.Completed == before.Completed {
+				t.Fatal("probe request did not complete")
+			}
+			staleServes := rep.StaleByClass["local"] - before.StaleByClass["local"]
+			if stale && staleServes == 0 {
+				t.Errorf("stale cached copy (v%d) served without being counted stale", e.Version)
+			}
+			if !stale && staleServes != 0 {
+				t.Errorf("fresh copy counted as %d stale serves", staleServes)
+			}
+		})
+	}
+}
+
+// TestAdaptivePullLongRunUnderLoss soaks the full adaptive-pull machine
+// — TTR smoothing, pushes, validation polls, retries — on a lossy
+// channel with a live update stream, and checks the conservation-style
+// properties that must hold regardless of which individual frames died:
+// every issued request settles, updates are either applied or counted
+// lost, and polls keep flowing (the TTR estimator cannot wedge).
+func TestAdaptivePullLongRunUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.1, 0.3} {
+		t.Run(fmt.Sprintf("loss=%g", loss), func(t *testing.T) {
+			o := defaultHarnessOpts()
+			o.loss = loss
+			o.generator = true
+			o.updateInt = 40
+			o.mutate = func(c *Config) {
+				c.Consistency = consistency.DefaultConfig(consistency.PushAdaptivePull)
+			}
+			h := build(t, o)
+			rep := h.net.Run(600)
+			if rep.Requests == 0 || rep.Completed == 0 {
+				t.Fatalf("lossy run went quiet: %d requests, %d completed", rep.Requests, rep.Completed)
+			}
+			if rep.Completed+rep.Failures != rep.Requests {
+				t.Errorf("request accounting leaked: %d issued, %d completed + %d failed",
+					rep.Requests, rep.Completed, rep.Failures)
+			}
+			if rep.PollsIssued == 0 {
+				t.Error("no validation polls in a 600 s adaptive-pull run")
+			}
+			st := h.net.Stats()
+			if st.UpdatesApplied == 0 {
+				t.Error("no update ever applied despite a live update stream")
+			}
+			if rep.FalseHitRatio < 0 || rep.FalseHitRatio > 1 {
+				t.Errorf("false-hit ratio out of range: %v", rep.FalseHitRatio)
+			}
+		})
 	}
 }
 

@@ -124,7 +124,7 @@ func New(opts Options) (*Network, error) {
 			rng:   n.rng.Stream(fmt.Sprintf("peer/%d", i)),
 		}
 		if n.cfg.CacheBytes > 0 {
-			c, err := cache.New(n.cfg.CacheBytes, n.cfg.Policy)
+			c, err := n.newCache()
 			if err != nil {
 				return nil, err
 			}
@@ -141,6 +141,16 @@ func New(opts Options) (*Network, error) {
 	n.ch.SetHandler(n.handleFrame)
 	n.placeKeys()
 	return n, nil
+}
+
+// newCache builds one peer's dynamic cache with the configured victim
+// selection backend (heap index by default, reference linear scan under
+// Config.LinearCache).
+func (n *Network) newCache() (*cache.Cache, error) {
+	if n.cfg.LinearCache {
+		return cache.NewLinear(n.cfg.CacheBytes, n.cfg.Policy)
+	}
+	return cache.New(n.cfg.CacheBytes, n.cfg.Policy)
 }
 
 // placeKeys stores each key at a peer inside its home region (the peer
@@ -370,6 +380,16 @@ func (n *Network) handleFrame(to radio.NodeID, f radio.Frame) {
 	if !ok {
 		panic(fmt.Sprintf("node: unexpected payload %T", f.Payload))
 	}
+	// Duplicate fast path: every dedup-first flood kind drops an
+	// already-seen message as its very first action, with no other side
+	// effect (markSeen mutates nothing on the duplicate path), so the
+	// per-receiver clone — the dominant allocation of broadcast delivery
+	// at large N — can be skipped. account reads only the message kind,
+	// which the shared payload carries unchanged.
+	if id, dedup := dedupID(m); dedup && p.alreadySeen(id) {
+		n.account(m)
+		return
+	}
 	m = m.clone() // each receiver owns its copy (broadcasts share payloads)
 	m.Hops++
 	n.account(m)
@@ -482,7 +502,7 @@ func (n *Network) Revive(id radio.NodeID) {
 	p.alive = true
 	p.store = cache.NewStore()
 	if p.cache != nil {
-		c, err := cache.New(n.cfg.CacheBytes, n.cfg.Policy)
+		c, err := n.newCache()
 		if err == nil {
 			p.cache = c
 		}

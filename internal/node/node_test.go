@@ -32,6 +32,7 @@ type harnessOpts struct {
 	seed       int64
 	mobile     bool
 	maxSpeed   float64
+	loss       float64
 	generator  bool
 	updateInt  float64
 	catalog    workload.CatalogConfig
@@ -75,7 +76,9 @@ func build(t *testing.T, o harnessOpts) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := radio.New(radio.DefaultConfig(), sched, mob, meter, rng.Stream("loss"))
+	radioCfg := radio.DefaultConfig()
+	radioCfg.LossRate = o.loss
+	ch, err := radio.New(radioCfg, sched, mob, meter, rng.Stream("loss"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,34 @@ func (p *Peer) Cache() *cache.Cache { return p.cache }
 // Store exposes the static store.
 func (p *Peer) Store() *cache.Store { return p.store }
 
+// dedupID returns the duplicate-suppression ID a delivered message of
+// this kind is checked against as its handler's first action, and
+// whether the kind dedups at all. It powers the duplicate fast path in
+// handleFrame, so it must list exactly the kinds whose handlers open
+// with `if p.markSeen(...) { return }` and do nothing else on the
+// duplicate path.
+func dedupID(m *message) (uint64, bool) {
+	switch m.Kind {
+	case kindRegionalSearch:
+		return m.ID, true
+	case kindSearchFlood, kindHomeFlood, kindUpdateFlood,
+		kindInvalidate, kindPollFlood, kindTableUpdate:
+		return m.FloodID, true
+	default:
+		return 0, false
+	}
+}
+
+// alreadySeen reports whether a flood ID is currently marked, without
+// recording anything: the read half of markSeen, used by the duplicate
+// fast path. markSeen on a currently-marked ID has no side effects, so
+// a true result here means the full handler would drop the message
+// without mutating anything.
+func (p *Peer) alreadySeen(id uint64) bool {
+	exp, ok := p.seen[id]
+	return ok && exp > p.net.sched.Now()
+}
+
 // markSeen records a flood ID, reporting whether it was already seen.
 func (p *Peer) markSeen(id uint64) bool {
 	now := p.net.sched.Now()

@@ -54,6 +54,70 @@ func TestInvariantFuzzedScenarios(t *testing.T) {
 	}
 }
 
+// scaleSeedCount and scaleMaxNodes bound the large-N invariant pass:
+// 4 scenarios capped at 500 nodes under -short, 6 at 2000 otherwise.
+func scaleSeedCount() (n int, maxNodes int) {
+	if testing.Short() {
+		return 4, 500
+	}
+	return 6, 2000
+}
+
+// TestInvariantScaleScenarios runs the scale-tier corpus — large-N,
+// always-lossy scenarios up to 2000 peers — under the full runtime
+// invariant catalog, so every checker is exercised at the node counts
+// the ROADMAP targets, not just at paper scale.
+func TestInvariantScaleScenarios(t *testing.T) {
+	n, maxNodes := scaleSeedCount()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		sc := fuzzgen.ExpandScale(seed, maxNodes)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, inv, err := precinct.RunChecked(sc)
+			if err != nil {
+				t.Fatalf("RunChecked: %v", err)
+			}
+			if !inv.Ok() {
+				for _, v := range inv.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				t.Fatalf("%s", inv)
+			}
+			if inv.Sweeps == 0 || inv.Events == 0 {
+				t.Fatalf("checkers did not run: %s", inv)
+			}
+			if res.Report.Requests == 0 {
+				t.Fatalf("scale scenario issued no requests; generator produced a vacuous config")
+			}
+			if sc.LossRate == 0 {
+				t.Fatalf("scale scenario is lossless; ExpandScale must always set LossRate")
+			}
+		})
+	}
+}
+
+// TestInvariantMetamorphicLinearCache: the heap victim index and the
+// retained linear scan pick identical victims by contract (DESIGN.md
+// section 11), so toggling the backend is output-preserving — the cache
+// counterpart of TestInvariantMetamorphicLinearRadio.
+func TestInvariantMetamorphicLinearCache(t *testing.T) {
+	for _, seed := range []int64{4, 9, 17} {
+		sc := fuzzgen.Expand(seed)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := precinct.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toggled, err := precinct.Run(fuzzgen.ToggleLinearCache(sc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "linear-cache", base, toggled)
+		})
+	}
+}
+
 // TestInvariantCheckedRunMatchesUnchecked asserts the checkers are pure
 // observers: attaching them must not change any run output.
 func TestInvariantCheckedRunMatchesUnchecked(t *testing.T) {

@@ -90,6 +90,11 @@ type Scenario struct {
 	// by contract (see DESIGN.md); this switch exists for equivalence
 	// testing and benchmarking, not for normal use.
 	LinearRadio bool
+	// LinearCache selects the retained O(n) linear victim scan for cache
+	// eviction instead of the default heap index. Like LinearRadio, the
+	// two backends are bit-identical by contract (DESIGN.md section 11)
+	// and the switch exists for equivalence testing and benchmarking.
+	LinearCache bool
 
 	// Items, MinItemSize and MaxItemSize describe the shared catalog.
 	Items       int
@@ -490,6 +495,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		InitialTTR: s.RequestInterval,
 	}
 	cfg.Policy = policy
+	cfg.LinearCache = s.LinearCache
 	cfg.EnRoute = s.EnRoute
 	cfg.Replication = s.Replication
 	cfg.Warmup = s.Warmup
@@ -515,6 +521,15 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	}
 
 	coll := newCollector()
+	if s.RequestInterval > 0 {
+		// Pre-size the latency buffer for the expected measured-request
+		// volume so large-N runs do not regrow it inside the event loop.
+		expected := float64(s.Nodes) * (s.Duration - s.Warmup) / s.RequestInterval
+		if max := 1 << 21; expected > float64(max) {
+			expected = float64(max)
+		}
+		coll.Reserve(int(expected))
+	}
 	network, err := node.New(node.Options{
 		Config:    cfg,
 		Scheduler: sched,
@@ -585,9 +600,29 @@ func RunTraced(s Scenario, w io.Writer) (Result, error) {
 }
 
 func run(s Scenario, tracer trace.Tracer) (Result, error) {
+	res, _, err := runWithStats(s, tracer)
+	return res, err
+}
+
+// RunStats carries execution statistics of a completed run that are
+// deliberately kept out of Result (which golden fixtures and the
+// equivalence suites compare with DeepEqual): scheduler throughput
+// inputs for the scale benchmarks.
+type RunStats struct {
+	// Events is the number of discrete events the scheduler executed.
+	Events uint64
+}
+
+// RunWithStats executes the scenario like Run and additionally reports
+// execution statistics (event counts) for throughput measurement.
+func RunWithStats(s Scenario) (Result, RunStats, error) {
+	return runWithStats(s, nil)
+}
+
+func runWithStats(s Scenario, tracer trace.Tracer) (Result, RunStats, error) {
 	b, err := s.buildTraced(tracer)
 	if err != nil {
-		return Result{}, err
+		return Result{}, RunStats{}, err
 	}
 	rep := b.network.Run(s.Duration)
 	return Result{
@@ -595,5 +630,5 @@ func run(s Scenario, tracer trace.Tracer) (Result, error) {
 		Report:   fromMetrics(rep),
 		Protocol: fromStats(b.network.Stats()),
 		Radio:    fromRadio(b.channel.Stats()),
-	}, nil
+	}, RunStats{Events: b.sched.Executed()}, nil
 }

@@ -1,0 +1,128 @@
+//go:build soak
+
+package precinct_test
+
+// Soak tier: the ROADMAP-scale endurance run, deliberately excluded
+// from the default test set (build tag "soak"; run via `make soak` or
+// `go test -tags soak -run Soak -timeout 60m .`). Where the regular
+// suite proves properties at paper scale and the scale tier samples
+// large-N scenarios briefly, the soak test drives one 2000-node,
+// heavily lossy scenario for a long horizon under the full runtime
+// invariant catalog, then proves the same run survives an interrupted
+// checkpoint/resume round-trip bit-identically. Anything that only
+// breaks after sustained pressure — leaked in-flight accounting,
+// aging-floor drift, heap-index corruption after millions of
+// evictions — surfaces here.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// soakScenario is the fixed endurance workload: 2000 peers at the
+// paper's node density, 30% frame loss, adaptive-pull consistency and
+// real cache pressure. Everything is pinned (no fuzzing) so failures
+// reproduce exactly.
+func soakScenario() precinct.Scenario {
+	s := precinct.DefaultScenario()
+	s.Name = "soak-2000"
+	s.Nodes = 2000
+	s.AreaSide = 1200 * math.Sqrt(2000.0/80)
+	rows := int(math.Round(s.AreaSide / 400))
+	s.Regions = rows * rows
+	s.LossRate = 0.3
+	s.UpdateInterval = 60
+	s.Consistency = "push-adaptive-pull"
+	s.CacheFraction = 0.01
+	s.Warmup = 60
+	s.Duration = 600
+	return s
+}
+
+// TestSoakScaleInvariants runs the endurance scenario under all seven
+// runtime checkers (DESIGN.md section 9) and requires a clean report
+// with real traffic behind it.
+func TestSoakScaleInvariants(t *testing.T) {
+	sc := soakScenario()
+	res, inv, err := precinct.RunChecked(sc)
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if !inv.Ok() {
+		for _, v := range inv.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%s", inv)
+	}
+	if inv.Sweeps == 0 || inv.Events == 0 {
+		t.Fatalf("checkers did not run: %s", inv)
+	}
+	if res.Report.Requests < 10000 {
+		t.Fatalf("only %d requests; the soak run is not exercising the system", res.Report.Requests)
+	}
+	t.Logf("soak: %d requests, hit ratio %.3f, %d sweeps / %d event checks clean",
+		res.Report.Requests, res.Report.ByteHitRatio, inv.Sweeps, inv.Events)
+}
+
+// TestSoakCheckpointResume interrupts the endurance scenario at a
+// mid-run snapshot boundary, resumes it in the same process, and
+// requires the resumed Result to be bit-identical (DeepEqual) to an
+// uninterrupted run — the scale-tier version of TestResumeEquivalence,
+// where the snapshot carries 2000 caches, stores and region tables.
+func TestSoakCheckpointResume(t *testing.T) {
+	sc := soakScenario()
+	full, err := precinct.Run(sc)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	dir := t.TempDir()
+	mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: "soak", Interval: 60, StopAfter: mid,
+	}); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	resumed, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: "soak", Interval: 60, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Errorf("resumed result differs from uninterrupted run:\n resumed: %+v\n full:    %+v",
+			resumed.Report, full.Report)
+	}
+}
+
+// TestSoakHeapLinearEquivalence re-proves the victim-index contract at
+// soak scale: the 2000-node run must be bit-identical with the heap
+// index and with the retained linear reference scan. One scenario, but
+// millions of cache operations — the longest equivalence chain the
+// suite exercises.
+func TestSoakHeapLinearEquivalence(t *testing.T) {
+	sc := soakScenario()
+	heap, err := precinct.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := precinct.Run(fuzzgen.ToggleLinearCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario differs by the toggle itself; everything observable must
+	// not.
+	if !reflect.DeepEqual(heap.Report, linear.Report) {
+		t.Errorf("Report diverged:\n heap:   %+v\n linear: %+v", heap.Report, linear.Report)
+	}
+	if !reflect.DeepEqual(heap.Protocol, linear.Protocol) {
+		t.Errorf("ProtocolStats diverged:\n heap:   %+v\n linear: %+v", heap.Protocol, linear.Protocol)
+	}
+	if !reflect.DeepEqual(heap.Radio, linear.Radio) {
+		t.Errorf("RadioStats diverged:\n heap:   %+v\n linear: %+v", heap.Radio, linear.Radio)
+	}
+}
