@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare resume-smoke scale-smoke cover soak ci
+.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs resume-smoke scale-smoke cover soak ci
 
 all: build
 
@@ -56,15 +56,21 @@ bench-scale:
 # Bench regression gate: re-run a fast probe subset (radio neighbor
 # queries + two mid-size scale cells) and compare against the committed
 # baselines; more than TOLERANCE slower, or more allocations, exits 3.
-# Wall-clock probes are machine-dependent, so ci runs this advisory
-# (note the leading '-' there); to make it binding, regenerate the
-# baselines on the measurement machine (make bench-radio bench-scale),
-# or widen the gate on a noisy box:
+# Wall-clock probes are machine-dependent, so ci runs the full timing
+# comparison advisory (note the leading '-' there); to make timing
+# binding, regenerate the baselines on the measurement machine (make
+# bench-radio bench-scale), or widen the gate on a noisy box:
 #
 #	make bench-compare TOLERANCE=0.30
 TOLERANCE ?= 0.15
 bench-compare:
 	$(GO) run ./cmd/precinct-bench -compare -tolerance $(TOLERANCE)
+
+# The binding half of the gate: allocation counts are deterministic (the
+# simulation replays exactly on any machine), so allocs/op and
+# allocs_per_event regressions fail ci outright; timing prints advisory.
+bench-compare-allocs:
+	$(GO) run ./cmd/precinct-bench -compare -allocs-only -tolerance $(TOLERANCE)
 
 # Per-package coverage floors. Baselines recorded at PR 4 (2026-08):
 # internal/cache 86.6%, internal/node 82.5% of statements; the floor is
@@ -120,5 +126,5 @@ scale-smoke:
 soak:
 	$(GO) test -tags soak -run Soak -timeout 60m -v .
 
-ci: vet build test race check cover bench-smoke fuzz-smoke resume-smoke scale-smoke
+ci: vet build test race check cover bench-smoke fuzz-smoke resume-smoke scale-smoke bench-compare-allocs
 	-$(MAKE) bench-compare

@@ -5,10 +5,16 @@ package main
 // compares each probe against the committed baselines (BENCH_radio.json
 // and BENCH_scale.json). A probe regresses when it is more than
 // -tolerance (default 15%) slower, or allocates more than tolerance
-// above baseline. Timing probes are inherently machine-dependent, which
-// is why `make bench-compare` is advisory in ci (prefixed with `-`);
-// run it on the baseline machine, or regenerate the baselines, to get a
-// binding comparison. Raise the knob for noisy boxes:
+// above baseline.
+//
+// Timing probes are inherently machine-dependent; allocation counts are
+// not — the simulation is deterministic, so allocs/op and
+// allocs_per_event reproduce exactly on any machine. ci therefore runs
+// the binding gate with -allocs-only (timing printed advisory, only
+// allocation regressions exit 3) and the full timing comparison stays
+// advisory (`-$(MAKE) bench-compare`). Run the full comparison on the
+// baseline machine, or regenerate the baselines, to make timing binding
+// too. Raise the knob for noisy boxes:
 //
 //	precinct-bench -compare -tolerance 0.30
 //
@@ -34,24 +40,32 @@ func loadJSON(path string, v any) error {
 }
 
 // compareProbe prints one probe's verdict and reports whether it
-// regressed: current must stay within (1+tol) of baseline. A slack of
-// one absolute unit keeps integer alloc counts from tripping on ±1.
-func compareProbe(name, metric string, base, curr, tol float64) bool {
-	limit := base*(1+tol) + 1
+// regressed: current must stay within (1+tol) of baseline plus an
+// absolute slack — one unit for integer counts (so allocs/op cannot trip
+// on ±1), a few hundredths for fractional rates like allocs_per_event.
+// Advisory probes print their verdict but never count as a regression.
+func compareProbe(name, metric string, base, curr, tol, slack float64, advisory bool) bool {
+	limit := base*(1+tol) + slack
 	ok := curr <= limit
 	verdict := "ok"
 	if !ok {
-		verdict = "REGRESSED"
+		if advisory {
+			verdict = "over (advisory)"
+		} else {
+			verdict = "REGRESSED"
+		}
 	}
 	fmt.Printf("  %-34s %-16s base %12.1f  now %12.1f  (limit %12.1f)  %s\n",
 		name, metric, base, curr, limit, verdict)
-	return !ok
+	return !ok && !advisory
 }
 
 // runBenchCompare re-runs the probe subset and compares against the
 // baselines at baseRadio and baseScale. It returns whether any probe
-// regressed beyond tol.
-func runBenchCompare(baseRadio, baseScale string, tol float64) (bool, error) {
+// regressed beyond tol. With allocsOnly, timing metrics (ns/op,
+// wall_seconds) are compared advisory and only the deterministic
+// allocation metrics can regress the build.
+func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly bool) (bool, error) {
 	var radioBase radioBenchReport
 	if err := loadJSON(baseRadio, &radioBase); err != nil {
 		return false, fmt.Errorf("radio baseline: %w", err)
@@ -107,10 +121,10 @@ func runBenchCompare(baseRadio, baseScale string, tol float64) (bool, error) {
 			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", baseRadio, probe.name)
 		}
 		r := testing.Benchmark(probe.bench)
-		if compareProbe(probe.name, "ns/op", base.NsPerOp, float64(r.NsPerOp()), tol) {
+		if compareProbe(probe.name, "ns/op", base.NsPerOp, float64(r.NsPerOp()), tol, 1, allocsOnly) {
 			regressed = true
 		}
-		if compareProbe(probe.name, "allocs/op", float64(base.AllocsPerOp), float64(r.AllocsPerOp()), tol) {
+		if compareProbe(probe.name, "allocs/op", float64(base.AllocsPerOp), float64(r.AllocsPerOp()), tol, 1, false) {
 			regressed = true
 		}
 	}
@@ -135,10 +149,10 @@ func runBenchCompare(baseRadio, baseScale string, tol float64) (bool, error) {
 			return false, fmt.Errorf("%s: event count diverged from baseline (%d vs %d); the workload changed — regenerate %s",
 				name, e.Events, base.Events, baseScale)
 		}
-		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol) {
+		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol, 1, allocsOnly) {
 			regressed = true
 		}
-		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol) {
+		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol, 0.05, false) {
 			regressed = true
 		}
 	}

@@ -15,10 +15,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"precinct"
 )
+
+// startProfiles starts a CPU profile when cpu is non-empty and returns a
+// stop function that finishes it and writes a heap profile to mem (when
+// non-empty). The heap profile is taken after a GC so it shows live
+// retention, not garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 4, 5, 6, 7, 8, 9a, 9b, ext, speed, zipf or all")
@@ -30,10 +69,20 @@ func main() {
 	radioJSON := flag.String("radiojson", "", "run the radio hot-path benchmark suite, write JSON results to `file`, and exit")
 	scaleJSON := flag.String("scale", "", "run the large-N scale-tier benchmark grid, write JSON results to `file`, and exit (-quick shrinks the grid)")
 	compare := flag.Bool("compare", false, "re-run a benchmark subset and compare against the committed baselines; exit 3 on regression")
+	allocsOnly := flag.Bool("allocs-only", false, "with -compare, gate only the deterministic allocation metrics; timing is compared advisory")
 	baseRadio := flag.String("baseline-radio", "BENCH_radio.json", "radio baseline for -compare")
 	baseScale := flag.String("baseline-scale", "BENCH_scale.json", "scale baseline for -compare")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs baseline for -compare")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	flag.Parse()
+
+	stopProfiles, perr := startProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "precinct-bench:", perr)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *radioJSON != "" {
 		if err := writeRadioBench(*radioJSON); err != nil {
@@ -50,7 +99,7 @@ func main() {
 		return
 	}
 	if *compare {
-		regressed, err := runBenchCompare(*baseRadio, *baseScale, *tolerance)
+		regressed, err := runBenchCompare(*baseRadio, *baseScale, *tolerance, *allocsOnly)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
 			os.Exit(1)

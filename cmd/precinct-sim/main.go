@@ -25,10 +25,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"precinct"
 )
+
+// startProfiles starts a CPU profile when cpu is non-empty and returns a
+// stop function that finishes it and writes a heap profile to mem (when
+// non-empty). The heap profile is taken after a GC so it shows live
+// retention, not garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "precinct-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "precinct-sim:", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	def := precinct.DefaultScenario()
@@ -70,6 +109,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from a snapshot in -checkpoint-dir if one exists")
 	stopAfter := flag.Float64("stop-after", 0, "interrupt at the first snapshot boundary at or after this simulated time")
 	verbose := flag.Bool("v", false, "print protocol and radio counters too")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memProfile := flag.String("memprofile", "", "write a heap profile to `file` after the run")
 	flag.Parse()
 
 	if err := validateCheckpointFlags(*ckptDir, *ckptInterval, *resume, *stopAfter); err != nil {
@@ -151,6 +192,11 @@ func main() {
 		traceW = f
 	}
 
+	stopProfiles, perr := startProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		die(perr)
+	}
+
 	var res precinct.Result
 	var inv precinct.InvariantReport
 	var err error
@@ -177,6 +223,9 @@ func main() {
 	default:
 		res, err = precinct.Run(s)
 	}
+	// Profiles are finalized before the invariant exit path below, which
+	// leaves main through os.Exit and would skip a deferred stop.
+	stopProfiles()
 	if traceW != nil {
 		if cerr := traceW.Close(); err == nil {
 			err = cerr

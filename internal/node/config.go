@@ -71,6 +71,13 @@ type Config struct {
 	// victims (DESIGN.md section 11); the flag exists so the equivalence
 	// can be re-proven on whole scenarios at any time.
 	LinearCache bool
+	// NoPooling disables the message freelist and the planar-set cache:
+	// every message is a fresh allocation, forwarding clones at every
+	// hop, and GPSR re-planarizes on every perimeter decision — the
+	// pre-pooling reference path. Both paths are bit-identical by
+	// contract (DESIGN.md section 12); the flag exists so the pooled
+	// lifecycle can be re-proven equivalent on whole scenarios.
+	NoPooling bool
 
 	// EnRoute lets peers on the path to the home region answer requests
 	// from their caches (Section 3.1).

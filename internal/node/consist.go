@@ -37,12 +37,12 @@ func (n *Network) UpdateFrom(origin radio.NodeID, k workload.Key) {
 	case consistency.PlainPush:
 		// Flood the update (which doubles as the invalidation) through
 		// the entire network.
-		m := &message{
+		m := n.newMsg(message{
 			Kind: kindInvalidate, ID: n.newID(), FloodID: n.newID(), Key: k,
 			Origin: origin, OriginPos: n.ch.Position(origin), OriginRegion: p.regionID,
 			Version: newVersion, TTL: n.cfg.NetworkTTL,
 			Size: n.catalog.Size(k),
-		}
+		})
 		p.markSeen(m.FloodID)
 		n.broadcast(origin, m)
 	default:
@@ -74,12 +74,12 @@ func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, ho
 	if !regionOK {
 		return
 	}
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindUpdateRoute, ID: n.newID(), Key: k,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: regionID, TargetPos: center,
 		Version: version, Size: n.catalog.Size(k),
-	}
+	})
 	if regionID == p.regionID {
 		// Already inside the target region: flood directly.
 		m.Kind = kindUpdateFlood
@@ -96,13 +96,13 @@ func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, ho
 // node inside becomes the point of broadcast.
 func (p *Peer) onUpdateRoute(m *message) {
 	if p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
-		flood := m.clone()
-		flood.Kind = kindUpdateFlood
-		flood.TTL = p.net.cfg.RegionTTL
-		flood.FloodID = p.net.newID()
-		p.markSeen(flood.FloodID)
-		p.applyUpdateMessage(flood)
-		p.net.broadcast(p.id, flood)
+		// Rewrite the routed update into the localized flood in place.
+		m.Kind = kindUpdateFlood
+		m.TTL = p.net.cfg.RegionTTL
+		m.FloodID = p.net.newID()
+		p.markSeen(m.FloodID)
+		p.applyUpdateMessage(m)
+		p.net.broadcast(p.id, m)
 		return
 	}
 	p.net.forwardWithRetry(p, m)
@@ -112,17 +112,20 @@ func (p *Peer) onUpdateRoute(m *message) {
 // localized flood going.
 func (p *Peer) onUpdateFlood(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if !p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		p.net.releaseMsg(m)
 		return
 	}
 	p.applyUpdateMessage(m)
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // applyUpdateMessage installs a pushed update into this peer's store (if
@@ -180,6 +183,7 @@ func (n *Network) holderTTR(p *Peer, k workload.Key) float64 {
 // freshen their copy — and keeps flooding.
 func (p *Peer) onInvalidate(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	now := p.net.sched.Now()
@@ -194,10 +198,11 @@ func (p *Peer) onInvalidate(m *message) {
 		}
 	}
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // sendPoll routes a validation poll toward the key's home region. It
@@ -211,12 +216,12 @@ func (n *Network) sendPoll(p *Peer, req *pendingReq) bool {
 		n.coll.PollIssued()
 	}
 	n.emit(trace.Event{Kind: trace.PollIssued, Node: int(p.id), Key: uint32(req.key)})
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindPollRoute, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: home.ID, TargetPos: home.Center(),
 		CachedVersion: req.cachedVersion,
-	}
+	})
 	if home.ID == p.regionID {
 		// The home region is the local region: flood the poll locally.
 		m.Kind = kindPollFlood
@@ -226,42 +231,51 @@ func (n *Network) sendPoll(p *Peer, req *pendingReq) bool {
 		n.broadcast(p.id, m)
 		return true
 	}
-	return n.forwardRouted(p, m)
+	if n.forwardRouted(p, m) {
+		return true
+	}
+	n.releaseMsg(m)
+	return false
 }
 
 // onPollRoute advances a poll toward the home region.
 func (p *Peer) onPollRoute(m *message) {
 	if p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
-		flood := m.clone()
-		flood.Kind = kindPollFlood
-		flood.TTL = p.net.cfg.RegionTTL
-		flood.FloodID = p.net.newID()
-		p.markSeen(flood.FloodID)
-		if p.answerPoll(flood) {
+		// Rewrite the routed poll into the localized flood in place.
+		m.Kind = kindPollFlood
+		m.TTL = p.net.cfg.RegionTTL
+		m.FloodID = p.net.newID()
+		p.markSeen(m.FloodID)
+		if p.answerPoll(m) {
+			p.net.releaseMsg(m)
 			return
 		}
-		p.net.broadcast(p.id, flood)
+		p.net.broadcast(p.id, m)
 		return
 	}
-	p.net.forwardRouted(p, m)
+	p.net.routeOwned(p, m)
 }
 
 // onPollFlood lets holders inside the home region answer the poll.
 func (p *Peer) onPollFlood(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if !p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if p.answerPoll(m) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // answerPoll responds to a validation poll when this peer holds the
@@ -275,16 +289,16 @@ func (p *Peer) answerPoll(m *message) bool {
 	}
 	p.net.stats.PollsAnswered++
 	if m.CachedVersion >= it.Version {
-		reply := &message{
+		reply := p.net.newMsg(message{
 			Kind: kindPollReply, ID: m.ID, Key: m.Key,
 			Origin: m.Origin, OriginPos: m.OriginPos,
 			Version: it.Version, TTR: it.TTR,
-		}
+		})
 		if p.id == m.Origin {
 			p.onPollReply(reply)
 			return true
 		}
-		p.net.forwardRouted(p, reply)
+		p.net.routeOwned(p, reply)
 		return true
 	}
 	p.answer(m, it.Version, it.TTR, true, false)
@@ -294,12 +308,13 @@ func (p *Peer) answerPoll(m *message) bool {
 // onPollReply routes a "still valid" answer back and completes the poll.
 func (p *Peer) onPollReply(m *message) {
 	if p.id != m.Origin {
-		p.net.forwardRouted(p, m)
+		p.net.routeOwned(p, m)
 		return
 	}
 	n := p.net
 	req, ok := n.pending[m.ID]
 	if !ok {
+		n.releaseMsg(m)
 		return
 	}
 	now := n.sched.Now()
@@ -310,10 +325,14 @@ func (p *Peer) onPollReply(m *message) {
 	if req.pendingReply != nil {
 		// A cache-served answer was waiting on this validation.
 		reply := req.pendingReply
+		req.pendingReply = nil
 		stale = reply.Version < req.truthAtIssue
 		n.finish(req, n.classify(p, reply), now-req.issuedAt, stale)
 		n.admitToCache(p, reply, now)
+		n.releaseMsg(reply)
+		n.releaseMsg(m)
 		return
 	}
 	n.finish(req, metrics.LocalHit, now-req.issuedAt, stale)
+	n.releaseMsg(m)
 }

@@ -99,8 +99,19 @@ type handoffItem struct {
 }
 
 // message is the single protocol payload type; fields are used according
-// to Kind. Messages are copied at every forwarding hop because the
-// routing state mutates hop by hop.
+// to Kind.
+//
+// Lifecycle (DESIGN.md section 12): messages come from the network's
+// pool (newMsg) and carry an ownership reference count. Unicast transfers
+// the single reference from sender to channel to receiver — the receiver
+// mutates the message in place (Hops, TTL, routing state) instead of
+// cloning per hop. Broadcast shares one payload across all scheduled
+// receivers (refs = delivered count); each receiver either drops its
+// reference (duplicate fast path, mid-flight loss) or exchanges it for a
+// private header copy. Every handler consumes its message exactly once:
+// release it, stash it (pendingReply), or hand it to broadcast/unicast.
+// Under Config.NoPooling, release is a no-op and delivery clones per
+// receiver — the reference path the equivalence suite compares against.
 type message struct {
 	Kind msgKind
 	// ID identifies the request for matching replies to pending
@@ -159,6 +170,14 @@ type message struct {
 	// TableIdx is the region-table version being disseminated
 	// (kindTableUpdate).
 	TableIdx int
+
+	// refs counts outstanding ownership references: 1 for owned/unicast
+	// messages, the delivered-receiver count for shared broadcast
+	// payloads. Unexported, so gob-based checkpoints never serialize it.
+	refs int32
+	// released marks a message currently sitting in the pool's freelist;
+	// releasing it again is a lifecycle bug and panics.
+	released bool
 }
 
 // wireSize returns the on-air payload size in bytes for accounting and
@@ -180,12 +199,101 @@ func (m *message) wireSize(controlBytes int) int {
 	}
 }
 
-// clone returns a copy of the message for forwarding (the routing state
-// and TTL must not be shared between in-flight copies).
+// clone returns a deep copy of the message. The pooled hot path never
+// calls it; it serves the NoPooling reference path (clone at every
+// forwarding hop, exactly as the pre-pooling implementation did) and
+// tests.
 func (m *message) clone() *message {
 	cp := *m
 	if m.Items != nil {
 		cp.Items = append([]handoffItem(nil), m.Items...)
 	}
+	cp.refs = 1
+	cp.released = false
 	return &cp
+}
+
+// msgPool is the sim-local message freelist. One pool serves one Network
+// (the simulation core is single-threaded, so no sync.Pool machinery is
+// needed — and sim-local reuse keeps runs deterministic and boxes warm
+// in cache). disabled (Config.NoPooling) turns every acquire into a
+// fresh allocation and every release into a no-op. poison
+// (PRECINCT_DEBUG=poison) scrambles released messages so use-after-
+// release fails loudly instead of silently corrupting a run.
+type msgPool struct {
+	free     []*message
+	disabled bool
+	poison   bool
+
+	acquired uint64 // messages handed out (newMsg + delivery header copies)
+	released uint64 // messages whose last reference was dropped
+}
+
+// acquire returns a message box; contents are arbitrary — every caller
+// overwrites the whole struct.
+func (pl *msgPool) acquire() *message {
+	pl.acquired++
+	n := len(pl.free)
+	if n == 0 {
+		return &message{}
+	}
+	m := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	return m
+}
+
+// unref drops one ownership reference, returning the box to the freelist
+// when the last reference is gone. Releasing an already-released message
+// panics — that is a lifecycle bug (double release), never load.
+func (pl *msgPool) unref(m *message) {
+	if pl.disabled {
+		return
+	}
+	if m.released {
+		panic("node: pooled message released twice")
+	}
+	if m.refs > 1 {
+		m.refs--
+		return
+	}
+	if m.refs < 1 {
+		panic("node: pooled message released with no outstanding reference")
+	}
+	m.refs = 0
+	m.released = true
+	m.Items = nil // never pin a handoff payload from the freelist
+	if pl.poison {
+		poisonMsg(m)
+	}
+	pl.released++
+	pl.free = append(pl.free, m)
+}
+
+// live returns the number of messages currently owned by the run: at a
+// quiescent boundary it equals the number of stashed pendingReply
+// messages (every other message has been delivered, dropped or released).
+func (pl *msgPool) live() uint64 { return pl.acquired - pl.released }
+
+// poisonMsg scrambles every semantic field of a released message (refs
+// and released are preserved — they are the detection state). A handler
+// touching a poisoned message dispatches on an impossible kind, routes
+// to node -1, or trips TTL/version checks — loud, immediate failures.
+func poisonMsg(m *message) {
+	const poisoned = 0xdeaddead_deaddead
+	m.Kind = msgKind(-0xbad)
+	m.ID = poisoned
+	m.FloodID = poisoned
+	m.Key = 0
+	m.Origin = -1
+	m.TargetNode = -1
+	m.HasTargetNode = false
+	m.TTL = -1 << 30
+	m.Hops = -1 << 30
+	m.Retries = -1 << 30
+	m.Version = poisoned
+	m.TTR = -1e300
+	m.Size = -1 << 30
+	m.CachedVersion = poisoned
+	m.TableIdx = -1 << 30
 }

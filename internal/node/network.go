@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"os"
 
 	"precinct/internal/cache"
 	"precinct/internal/energy"
@@ -68,6 +69,10 @@ type Network struct {
 	// allocates nothing. The simulation core is single-threaded, so one
 	// router per network suffices.
 	router routing.Router
+
+	// pool is the message freelist (DESIGN.md section 12). Disabled
+	// under Config.NoPooling, poisoning under PRECINCT_DEBUG=poison.
+	pool msgPool
 
 	peers []*Peer
 	// tables is the region-table version history: index 0 is the
@@ -139,8 +144,46 @@ func New(opts Options) (*Network, error) {
 	}
 	n.ch.SetAlive(func(id radio.NodeID) bool { return n.peers[id].alive })
 	n.ch.SetHandler(n.handleFrame)
+	n.pool.disabled = n.cfg.NoPooling
+	n.pool.poison = os.Getenv("PRECINCT_DEBUG") == "poison"
+	if !n.cfg.NoPooling {
+		// Lost frames must settle payload ownership, and GPSR may reuse
+		// cached planarizations; both belong to the pooled fast path.
+		n.ch.SetDropHandler(n.handleDrop)
+		n.router.EnablePlanarCache(n.ch.N())
+	}
 	n.placeKeys()
 	return n, nil
+}
+
+// newMsg takes a message box from the pool and fills it with proto,
+// returning it with a single ownership reference. proto never escapes:
+// the construction sites build it on the stack, so the steady-state cost
+// is one struct copy, zero allocations.
+func (n *Network) newMsg(proto message) *message {
+	m := n.pool.acquire()
+	proto.refs = 1
+	proto.released = false
+	*m = proto
+	return m
+}
+
+// releaseMsg drops one ownership reference to m, returning the box to
+// the pool when the last reference is gone. No-op under NoPooling.
+func (n *Network) releaseMsg(m *message) { n.pool.unref(m) }
+
+// MsgPoolLive returns the number of pooled messages currently owned by
+// the run (0 under NoPooling). At a quiescent boundary it must equal the
+// number of stashed pendingReply messages — the lifecycle tests and the
+// poison mode hold the protocol to that.
+func (n *Network) MsgPoolLive() uint64 { return n.pool.live() }
+
+// handleDrop settles ownership of a transmitted frame that will never
+// reach handleFrame: unicast send-time loss, dead receiver, collision.
+func (n *Network) handleDrop(to radio.NodeID, f radio.Frame) {
+	if m, ok := f.Payload.(*message); ok {
+		n.releaseMsg(m)
+	}
 }
 
 // newCache builds one peer's dynamic cache with the configured victim
@@ -280,12 +323,28 @@ func (n *Network) account(m *message) {
 	}
 }
 
-// broadcast sends m from the peer to all radio neighbors.
+// broadcast sends m from the peer to all radio neighbors, consuming the
+// caller's reference: the shared payload now carries one reference per
+// scheduled receiver (each settled by handleFrame or the drop handler),
+// and a transmission nobody will receive is released immediately. The
+// caller must not touch m afterwards.
 func (n *Network) broadcast(from radio.NodeID, m *message) {
-	n.ch.Broadcast(from, m.wireSize(n.cfg.ControlBytes), m)
+	delivered := n.ch.Broadcast(from, m.wireSize(n.cfg.ControlBytes), m)
+	if n.pool.disabled {
+		return
+	}
+	if delivered == 0 {
+		n.releaseMsg(m)
+		return
+	}
+	m.refs = int32(delivered)
 }
 
 // unicast sends m to a specific neighbor; false when the link is gone.
+// On true the single reference transfers to the channel (a send-time
+// loss settles it through the drop handler before Unicast returns), so
+// the caller must not touch m after a true return. On false the caller
+// still owns m.
 func (n *Network) unicast(from, to radio.NodeID, m *message) bool {
 	return n.ch.Unicast(from, to, m.wireSize(n.cfg.ControlBytes), m)
 }
@@ -311,6 +370,7 @@ func (n *Network) forwardRouted(p *Peer, m *message) bool {
 		return false
 	}
 	nbrs := n.ch.Neighbors(p.id)
+	n.router.SetPlanarKey(n.ch.PlanarKey())
 	next, ok := n.router.NextHop(p.id, n.ch.Position(p.id), nbrs, routingDest(m), &m.Route)
 	if !ok {
 		n.stats.RoutingFailures++
@@ -323,11 +383,24 @@ func (n *Network) forwardRouted(p *Peer, m *message) bool {
 	return true
 }
 
-// forwardWithRetry routes a message one hop, retrying from the same node
-// after a short pause when the topology offers no next hop. Update pushes
-// and key handoffs have no end-to-end timeout to recover them, so losing
-// one leaves a holder stale (or a key homeless); a few retries ride out
-// transient voids caused by mobility.
+// routeOwned forwards an owned routed message one hop, releasing it when
+// no hop exists — these kinds recover end-to-end (requester timeouts),
+// so a routing failure just drops the packet.
+func (n *Network) routeOwned(p *Peer, m *message) {
+	if !n.forwardRouted(p, m) {
+		n.releaseMsg(m)
+	}
+}
+
+// forwardWithRetry routes an owned message one hop, retrying from the
+// same node after a short pause when the topology offers no next hop.
+// Update pushes and key handoffs have no end-to-end timeout to recover
+// them, so losing one leaves a holder stale (or a key homeless); a few
+// retries ride out transient voids caused by mobility.
+//
+// A failed forward never hands the message to the channel, so the retry
+// retransmits the same box in place — Retries incremented, routing
+// geometry reset — instead of deep-cloning an identical message.
 func (n *Network) forwardWithRetry(p *Peer, m *message) {
 	if m.Kind == kindHandoff && m.HasTargetNode && m.Retries > 0 {
 		// On retries, re-aim at the best peer currently in the target
@@ -357,23 +430,31 @@ func (n *Network) forwardWithRetry(p *Peer, m *message) {
 		default:
 			n.stats.LostUpdates++
 		}
+		n.releaseMsg(m)
 		return
 	}
-	retry := m.clone()
-	retry.Retries++
-	retry.Route = routing.State{} // fresh geometry on the next attempt
-	retry.Hops = 0
+	m.Retries++
+	m.Route = routing.State{} // fresh geometry on the next attempt
+	m.Hops = 0
 	n.sched.After(0.5, func() {
 		if p.alive {
-			n.forwardWithRetry(p, retry)
+			n.forwardWithRetry(p, m)
+		} else {
+			n.releaseMsg(m) // the forwarder died holding the message
 		}
 	})
 }
 
-// handleFrame dispatches a delivered frame to the peer protocol handlers.
+// handleFrame dispatches a delivered frame to the peer protocol
+// handlers. The handler it dispatches to takes ownership of m and must
+// consume it exactly once (release, stash, or retransmit).
 func (n *Network) handleFrame(to radio.NodeID, f radio.Frame) {
 	p := n.peers[to]
 	if !p.alive {
+		// Unreachable through the radio (dead receivers resolve as
+		// DeadDrops before the handler), but direct callers exist in
+		// tests; settle ownership either way.
+		n.releaseMsg(f.Payload.(*message))
 		return
 	}
 	m, ok := f.Payload.(*message)
@@ -383,14 +464,33 @@ func (n *Network) handleFrame(to radio.NodeID, f radio.Frame) {
 	// Duplicate fast path: every dedup-first flood kind drops an
 	// already-seen message as its very first action, with no other side
 	// effect (markSeen mutates nothing on the duplicate path), so the
-	// per-receiver clone — the dominant allocation of broadcast delivery
+	// per-receiver copy — the dominant allocation of broadcast delivery
 	// at large N — can be skipped. account reads only the message kind,
 	// which the shared payload carries unchanged.
 	if id, dedup := dedupID(m); dedup && p.alreadySeen(id) {
 		n.account(m)
+		n.releaseMsg(m)
 		return
 	}
-	m = m.clone() // each receiver owns its copy (broadcasts share payloads)
+	switch {
+	case n.pool.disabled:
+		// Reference path: every receiver clones, as the pre-pooling
+		// implementation did for broadcast and unicast alike.
+		m = m.clone()
+	case f.Broadcast:
+		// Broadcast payloads are shared: exchange this receiver's
+		// reference for a private header copy (Items, handoff-only and
+		// never broadcast, would ride along copy-on-write).
+		cp := n.pool.acquire()
+		*cp = *m
+		cp.refs = 1
+		cp.released = false
+		n.releaseMsg(m)
+		m = cp
+	default:
+		// Unicast: the single reference came through the channel to
+		// this receiver; mutate in place, no copy.
+	}
 	m.Hops++
 	n.account(m)
 	switch m.Kind {
@@ -478,6 +578,7 @@ func (n *Network) startDrivers() {
 // until a replica or relocation covers them.
 func (n *Network) Crash(id radio.NodeID) {
 	n.peers[id].alive = false
+	n.ch.NoteTopologyChange()
 	n.emit(trace.Event{Kind: trace.NodeCrashed, Node: int(id)})
 }
 
@@ -490,6 +591,7 @@ func (n *Network) Quit(id radio.NodeID) {
 	}
 	p.rehomeKeys(true)
 	p.alive = false
+	n.ch.NoteTopologyChange()
 	n.emit(trace.Event{Kind: trace.NodeQuit, Node: int(id)})
 }
 
@@ -500,6 +602,7 @@ func (n *Network) Revive(id radio.NodeID) {
 		return
 	}
 	p.alive = true
+	n.ch.NoteTopologyChange()
 	p.store = cache.NewStore()
 	if p.cache != nil {
 		c, err := n.newCache()
@@ -587,11 +690,11 @@ func (n *Network) publishTable(next *region.Table, near region.ID) {
 		return // nobody to disseminate; revives pick the table up later
 	}
 	n.applyTable(initiator, idx)
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindTableUpdate, ID: n.newID(), FloodID: n.newID(),
 		Origin: initiator.id, OriginPos: n.ch.Position(initiator.id),
 		TTL: n.cfg.NetworkTTL, TableIdx: idx,
-	}
+	})
 	initiator.markSeen(m.FloodID)
 	n.broadcast(initiator.id, m)
 }

@@ -70,14 +70,16 @@ func (p *Peer) TableVersion() int { return p.tableIdx }
 // flood going.
 func (p *Peer) onTableUpdate(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	p.net.applyTable(p, m.TableIdx)
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // Cache exposes the dynamic cache (nil when disabled).
@@ -263,13 +265,13 @@ func (p *Peer) rehomeKeys(evacuate bool) {
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	for _, id := range order {
 		g := groups[id]
-		m := &message{
+		m := p.net.newMsg(message{
 			Kind: kindHandoff, ID: p.net.newID(),
 			Origin: p.id, OriginPos: p.net.ch.Position(p.id),
 			TargetRegion: g.region, TargetPos: p.net.ch.Position(g.target.id),
 			TargetNode: g.target.id, HasTargetNode: true,
 			Items: g.items,
-		}
+		})
 		p.net.stats.Handoffs++
 		p.net.emit(trace.Event{
 			Kind: trace.Handoff, Node: int(p.id), Region: int(g.region), Count: len(g.items),
@@ -293,6 +295,7 @@ func (p *Peer) onHandoff(m *message) {
 		return
 	}
 	p.adoptItems(m.Items)
+	p.net.releaseMsg(m)
 }
 
 // adoptItems installs transferred copies, keeping fresher local versions.

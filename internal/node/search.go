@@ -144,11 +144,11 @@ func (n *Network) ringWait(ttl int) float64 {
 // startRegionalPhase broadcasts the request inside the requester's region.
 func (n *Network) startRegionalPhase(p *Peer, req *pendingReq) {
 	req.phase = phaseRegional
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindRegionalSearch, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: p.regionID, TTL: n.cfg.RegionTTL,
-	}
+	})
 	p.markSeen(m.ID) // the origin must not re-flood its own request
 	n.broadcast(p.id, m)
 	n.armReqTimeout(req, n.sched.Now()+n.cfg.RegionalTimeout)
@@ -166,12 +166,13 @@ func (n *Network) startHomePhase(p *Peer, req *pendingReq) bool {
 		return false
 	}
 	req.phase = phaseHome
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindRoutedSearch, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: home.ID, TargetPos: home.Center(),
-	}
+	})
 	if !n.forwardRouted(p, m) {
+		n.releaseMsg(m)
 		return false
 	}
 	n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
@@ -189,12 +190,13 @@ func (n *Network) startReplicaPhase(p *Peer, req *pendingReq) bool {
 		return false
 	}
 	req.phase = phaseReplica
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindRoutedSearch, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: rep.ID, TargetPos: rep.Center(),
-	}
+	})
 	if !n.forwardRouted(p, m) {
+		n.releaseMsg(m)
 		return false
 	}
 	n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
@@ -205,11 +207,11 @@ func (n *Network) startReplicaPhase(p *Peer, req *pendingReq) bool {
 // Each round uses a fresh flood ID so ring rounds are not deduplicated
 // against each other.
 func (n *Network) floodSearch(p *Peer, req *pendingReq, ttl int) {
-	m := &message{
+	m := n.newMsg(message{
 		Kind: kindSearchFlood, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TTL: ttl, FloodID: n.newID(),
-	}
+	})
 	p.markSeen(m.FloodID)
 	n.broadcast(p.id, m)
 }
@@ -250,6 +252,7 @@ func (n *Network) onTimeout(id uint64) {
 			now := n.sched.Now()
 			n.finish(req, n.classify(p, m), now-req.issuedAt, m.Version < req.truthAtIssue)
 			n.admitToCache(p, m, now)
+			n.releaseMsg(m)
 			return
 		}
 		// Validation of a local copy went unanswered: fetch fresh data
@@ -278,6 +281,11 @@ func (n *Network) onTimeout(id uint64) {
 // fail closes a request unanswered.
 func (n *Network) fail(req *pendingReq) {
 	delete(n.pending, req.id)
+	if req.pendingReply != nil {
+		// A stashed answer dies with the request (dead-origin timeout).
+		n.releaseMsg(req.pendingReply)
+		req.pendingReply = nil
+	}
 	if req.record {
 		n.coll.Request(0, req.size, metrics.Failure, false)
 	}
@@ -330,9 +338,10 @@ func (p *Peer) lookupForAnswer(k workload.Key) (version uint64, ttr float64, fro
 	return e.Version, remaining, false, true
 }
 
-// answer sends a data reply for request m back to its origin.
+// answer sends a data reply for request m back to its origin. The
+// caller keeps ownership of m.
 func (p *Peer) answer(m *message, version uint64, ttr float64, fromStore, enRoute bool) {
-	reply := &message{
+	reply := p.net.newMsg(message{
 		Kind: kindReply, ID: m.ID, Key: m.Key,
 		Origin: m.Origin, OriginPos: m.OriginPos, OriginRegion: m.OriginRegion,
 		Version: version, TTR: ttr,
@@ -340,28 +349,31 @@ func (p *Peer) answer(m *message, version uint64, ttr float64, fromStore, enRout
 		ServerRegion: p.regionID,
 		EnRoute:      enRoute,
 		FromStore:    fromStore,
-	}
+	})
 	if p.id == m.Origin {
 		p.onReply(reply)
 		return
 	}
-	p.net.forwardRouted(p, reply)
+	p.net.routeOwned(p, reply)
 }
 
 // onSearchFlood handles the flooding / expanding-ring request.
 func (p *Peer) onSearchFlood(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if v, ttr, fromStore, ok := p.lookupForAnswer(m.Key); ok {
 		p.answer(m, v, ttr, fromStore, false)
+		p.net.releaseMsg(m)
 		return
 	}
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // onRegionalSearch handles the intra-region broadcast phase of PReCinCt:
@@ -369,20 +381,24 @@ func (p *Peer) onSearchFlood(m *message) {
 // store or fresh cache, or keep flooding within the region.
 func (p *Peer) onRegionalSearch(m *message) {
 	if p.markSeen(m.ID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if p.regionID != m.TargetRegion {
+		p.net.releaseMsg(m)
 		return
 	}
 	if v, ttr, fromStore, ok := p.lookupForAnswer(m.Key); ok {
 		p.answer(m, v, ttr, fromStore, false)
+		p.net.releaseMsg(m)
 		return
 	}
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // onRoutedSearch advances a request toward the home/replica region. The
@@ -391,58 +407,69 @@ func (p *Peer) onRegionalSearch(m *message) {
 // directly when enabled.
 func (p *Peer) onRoutedSearch(m *message) {
 	if p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
-		flood := m.clone()
-		flood.Kind = kindHomeFlood
-		flood.TTL = p.net.cfg.RegionTTL
-		flood.FloodID = p.net.newID()
-		p.markSeen(flood.FloodID)
-		// The point of broadcast also checks its own holdings.
+		// Rewrite the routed request into the localized flood in place.
+		// The flood ID is drawn (and marked) before the local lookup so
+		// the deterministic ID sequence matches the reference path,
+		// which built the flood before checking its own holdings.
+		m.Kind = kindHomeFlood
+		m.TTL = p.net.cfg.RegionTTL
+		m.FloodID = p.net.newID()
+		p.markSeen(m.FloodID)
+		// The point of broadcast also checks its own holdings. answer
+		// reads only fields the rewrite above left untouched.
 		if v, ttr, fromStore, found := p.lookupForAnswer(m.Key); found {
 			p.answer(m, v, ttr, fromStore, false)
+			p.net.releaseMsg(m)
 			return
 		}
-		p.net.broadcast(p.id, flood)
+		p.net.broadcast(p.id, m)
 		return
 	}
 	if p.net.cfg.EnRoute {
 		if v, ttr, fromStore, found := p.lookupForAnswer(m.Key); found {
 			p.answer(m, v, ttr, fromStore, true)
+			p.net.releaseMsg(m)
 			return
 		}
 	}
-	p.net.forwardRouted(p, m)
+	p.net.routeOwned(p, m)
 }
 
 // onHomeFlood handles the localized flood inside the destination region.
 func (p *Peer) onHomeFlood(m *message) {
 	if p.markSeen(m.FloodID) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if !p.table().Contains(m.TargetRegion, p.net.ch.Position(p.id)) {
+		p.net.releaseMsg(m)
 		return
 	}
 	if v, ttr, fromStore, found := p.lookupForAnswer(m.Key); found {
 		p.answer(m, v, ttr, fromStore, false)
+		p.net.releaseMsg(m)
 		return
 	}
 	if m.TTL > 1 {
-		fwd := m.clone()
-		fwd.TTL--
-		p.net.broadcast(p.id, fwd)
+		m.TTL--
+		p.net.broadcast(p.id, m)
+		return
 	}
+	p.net.releaseMsg(m)
 }
 
 // onReply routes a response back to the requester and completes the
 // pending request on arrival.
 func (p *Peer) onReply(m *message) {
 	if p.id != m.Origin {
-		p.net.forwardRouted(p, m)
+		p.net.routeOwned(p, m)
 		return
 	}
 	n := p.net
 	req, ok := n.pending[m.ID]
 	if !ok {
-		return // duplicate answer; first one won
+		n.releaseMsg(m) // duplicate answer; first one won
+		return
 	}
 	now := n.sched.Now()
 
@@ -458,12 +485,13 @@ func (p *Peer) onReply(m *message) {
 		if req.phase == phasePoll {
 			// Duplicate cache answers while a validation is in
 			// flight must not bypass it.
+			n.releaseMsg(m)
 			return
 		}
 		if req.timeout != 0 {
 			n.sched.Cancel(req.timeout)
 		}
-		req.pendingReply = m
+		req.pendingReply = m // ownership moves to the stash
 		req.phase = phasePoll
 		req.cachedVersion = m.Version
 		if n.sendPoll(p, req) {
@@ -472,12 +500,14 @@ func (p *Peer) onReply(m *message) {
 		}
 		// The home region is unreachable for validation; fall through
 		// and serve the answer optimistically.
+		req.pendingReply = nil
 	}
 
 	latency := now - req.issuedAt
 	stale := m.Version < req.truthAtIssue
 	n.finish(req, n.classify(p, m), latency, stale)
 	n.admitToCache(p, m, now)
+	n.releaseMsg(m)
 }
 
 // classify buckets a reply by where it was served from, seen from the

@@ -225,6 +225,10 @@ func (n *Network) RestoreState(st NetworkState) error {
 		}
 		if ps.HasReply {
 			reply := ps.Reply
+			// Checkpoints never serialize pool state (refs/released are
+			// unexported); restore the stash's single owned reference.
+			reply.refs = 1
+			reply.released = false
 			req.pendingReply = &reply
 		}
 		n.pending[ps.ID] = req

@@ -43,6 +43,15 @@ type Frame struct {
 // Handler receives frames delivered to a node. `at` is the delivery time.
 type Handler func(to NodeID, f Frame)
 
+// DropHandler observes frames that were transmitted but will never reach
+// the Handler: unicast frames lost to injected loss at send time, and
+// any reception dropped mid-flight (dead receiver, collision). The node
+// layer uses it to release pooled message payloads exactly once per
+// delivery. Broadcast send-time losses are NOT reported — Broadcast's
+// return value already excludes them, so the caller never handed over
+// ownership for those receivers.
+type DropHandler func(to NodeID, f Frame)
+
 // Config parameterizes the channel.
 type Config struct {
 	Range     float64 // transmission range in meters (paper: 250)
@@ -134,6 +143,7 @@ type Channel struct {
 	mob     mobility.Model
 	meter   *energy.Meter
 	handler Handler
+	onDrop  DropHandler
 	alive   func(NodeID) bool
 	rng     *rand.Rand
 
@@ -162,6 +172,20 @@ type Channel struct {
 	// neighbors in ascending NodeID order without sorting. Always fully
 	// zero between queries.
 	markBuf []uint64
+
+	// topoGen counts liveness changes (crash/quit/revive). Together with
+	// the position epoch it forms PlanarKey: as long as neither moves,
+	// any node's neighbor set — and therefore its Gabriel planarization —
+	// is provably unchanged, so GPSR may reuse a cached planar set.
+	topoGen uint64
+
+	// freeDeliveries recycles the per-reception delivery boxes that carry
+	// a scheduled frame to its fire time; combined with the scheduler's
+	// event freelist this makes steady-state frame delivery
+	// allocation-free. noRecycle (the NoPooling reference path) disables
+	// the freelist so every delivery is a fresh allocation.
+	freeDeliveries []*delivery
+	noRecycle      bool
 }
 
 // New creates a channel over the mobility model. The meter may be nil to
@@ -235,6 +259,102 @@ func (ch *Channel) collided(to NodeID, airtime float64) bool {
 // SetHandler installs the frame delivery upcall. It must be set before any
 // transmission.
 func (ch *Channel) SetHandler(h Handler) { ch.handler = h }
+
+// SetDropHandler installs the lost-frame observer (may be nil).
+func (ch *Channel) SetDropHandler(h DropHandler) { ch.onDrop = h }
+
+// DisableRecycling turns off the delivery-box freelist; the NoPooling
+// reference path uses it so the pooled path can be proven equivalent to
+// a fresh-allocation run.
+func (ch *Channel) DisableRecycling() {
+	ch.noRecycle = true
+	ch.freeDeliveries = nil
+}
+
+// NoteTopologyChange must be called whenever node liveness changes
+// (crash, quit, revive): it invalidates every cached planarization even
+// when the clock — and so the position epoch — has not moved.
+func (ch *Channel) NoteTopologyChange() { ch.topoGen++ }
+
+// PlanarKey identifies an instant of the connectivity graph: the
+// position epoch (bumped when the clock moves) plus the topology
+// generation (bumped on liveness changes). Two queries under the same
+// key see identical neighbor sets, so planarizations may be reused.
+type PlanarKey struct {
+	Epoch uint64
+	Topo  uint64
+}
+
+// PlanarKey returns the current planarization-validity key.
+func (ch *Channel) PlanarKey() PlanarKey {
+	ch.syncEpoch()
+	return PlanarKey{Epoch: ch.epoch, Topo: ch.topoGen}
+}
+
+// delivery carries one scheduled reception from send to fire time. The
+// box is recycled through the channel's freelist before the handler
+// runs, so a handler that transmits reuses the box it arrived in.
+type delivery struct {
+	ch  *Channel
+	to  NodeID
+	f   Frame
+	air float64
+}
+
+// fireDelivery is the AtCtx trampoline for scheduled receptions: a plain
+// function pointer, so scheduling a delivery allocates no closure.
+func fireDelivery(x any) { x.(*delivery).fire() }
+
+func (ch *Channel) takeDelivery() *delivery {
+	if n := len(ch.freeDeliveries); n > 0 {
+		d := ch.freeDeliveries[n-1]
+		ch.freeDeliveries[n-1] = nil
+		ch.freeDeliveries = ch.freeDeliveries[:n-1]
+		return d
+	}
+	return &delivery{ch: ch}
+}
+
+func (ch *Channel) recycleDelivery(d *delivery) {
+	d.f = Frame{} // never pin a payload from the freelist
+	if !ch.noRecycle {
+		ch.freeDeliveries = append(ch.freeDeliveries, d)
+	}
+}
+
+// scheduleDelivery books one reception for `to` after `delay`.
+func (ch *Channel) scheduleDelivery(delay float64, to NodeID, f Frame, air float64) {
+	ch.inFlight++
+	d := ch.takeDelivery()
+	d.to, d.f, d.air = to, f, air
+	ch.sched.AfterCtx(delay, fireDelivery, d)
+}
+
+// fire resolves a reception at its delivery time, preserving the exact
+// order of the pre-pooling closure: alive check first (collided is not
+// consulted for dead receivers — their radio is off, not garbled), then
+// the collision model, then the handler. Dropped frames are reported to
+// the drop handler so payload ownership is settled exactly once.
+func (d *delivery) fire() {
+	ch, to, f, air := d.ch, d.to, d.f, d.air
+	ch.recycleDelivery(d)
+	ch.inFlight--
+	if !ch.alive(to) {
+		ch.stats.DeadDrops++
+		if ch.onDrop != nil {
+			ch.onDrop(to, f)
+		}
+		return
+	}
+	if ch.collided(to, air) {
+		if ch.onDrop != nil {
+			ch.onDrop(to, f)
+		}
+		return
+	}
+	ch.stats.Handled++
+	ch.handler(to, f)
+}
 
 // SetAlive installs a liveness predicate; dead nodes neither transmit nor
 // receive (nor pay energy).
@@ -425,20 +545,7 @@ func (ch *Channel) Broadcast(from NodeID, size int, payload any) int {
 		}
 		delivered++
 		ch.stats.Deliveries++
-		to := nb.ID
-		air := ch.airtime(size)
-		ch.inFlight++
-		ch.sched.After(delay, func() {
-			ch.inFlight--
-			if !ch.alive(to) {
-				ch.stats.DeadDrops++
-				return
-			}
-			if !ch.collided(to, air) {
-				ch.stats.Handled++
-				ch.handler(to, f)
-			}
-		})
+		ch.scheduleDelivery(delay, nb.ID, f, ch.airtime(size))
 	}
 	return delivered
 }
@@ -473,24 +580,17 @@ func (ch *Channel) Unicast(from, to NodeID, size int, payload any) bool {
 	}
 	if ch.lost() {
 		ch.stats.Drops++
-		return true // the frame was sent; it just never arrived
+		// The frame was sent; it just never arrived. Ownership of the
+		// payload transferred to the channel on send, so settle it now.
+		if ch.onDrop != nil {
+			ch.onDrop(to, Frame{From: from, To: to, Size: onAir, Payload: payload})
+		}
+		return true
 	}
 	delay := ch.txDelay(from, size) + ch.cfg.Propagation
 	f := Frame{From: from, To: to, Size: onAir, Payload: payload}
 	ch.stats.Deliveries++
-	air := ch.airtime(size)
-	ch.inFlight++
-	ch.sched.After(delay, func() {
-		ch.inFlight--
-		if !ch.alive(to) {
-			ch.stats.DeadDrops++
-			return
-		}
-		if !ch.collided(to, air) {
-			ch.stats.Handled++
-			ch.handler(to, f)
-		}
-	})
+	ch.scheduleDelivery(delay, to, f, ch.airtime(size))
 	return true
 }
 

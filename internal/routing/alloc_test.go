@@ -1,0 +1,49 @@
+package routing
+
+import (
+	"testing"
+
+	"precinct/internal/geo"
+	"precinct/internal/radio"
+)
+
+// TestPlanarReuseAllocFree is the alloc floor for perimeter forwarding at
+// a stable planar key: with the per-node cache enabled and the key
+// unchanged, repeated NextHop calls that enter perimeter mode must reuse
+// the cached Gabriel set and allocate nothing.
+func TestPlanarReuseAllocFree(t *testing.T) {
+	// A local maximum: every neighbor is farther from dest than self, so
+	// greedy fails immediately and the call planarizes.
+	self := geo.Pt(0, 0)
+	dest := geo.Pt(100, 0)
+	nbrs := []radio.Neighbor{
+		{ID: 1, Pos: geo.Pt(-10, 5)},
+		{ID: 2, Pos: geo.Pt(-10, -5)},
+		{ID: 3, Pos: geo.Pt(-5, 10)},
+	}
+
+	var r Router
+	r.EnablePlanarCache(4)
+	r.SetPlanarKey(radio.PlanarKey{})
+
+	forward := func() {
+		var st State
+		if _, ok := r.NextHop(0, self, nbrs, dest, &st); !ok {
+			t.Fatal("expected a perimeter hop")
+		}
+	}
+	forward() // populate the cache entry
+
+	avg := testing.AllocsPerRun(1000, forward)
+	if avg != 0 {
+		t.Errorf("perimeter NextHop at a stable planar key allocates %.2f objects/op, want 0", avg)
+	}
+
+	// Sanity: a key change must invalidate and re-planarize (still without
+	// growing allocations, since the entry's slice is reused).
+	r.SetPlanarKey(radio.PlanarKey{Epoch: 1})
+	avg = testing.AllocsPerRun(100, forward)
+	if avg != 0 {
+		t.Errorf("re-planarizing into the cached slice allocates %.2f objects/op, want 0", avg)
+	}
+}

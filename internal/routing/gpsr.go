@@ -169,9 +169,38 @@ func rightHand(self geo.Point, planar []radio.Neighbor, refAngle float64, prev r
 // Router carries reusable scratch for NextHop so steady-state forwarding
 // is allocation-free. The zero value is ready to use. A Router serves one
 // simulation run; it is not safe for concurrent use.
+//
+// With EnablePlanarCache, the Router additionally memoizes each node's
+// Gabriel planarization keyed on the channel's PlanarKey (position epoch
+// + topology generation): perimeter forwards through the same node at
+// the same key reuse the planar set instead of re-filtering. Because the
+// key pins both positions and liveness, the cached set is provably what
+// a re-filter would compute — the NoPooling equivalence suite holds the
+// cache to that contract.
 type Router struct {
 	planar []radio.Neighbor
+
+	cache []planarEntry   // per-node planar cache; nil unless enabled
+	key   radio.PlanarKey // current validity key (SetPlanarKey)
 }
+
+// planarEntry is one node's cached planarization.
+type planarEntry struct {
+	key   radio.PlanarKey
+	valid bool
+	set   []radio.Neighbor
+}
+
+// EnablePlanarCache switches on per-node planar-set caching for a
+// network of n nodes. Call SetPlanarKey with the channel's current
+// PlanarKey before each NextHop batch; stale entries refresh lazily.
+func (r *Router) EnablePlanarCache(n int) {
+	r.cache = make([]planarEntry, n)
+}
+
+// SetPlanarKey updates the validity key cached planarizations are
+// checked against. Cheap; call before every NextHop.
+func (r *Router) SetPlanarKey(k radio.PlanarKey) { r.key = k }
 
 // NextHop computes the GPSR forwarding decision at the node selfID located
 // at self, holding the given neighbor table, for a packet addressed to
@@ -215,8 +244,19 @@ func (r *Router) NextHop(selfID radio.NodeID, self geo.Point, nbrs []radio.Neigh
 		st.HasPrev = false
 	}
 
-	r.planar = AppendGabrielNeighbors(r.planar[:0], self, nbrs)
-	planar := r.planar
+	var planar []radio.Neighbor
+	if r.cache != nil && int(selfID) < len(r.cache) {
+		e := &r.cache[selfID]
+		if !e.valid || e.key != r.key {
+			e.set = AppendGabrielNeighbors(e.set[:0], self, nbrs)
+			e.key = r.key
+			e.valid = true
+		}
+		planar = e.set
+	} else {
+		r.planar = AppendGabrielNeighbors(r.planar[:0], self, nbrs)
+		planar = r.planar
+	}
 	if len(planar) == 0 {
 		return radio.Neighbor{}, false
 	}

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// TestScheduleFireRecycleAllocFree is the alloc floor for the scheduler
+// hot cycle: once the freelist is warm, Schedule → fire → recycle must
+// not allocate at all — the event box popped from the heap is handed
+// straight back to the next Schedule.
+func TestScheduleFireRecycleAllocFree(t *testing.T) {
+	s := NewScheduler()
+	var at float64
+	fired := 0
+	fn := func() { fired++ }
+
+	// Warm the freelist and the heap/pending capacity.
+	for i := 0; i < 64; i++ {
+		at += 0.001
+		s.At(at, fn)
+	}
+	s.Run(at)
+
+	avg := testing.AllocsPerRun(1000, func() {
+		at += 0.001
+		s.At(at, fn)
+		s.Run(at)
+	})
+	if avg != 0 {
+		t.Errorf("Schedule/fire/recycle cycle allocates %.2f objects/op, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired; the measurement is vacuous")
+	}
+}
+
+// TestScheduleFireRecycleCtxAllocFree is the same floor for the
+// closure-free AtCtx form used by the radio delivery path.
+func TestScheduleFireRecycleCtxAllocFree(t *testing.T) {
+	s := NewScheduler()
+	var at float64
+	fired := 0
+	type box struct{ n *int }
+	ctx := &box{n: &fired}
+	fn := func(x any) { *x.(*box).n++ }
+
+	for i := 0; i < 64; i++ {
+		at += 0.001
+		s.AtCtx(at, fn, ctx)
+	}
+	s.Run(at)
+
+	avg := testing.AllocsPerRun(1000, func() {
+		at += 0.001
+		s.AtCtx(at, fn, ctx)
+		s.Run(at)
+	})
+	if avg != 0 {
+		t.Errorf("AtCtx schedule/fire/recycle cycle allocates %.2f objects/op, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired; the measurement is vacuous")
+	}
+}

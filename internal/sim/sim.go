@@ -51,13 +51,23 @@ type SchedulerState struct {
 	Procs     []ProcEvent
 }
 
-// event is a pending callback on the event queue.
+// event is a pending callback on the event queue. Exactly one of fn and
+// fnCtx is set: fn is the closure form, fnCtx+ctx the allocation-free
+// form used by hot paths (see AtCtx). Popped and cancelled events are
+// recycled through the scheduler's freelist; gen counts reuses so a
+// stale *event pointer from a previous incarnation is detectable — the
+// pending map (keyed by the never-reused Handle) stays the authoritative
+// cancellation guard, and gen is the belt-and-suspenders check that a
+// recycled box can never masquerade as a live one.
 type event struct {
 	time   float64
 	seq    uint64 // insertion order; breaks ties deterministically (FIFO)
 	handle Handle
 	fn     func()
-	index  int // heap index; -1 once popped or cancelled
+	fnCtx  func(any)
+	ctx    any
+	gen    uint64 // incremented every time the box is recycled
+	index  int    // heap index; -1 once popped or cancelled
 }
 
 // eventQueue implements heap.Interface ordered by (time, seq).
@@ -106,6 +116,14 @@ type Scheduler struct {
 	executed  uint64
 	cancelled uint64
 	stopped   bool
+
+	// free is the event-box freelist: popped and cancelled events are
+	// returned here and Schedule takes them back out, so the steady-state
+	// Schedule→fire→recycle cycle allocates nothing. noRecycle disables
+	// the freelist (every event is a fresh allocation) for the NoPooling
+	// reference path that equivalence proofs compare against.
+	free      []*event
+	noRecycle bool
 
 	// afterEvent, when non-nil, runs after every executed event with the
 	// clock at that event's time. Observers (the invariant runner) hang
@@ -184,25 +202,89 @@ func (s *Scheduler) CheckConsistency() error {
 			}
 		}
 	}
+	for i, ev := range s.free {
+		if ev.fn != nil || ev.fnCtx != nil || ev.ctx != nil {
+			return fmt.Errorf("sim: freelist slot %d retains a callback reference", i)
+		}
+		if live, ok := s.pending[ev.handle]; ok && live == ev {
+			return fmt.Errorf("sim: freelist slot %d (handle %d) is still pending", i, ev.handle)
+		}
+	}
 	return nil
+}
+
+// DisableRecycling turns off the event freelist so every scheduled
+// event is a fresh allocation. The NoPooling reference path uses this to
+// prove the freelist changes nothing observable.
+func (s *Scheduler) DisableRecycling() {
+	s.noRecycle = true
+	s.free = nil
+}
+
+// takeEvent pops an event box off the freelist or allocates one.
+func (s *Scheduler) takeEvent() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycleEvent returns a popped or cancelled event box to the freelist.
+// Callback references are cleared so the freelist never pins payloads,
+// and gen is bumped so the box's previous incarnation is dead for good.
+func (s *Scheduler) recycleEvent(ev *event) {
+	ev.fn = nil
+	ev.fnCtx = nil
+	ev.ctx = nil
+	ev.gen++
+	if !s.noRecycle {
+		s.free = append(s.free, ev)
+	}
+}
+
+// schedule inserts a filled-in event box at absolute time t.
+func (s *Scheduler) schedule(t float64, ev *event) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev.time = t
+	ev.seq = s.seq
+	ev.handle = s.nextID
+	s.seq++
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	s.pending[ev.handle] = ev
+	return ev.handle
 }
 
 // At schedules fn to run at absolute simulation time t. Scheduling in the
 // past panics: it would silently reorder causality and every such call is
 // a protocol bug.
 func (s *Scheduler) At(t float64, fn func()) Handle {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &event{time: t, seq: s.seq, handle: s.nextID, fn: fn}
-	s.seq++
-	s.nextID++
-	heap.Push(&s.queue, ev)
-	s.pending[ev.handle] = ev
-	return ev.handle
+	ev := s.takeEvent()
+	ev.fn = fn
+	return s.schedule(t, ev)
+}
+
+// AtCtx schedules fn(ctx) at absolute time t. Unlike At, the callback is
+// a plain function pointer plus an explicit context value, so hot paths
+// that would otherwise allocate a capturing closure per event (one per
+// radio frame delivery) can pass a pooled context struct instead and
+// keep the whole Schedule→fire→recycle cycle allocation-free.
+func (s *Scheduler) AtCtx(t float64, fn func(any), ctx any) Handle {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := s.takeEvent()
+	ev.fnCtx = fn
+	ev.ctx = ctx
+	return s.schedule(t, ev)
 }
 
 // After schedules fn to run d seconds from now.
@@ -211,6 +293,14 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AfterCtx schedules fn(ctx) d seconds from now (see AtCtx).
+func (s *Scheduler) AfterCtx(d float64, fn func(any), ctx any) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtCtx(s.now+d, fn, ctx)
 }
 
 // AtProc schedules fn at absolute time t, tagged as a re-armable
@@ -294,7 +384,21 @@ func (s *Scheduler) Cancel(h Handle) bool {
 	delete(s.procs, h)
 	heap.Remove(&s.queue, ev.index)
 	s.cancelled++
+	s.recycleEvent(ev)
 	return true
+}
+
+// fire runs one popped event: the callback fields are copied out and the
+// box recycled BEFORE the callback executes, so a callback that schedules
+// new events reuses the box it just vacated.
+func (s *Scheduler) fire(next *event) {
+	fn, fnCtx, ctx := next.fn, next.fnCtx, next.ctx
+	s.recycleEvent(next)
+	if fn != nil {
+		fn()
+	} else {
+		fnCtx(ctx)
+	}
 }
 
 // Stop makes the current Run call return after the in-flight event
@@ -316,7 +420,7 @@ func (s *Scheduler) Run(until float64) uint64 {
 		delete(s.pending, next.handle)
 		delete(s.procs, next.handle)
 		s.now = next.time
-		next.fn()
+		s.fire(next)
 		s.executed++
 		n++
 		s.notifyAfterEvent()
@@ -346,7 +450,7 @@ func (s *Scheduler) Step(until float64) bool {
 	delete(s.pending, next.handle)
 	delete(s.procs, next.handle)
 	s.now = next.time
-	next.fn()
+	s.fire(next)
 	s.executed++
 	s.notifyAfterEvent()
 	return true
@@ -364,7 +468,7 @@ func (s *Scheduler) RunAll() uint64 {
 		delete(s.pending, next.handle)
 		delete(s.procs, next.handle)
 		s.now = next.time
-		next.fn()
+		s.fire(next)
 		s.executed++
 		n++
 		s.notifyAfterEvent()

@@ -1,0 +1,106 @@
+package precinct_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// runTracedBytes executes a scenario with the protocol tracer attached
+// and returns the result plus the raw trace stream.
+func runTracedBytes(t *testing.T, s precinct.Scenario) (precinct.Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := precinct.RunTraced(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestPoolingEquivalence enforces the memory-model determinism contract
+// (DESIGN.md section 12) the same way TestGridLinearEquivalence and
+// TestCacheIndexEquivalence do for the radio and cache layers: a run on
+// the zero-allocation hot path — pooled messages mutated in place at
+// every forwarding hop, recycled scheduler events and radio deliveries,
+// epoch-cached GPSR planarization — must be bit-for-bit identical to the
+// same run on the allocate-and-clone reference path (Scenario.NoPooling).
+// Identical means DeepEqual Report/Protocol/Radio AND a byte-identical
+// protocol trace, so not just the aggregate counters but every request
+// lifecycle, handoff, update and failure event matches in order. The
+// corpus is ≥16 fuzzgen seeds spanning all three consistency schemes,
+// message loss, churn, and the large-N scale tier.
+func TestPoolingEquivalence(t *testing.T) {
+	type tc struct {
+		name string
+		s    precinct.Scenario
+	}
+	var cases []tc
+
+	// Regular fuzzgen seeds; half forced lossy so the drop-handler
+	// release paths (mid-flight loss, dead receivers) are exercised.
+	for seed := int64(1); seed <= 12; seed++ {
+		s := fuzzgen.Expand(seed)
+		if seed%2 == 1 && s.LossRate == 0 {
+			s.LossRate = 0.1
+		}
+		cases = append(cases, tc{fmt.Sprintf("fuzz-%d", seed), s})
+	}
+
+	// Scale-tier seeds: large-N, always lossy. Capped under -short.
+	maxNodes := 2000
+	scaleSeeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		maxNodes = 500
+		scaleSeeds = scaleSeeds[:4]
+	}
+	for _, seed := range scaleSeeds {
+		cases = append(cases, tc{fmt.Sprintf("scale-%d", seed), fuzzgen.ExpandScale(seed, maxNodes)})
+	}
+
+	if len(cases) < 16 {
+		t.Fatalf("only %d seeds; the contract requires at least 16", len(cases))
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := c.s
+			s.NoPooling = false
+			pooled, pooledTrace := runTracedBytes(t, s)
+			s.NoPooling = true
+			ref, refTrace := runTracedBytes(t, s)
+
+			if !bytes.Equal(pooledTrace, refTrace) {
+				pl := bytes.Split(pooledTrace, []byte("\n"))
+				rl := bytes.Split(refTrace, []byte("\n"))
+				n := len(pl)
+				if len(rl) < n {
+					n = len(rl)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(pl[i], rl[i]) {
+						t.Fatalf("traces diverged at line %d:\npooled:    %s\nreference: %s",
+							i, pl[i], rl[i])
+					}
+				}
+				t.Fatalf("trace lengths diverged: pooled %d lines, reference %d lines",
+					len(pl), len(rl))
+			}
+			if !reflect.DeepEqual(pooled.Report, ref.Report) {
+				t.Errorf("Report diverged:\npooled:    %+v\nreference: %+v", pooled.Report, ref.Report)
+			}
+			if !reflect.DeepEqual(pooled.Protocol, ref.Protocol) {
+				t.Errorf("ProtocolStats diverged:\npooled:    %+v\nreference: %+v", pooled.Protocol, ref.Protocol)
+			}
+			if !reflect.DeepEqual(pooled.Radio, ref.Radio) {
+				t.Errorf("RadioStats diverged:\npooled:    %+v\nreference: %+v", pooled.Radio, ref.Radio)
+			}
+		})
+	}
+}

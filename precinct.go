@@ -95,6 +95,13 @@ type Scenario struct {
 	// two backends are bit-identical by contract (DESIGN.md section 11)
 	// and the switch exists for equivalence testing and benchmarking.
 	LinearCache bool
+	// NoPooling disables the zero-allocation hot path: the scheduler
+	// event freelist, the radio delivery freelist, the message pool
+	// (forwarding clones at every hop) and the GPSR planar-set cache.
+	// Pooled and unpooled runs are bit-identical by contract (DESIGN.md
+	// section 12); the switch exists for equivalence testing and
+	// benchmarking, not for normal use.
+	NoPooling bool
 
 	// Items, MinItemSize and MaxItemSize describe the shared catalog.
 	Items       int
@@ -434,6 +441,12 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.NoPooling {
+		// The reference path allocates fresh events, deliveries and
+		// messages everywhere the pooled path recycles them.
+		sched.DisableRecycling()
+		ch.DisableRecycling()
+	}
 
 	var table *region.Table
 	if s.VoronoiRegions {
@@ -496,6 +509,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	}
 	cfg.Policy = policy
 	cfg.LinearCache = s.LinearCache
+	cfg.NoPooling = s.NoPooling
 	cfg.EnRoute = s.EnRoute
 	cfg.Replication = s.Replication
 	cfg.Warmup = s.Warmup
