@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs resume-smoke scale-smoke cover soak ci
+.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke cover soak ci
 
 all: build
 
@@ -18,6 +18,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The sharded scheduler's dedicated race gate (DESIGN.md section 13):
+# the pooling and grid/linear equivalence suites, the canonical-trace
+# tests and the parallel-equivalence suite — every scenario of which
+# runs at -shards 2 and 4 — under the race detector. -short caps the
+# large-N seeds (the full sizes run race-free in `test`; under race the
+# parallel suite caps itself the same way via the race build tag).
+race-parallel:
+	$(GO) test -race -short -count=1 -run 'Parallel|Pooling|Equivalence|Canonicalize|Shuffle' .
+	$(GO) test -race -count=1 ./internal/pool ./internal/trace
 
 # The runtime invariant suite (DESIGN.md section 9) under the race
 # detector: fuzzed scenarios, metamorphic relations and the
@@ -71,6 +81,12 @@ bench-compare:
 # allocs_per_event regressions fail ci outright; timing prints advisory.
 bench-compare-allocs:
 	$(GO) run ./cmd/precinct-bench -compare -allocs-only -tolerance $(TOLERANCE)
+
+# The advisory half: the full timing comparison, never failing the
+# build. Regressions print with an ADVISORY: prefix so CI logs
+# distinguish machine-dependent timing drift from binding failures.
+bench-compare-advisory:
+	$(GO) run ./cmd/precinct-bench -compare -advisory -tolerance $(TOLERANCE)
 
 # Per-package coverage floors. Baselines recorded at PR 4 (2026-08):
 # internal/cache 86.6%, internal/node 82.5% of statements; the floor is
@@ -126,5 +142,4 @@ scale-smoke:
 soak:
 	$(GO) test -tags soak -run Soak -timeout 60m -v .
 
-ci: vet build test race check cover bench-smoke fuzz-smoke resume-smoke scale-smoke bench-compare-allocs
-	-$(MAKE) bench-compare
+ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke bench-compare-allocs bench-compare-advisory

@@ -100,6 +100,11 @@ func restoreSnapshot(snap *checkpoint.Snapshot, tracer trace.Tracer, runner *inv
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("precinct: snapshot scenario: %w", err)
 	}
+	if s.Shards > 1 {
+		// Snapshots of sharded runs are never written; a scenario carrying
+		// Shards > 1 here means the file was edited or corrupted.
+		return nil, fmt.Errorf("precinct: snapshot scenario requests a sharded run; snapshots are sequential-only")
+	}
 	if snap.Meta.SimTime != snap.Sched.Now {
 		return nil, fmt.Errorf("precinct: snapshot meta time %v disagrees with scheduler clock %v",
 			snap.Meta.SimTime, snap.Sched.Now)
@@ -142,22 +147,31 @@ func restoreSnapshot(snap *checkpoint.Snapshot, tracer trace.Tracer, runner *inv
 			Catalog: b.catalog,
 		})
 	}
+	// Re-arm in the captured (ascending Seq) order, each process under
+	// its recorded creator context, so every re-armed event is stamped
+	// with the canonical key creator the original run gave it — same-time
+	// events keep their relative order after a resume, sequential or
+	// sharded alike.
 	for _, pe := range snap.Sched.Procs {
 		if pe.Time < b.sched.Now() {
 			return nil, fmt.Errorf("precinct: snapshot process %q armed at %v, before the clock %v",
 				pe.Proc.Kind, pe.Time, b.sched.Now())
 		}
+		b.sched.SetCur(pe.Creator)
 		if pe.Proc.Kind == invariant.ProcSweep {
 			if runner == nil {
+				b.sched.SetCur(-1)
 				return nil, fmt.Errorf("precinct: snapshot was taken from a checked run; restore it with invariant checking enabled")
 			}
 			runner.ArmSweepAt(pe.Time)
 			continue
 		}
 		if err := b.rearm(pe.Proc, pe.Time); err != nil {
+			b.sched.SetCur(-1)
 			return nil, err
 		}
 	}
+	b.sched.SetCur(-1)
 	return b, nil
 }
 
@@ -368,6 +382,9 @@ func RunCheckpointedChecked(s Scenario, opts CheckpointOptions) (Result, Invaria
 }
 
 func runCheckpointed(s Scenario, opts CheckpointOptions, check bool) (Result, InvariantReport, error) {
+	if s.Shards > 1 {
+		return Result{}, InvariantReport{}, fmt.Errorf("precinct: checkpointing a sharded run is not supported; run with Shards <= 1")
+	}
 	if opts.Dir == "" {
 		return Result{}, InvariantReport{}, fmt.Errorf("precinct: checkpoint directory not set")
 	}

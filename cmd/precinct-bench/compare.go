@@ -43,14 +43,15 @@ func loadJSON(path string, v any) error {
 // regressed: current must stay within (1+tol) of baseline plus an
 // absolute slack — one unit for integer counts (so allocs/op cannot trip
 // on ±1), a few hundredths for fractional rates like allocs_per_event.
-// Advisory probes print their verdict but never count as a regression.
+// Advisory probes print an ADVISORY:-labeled verdict but never count as
+// a regression, so CI logs distinguish binding failures from drift.
 func compareProbe(name, metric string, base, curr, tol, slack float64, advisory bool) bool {
 	limit := base*(1+tol) + slack
 	ok := curr <= limit
 	verdict := "ok"
 	if !ok {
 		if advisory {
-			verdict = "over (advisory)"
+			verdict = "ADVISORY: over"
 		} else {
 			verdict = "REGRESSED"
 		}
@@ -64,8 +65,10 @@ func compareProbe(name, metric string, base, curr, tol, slack float64, advisory 
 // baselines at baseRadio and baseScale. It returns whether any probe
 // regressed beyond tol. With allocsOnly, timing metrics (ns/op,
 // wall_seconds) are compared advisory and only the deterministic
-// allocation metrics can regress the build.
-func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly bool) (bool, error) {
+// allocation metrics can regress the build. With advisory, every metric
+// is advisory: overruns are labeled but nothing regresses the build.
+func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly, advisory bool) (bool, error) {
+	timingAdvisory := allocsOnly || advisory
 	var radioBase radioBenchReport
 	if err := loadJSON(baseRadio, &radioBase); err != nil {
 		return false, fmt.Errorf("radio baseline: %w", err)
@@ -121,27 +124,38 @@ func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly bool) 
 			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", baseRadio, probe.name)
 		}
 		r := testing.Benchmark(probe.bench)
-		if compareProbe(probe.name, "ns/op", base.NsPerOp, float64(r.NsPerOp()), tol, 1, allocsOnly) {
+		if compareProbe(probe.name, "ns/op", base.NsPerOp, float64(r.NsPerOp()), tol, 1, timingAdvisory) {
 			regressed = true
 		}
-		if compareProbe(probe.name, "allocs/op", float64(base.AllocsPerOp), float64(r.AllocsPerOp()), tol, 1, false) {
+		if compareProbe(probe.name, "allocs/op", float64(base.AllocsPerOp), float64(r.AllocsPerOp()), tol, 1, advisory) {
 			regressed = true
 		}
 	}
 
-	// Scale probes: two mid-size cells of the grid, rebuilt with the
-	// baseline's durations so sim workload matches exactly.
+	// Scale probes: two mid-size cells of the grid, sequential and
+	// sharded, rebuilt with the baseline's durations so sim workload
+	// matches exactly. The sharded probe exercises the parallel
+	// scheduler's cores axis. Its simulation allocations replay exactly
+	// like the sequential ones; goroutine scheduling adds runtime
+	// bookkeeping jitter of order 1e-4 allocs/event, absorbed many times
+	// over by the 0.05 absolute slack, so allocations still gate hard.
 	fmt.Printf("scale probes vs %s (tolerance %.0f%%):\n", baseScale, tol*100)
 	for _, cell := range []struct {
-		n    int
-		loss float64
-	}{{500, 0}, {500, 0.1}} {
+		n      int
+		loss   float64
+		shards int
+	}{{500, 0, 1}, {500, 0.1, 1}, {500, 0.1, 4}} {
 		name := fmt.Sprintf("scale/n=%d/loss=%g", cell.n, cell.loss)
+		if cell.shards > 1 {
+			name += fmt.Sprintf("/shards=%d", cell.shards)
+		}
 		base, ok := scaleByName[name]
 		if !ok {
 			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", baseScale, name)
 		}
-		e, err := runScaleCell(scaleScenario(cell.n, cell.loss, scaleBase.Quick))
+		s := scaleScenario(cell.n, cell.loss, scaleBase.Quick)
+		s.Shards = cell.shards
+		e, err := runScaleCell(s)
 		if err != nil {
 			return false, err
 		}
@@ -149,17 +163,20 @@ func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly bool) 
 			return false, fmt.Errorf("%s: event count diverged from baseline (%d vs %d); the workload changed — regenerate %s",
 				name, e.Events, base.Events, baseScale)
 		}
-		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol, 1, allocsOnly) {
+		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol, 1, timingAdvisory) {
 			regressed = true
 		}
-		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol, 0.05, false) {
+		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol, 0.05, advisory) {
 			regressed = true
 		}
 	}
 
-	if regressed {
+	switch {
+	case regressed && advisory:
+		fmt.Println("ADVISORY: bench-compare regressed (see limits above) — advisory run, not failing the build")
+	case regressed:
 		fmt.Println("bench-compare: REGRESSED (see limits above; override with -tolerance or regenerate baselines)")
-	} else {
+	default:
 		fmt.Println("bench-compare: ok")
 	}
 	return regressed, nil

@@ -8,6 +8,12 @@ package main
 // cell records wall clock, scheduler throughput (events/sec), allocation
 // pressure (allocs/event) and the headline protocol metrics, so both
 // performance and behavior are tracked across commits.
+//
+// Every cell also runs under the sharded parallel scheduler (DESIGN.md
+// section 13) with 2 and 4 shards, recording per-cell scaling
+// efficiency. The sharded runs must execute exactly the same event
+// multiset as the sequential reference — the suite fails if the event
+// counts diverge — so the speedup summary keys compare identical work.
 
 import (
 	"encoding/json"
@@ -21,10 +27,12 @@ import (
 )
 
 type scaleEntry struct {
-	// Name is "scale/n=<nodes>/loss=<loss>".
+	// Name is "scale/n=<nodes>/loss=<loss>" for the sequential
+	// reference, with a "/shards=<k>" suffix for sharded runs.
 	Name           string  `json:"name"`
 	Nodes          int     `json:"nodes"`
 	Loss           float64 `json:"loss"`
+	Shards         int     `json:"shards"`
 	SimSeconds     float64 `json:"sim_seconds"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	Events         uint64  `json:"events"`
@@ -37,9 +45,12 @@ type scaleEntry struct {
 }
 
 type scaleBenchReport struct {
-	Go      string       `json:"go"`
-	GOOS    string       `json:"goos"`
-	GOARCH  string       `json:"goarch"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Cores is the GOMAXPROCS the suite ran under; sharded-run speedups
+	// are only meaningful with at least as many cores as shards.
+	Cores   int          `json:"cores"`
 	Quick   bool         `json:"quick"`
 	Results []scaleEntry `json:"results"`
 	// Summary holds the headline numbers the regression gate tracks.
@@ -81,10 +92,18 @@ func runScaleCell(s precinct.Scenario) (scaleEntry, error) {
 	if err != nil {
 		return scaleEntry{}, err
 	}
+	name := fmt.Sprintf("scale/n=%d/loss=%g", s.Nodes, s.LossRate)
+	shards := s.Shards
+	if shards > 1 {
+		name += fmt.Sprintf("/shards=%d", shards)
+	} else {
+		shards = 1
+	}
 	e := scaleEntry{
-		Name:         fmt.Sprintf("scale/n=%d/loss=%g", s.Nodes, s.LossRate),
+		Name:         name,
 		Nodes:        s.Nodes,
 		Loss:         s.LossRate,
+		Shards:       shards,
 		SimSeconds:   s.Duration,
 		WallSeconds:  wall.Seconds(),
 		Events:       stats.Events,
@@ -107,6 +126,7 @@ func writeScaleBench(path string, quick bool) error {
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
+		Cores:   runtime.GOMAXPROCS(0),
 		Quick:   quick,
 		Summary: map[string]float64{},
 	}
@@ -116,29 +136,65 @@ func writeScaleBench(path string, quick bool) error {
 		nodes = []int{250, 500}
 		losses = []float64{0, 0.1}
 	}
+	shardCounts := []int{1, 2, 4}
 
-	fmt.Println("scale tier, end-to-end runs:")
+	fmt.Printf("scale tier, end-to-end runs (%d cores):\n", rep.Cores)
 	for _, n := range nodes {
 		for _, loss := range losses {
-			s := scaleScenario(n, loss, quick)
-			e, err := runScaleCell(s)
-			if err != nil {
-				return fmt.Errorf("%s: %w", s.Name, err)
-			}
-			rep.Results = append(rep.Results, e)
-			fmt.Printf("  %-24s %8.2fs wall %10.0f ev/s %6.1f allocs/ev  hit %.3f  p95 %.3fs\n",
-				e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent,
-				e.ByteHitRatio, e.P95Latency)
-			if e.Requests == 0 {
-				return fmt.Errorf("%s: no requests issued", s.Name)
+			var seq scaleEntry
+			for _, shards := range shardCounts {
+				s := scaleScenario(n, loss, quick)
+				s.Shards = shards
+				e, err := runScaleCell(s)
+				if err != nil {
+					return fmt.Errorf("%s: %w", s.Name, err)
+				}
+				rep.Results = append(rep.Results, e)
+				fmt.Printf("  %-34s %8.2fs wall %10.0f ev/s %6.1f allocs/ev  hit %.3f  p95 %.3fs\n",
+					e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent,
+					e.ByteHitRatio, e.P95Latency)
+				if e.Requests == 0 {
+					return fmt.Errorf("%s: no requests issued", s.Name)
+				}
+				if shards == 1 {
+					seq = e
+					continue
+				}
+				// The sharded scheduler is report-identical to the
+				// sequential reference; a diverging event count means the
+				// two modes did different work and every speedup number
+				// below would be meaningless.
+				if e.Events != seq.Events {
+					return fmt.Errorf("%s: executed %d events, sequential reference executed %d",
+						e.Name, e.Events, seq.Events)
+				}
 			}
 		}
 	}
 
 	for _, e := range rep.Results {
 		key := fmt.Sprintf("n%d_loss%g", e.Nodes, e.Loss)
+		if e.Shards > 1 {
+			key += fmt.Sprintf("_shards%d", e.Shards)
+		}
 		rep.Summary[key+"_events_per_sec"] = e.EventsPerSec
 		rep.Summary[key+"_allocs_per_event"] = e.AllocsPerEvent
+	}
+	// Per-cell scaling efficiency: wall-clock speedup of each sharded run
+	// over the sequential reference of the same cell.
+	seqWall := map[string]float64{}
+	for _, e := range rep.Results {
+		if e.Shards == 1 {
+			seqWall[fmt.Sprintf("n%d_loss%g", e.Nodes, e.Loss)] = e.WallSeconds
+		}
+	}
+	for _, e := range rep.Results {
+		if e.Shards > 1 {
+			cell := fmt.Sprintf("n%d_loss%g", e.Nodes, e.Loss)
+			if base := seqWall[cell]; base > 0 && e.WallSeconds > 0 {
+				rep.Summary[fmt.Sprintf("%s_shards%d_speedup", cell, e.Shards)] = base / e.WallSeconds
+			}
+		}
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

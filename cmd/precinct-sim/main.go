@@ -99,6 +99,7 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "dynamic region management")
 	warmup := flag.Float64("warmup", def.Warmup, "warmup time in s (excluded from metrics)")
 	duration := flag.Float64("duration", def.Duration, "total simulated time in s")
+	shards := flag.Int("shards", def.Shards, "run the event loop sharded over this many goroutines (0 or 1 = sequential)")
 	churn := flag.Float64("churn", 0, "mean seconds between churn departures (0 disables)")
 	churnDown := flag.Float64("churn-downtime", 60, "seconds a churned peer stays away")
 	churnGraceful := flag.Float64("churn-graceful", 0.8, "fraction of graceful departures")
@@ -154,6 +155,7 @@ func main() {
 		"adaptive":         func() { s.AdaptiveRegions = *adaptive },
 		"warmup":           func() { s.Warmup = *warmup },
 		"duration":         func() { s.Duration = *duration },
+		"shards":           func() { s.Shards = *shards },
 		"churn":            func() { s.ChurnInterval = *churn },
 		"churn-downtime":   func() { s.ChurnDowntime = *churnDown },
 		"churn-graceful":   func() { s.ChurnGraceful = *churnGraceful },

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 
 	"precinct/internal/energy"
@@ -44,7 +45,11 @@ func main() {
 	check(err)
 	meter, err := energy.NewMeter(nodes, energy.DefaultModel())
 	check(err)
-	ch, err := radio.New(radio.DefaultConfig(), sched, mob, meter, rng.Stream("loss"))
+	loss := make([]*rand.Rand, nodes)
+	for i := range loss {
+		loss[i] = rng.Stream(fmt.Sprintf("loss/%d", i))
+	}
+	ch, err := radio.New(radio.DefaultConfig(), sched, mob, meter, loss)
 	check(err)
 	table, err := region.NewGrid(area, 3, 3)
 	check(err)

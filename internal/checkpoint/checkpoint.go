@@ -39,7 +39,12 @@ const Magic = "PRCNCKPT"
 // Version is the current snapshot format version. Any change to a
 // section's schema (field added, removed, reordered, re-typed) must bump
 // this; Decode rejects versions it does not know rather than guessing.
-const Version = 1
+//
+// Version 2: the energy section stores integer (bytes, messages)
+// accumulator cells instead of precomputed floats, scheduler processes
+// carry their creator for canonical-key-faithful re-arming, and
+// message-ID counters moved from the network section into each peer.
+const Version = 2
 
 // sectionNames is the canonical section order. Decode enforces it
 // exactly: a reordered or renamed section means the file was not written

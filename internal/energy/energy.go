@@ -126,14 +126,22 @@ func (m Model) Cost(c Class, size int) float64 {
 	}
 }
 
+// acc is one (node, class) accumulator cell. The meter stores integer
+// observations — total bytes and message count — and derives every
+// energy figure from them on demand, so accumulation commutes exactly:
+// merging per-shard meters is integer addition and reproduces a single
+// meter's floats bit-for-bit regardless of charge order.
+type acc struct {
+	sizeSum int64
+	count   uint64
+}
+
 // Meter accumulates energy spent by a set of nodes, broken down by traffic
-// class. It is not safe for concurrent use; each simulation run owns one.
+// class. It is not safe for concurrent use; each simulation run owns one
+// (sharded runs own one per shard and Merge them).
 type Meter struct {
-	model    Model
-	perNode  []float64
-	perClass [numClasses]float64
-	messages [numClasses]uint64
-	total    float64
+	model Model
+	cells []acc // node-major: cells[node*numClasses + class]
 }
 
 // NewMeter returns a meter for n nodes using the given model.
@@ -144,51 +152,116 @@ func NewMeter(n int, model Model) (*Meter, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &Meter{model: model, perNode: make([]float64, n)}, nil
+	return &Meter{model: model, cells: make([]acc, n*int(numClasses))}, nil
 }
 
 // Model returns the meter's coefficient set.
 func (mt *Meter) Model() Model { return mt.model }
 
+// linear returns the model coefficients for a class.
+func (m Model) linear(c Class) Linear {
+	switch c {
+	case BroadcastSend:
+		return m.BroadcastSend
+	case BroadcastRecv:
+		return m.BroadcastRecv
+	case P2PSend:
+		return m.P2PSend
+	case P2PRecv:
+		return m.P2PRecv
+	case Discard:
+		return m.Discard
+	default:
+		panic(fmt.Sprintf("energy: unknown class %d", int(c)))
+	}
+}
+
 // Charge records one message of the given class and size against node id
 // and returns the energy charged.
 func (mt *Meter) Charge(node int, c Class, size int) float64 {
-	cost := mt.model.Cost(c, size)
-	mt.perNode[node] += cost
-	mt.perClass[c] += cost
-	mt.messages[c]++
-	mt.total += cost
-	return cost
+	cell := &mt.cells[node*int(numClasses)+int(c)]
+	cell.sizeSum += int64(size)
+	cell.count++
+	return mt.model.Cost(c, size)
 }
 
+// cellCost evaluates one (node, class) cell: M*Σsize + B*count.
+func (mt *Meter) cellCost(node int, c Class) float64 {
+	cell := mt.cells[node*int(numClasses)+int(c)]
+	l := mt.model.linear(c)
+	return l.M*float64(cell.sizeSum) + l.B*float64(cell.count)
+}
+
+// nodes returns the meter's node count.
+func (mt *Meter) nodes() int { return len(mt.cells) / int(numClasses) }
+
 // Total returns the network-wide energy spent, in mJ.
-func (mt *Meter) Total() float64 { return mt.total }
+func (mt *Meter) Total() float64 {
+	var total float64
+	for id := 0; id < mt.nodes(); id++ {
+		total += mt.Node(id)
+	}
+	return total
+}
 
 // Node returns the energy spent by one node, in mJ.
-func (mt *Meter) Node(id int) float64 { return mt.perNode[id] }
+func (mt *Meter) Node(id int) float64 {
+	var total float64
+	for c := Class(0); c < numClasses; c++ {
+		total += mt.cellCost(id, c)
+	}
+	return total
+}
 
 // ByClass returns the energy spent in one traffic class, in mJ.
-func (mt *Meter) ByClass(c Class) float64 { return mt.perClass[c] }
+func (mt *Meter) ByClass(c Class) float64 {
+	var total float64
+	for id := 0; id < mt.nodes(); id++ {
+		total += mt.cellCost(id, c)
+	}
+	return total
+}
 
 // Messages returns the number of messages charged in one traffic class.
-func (mt *Meter) Messages(c Class) uint64 { return mt.messages[c] }
+func (mt *Meter) Messages(c Class) uint64 {
+	var total uint64
+	for id := 0; id < mt.nodes(); id++ {
+		total += mt.cells[id*int(numClasses)+int(c)].count
+	}
+	return total
+}
 
-// State is the serializable accumulator state of a Meter. The model is
-// configuration and is not part of the snapshot.
+// Merge folds another meter's observations into this one. Both meters
+// must describe the same node set and model; sharded runs merge their
+// per-shard meters at the end of a run.
+func (mt *Meter) Merge(o *Meter) error {
+	if len(o.cells) != len(mt.cells) {
+		return fmt.Errorf("energy: merging meter with %d cells into %d", len(o.cells), len(mt.cells))
+	}
+	for i := range mt.cells {
+		mt.cells[i].sizeSum += o.cells[i].sizeSum
+		mt.cells[i].count += o.cells[i].count
+	}
+	return nil
+}
+
+// State is the serializable accumulator state of a Meter: the integer
+// (bytes, messages) observations per node and class, node-major. The
+// model is configuration and is not part of the snapshot.
 type State struct {
-	PerNode  []float64
-	PerClass []float64
-	Messages []uint64
-	Total    float64
+	SizeSums []int64
+	Counts   []uint64
 }
 
 // StateSnapshot captures the meter's accumulators.
 func (mt *Meter) StateSnapshot() State {
 	st := State{
-		PerNode:  append([]float64(nil), mt.perNode...),
-		PerClass: append([]float64(nil), mt.perClass[:]...),
-		Messages: append([]uint64(nil), mt.messages[:]...),
-		Total:    mt.total,
+		SizeSums: make([]int64, len(mt.cells)),
+		Counts:   make([]uint64, len(mt.cells)),
+	}
+	for i, cell := range mt.cells {
+		st.SizeSums[i] = cell.sizeSum
+		st.Counts[i] = cell.count
 	}
 	return st
 }
@@ -196,26 +269,19 @@ func (mt *Meter) StateSnapshot() State {
 // RestoreState overwrites the accumulators from a snapshot, validating
 // that the node count and class layout match this meter's configuration.
 func (mt *Meter) RestoreState(st State) error {
-	if len(st.PerNode) != len(mt.perNode) {
-		return fmt.Errorf("energy: snapshot has %d nodes, meter has %d", len(st.PerNode), len(mt.perNode))
+	if len(st.SizeSums) != len(mt.cells) || len(st.Counts) != len(mt.cells) {
+		return fmt.Errorf("energy: snapshot has %d/%d cells, meter has %d",
+			len(st.SizeSums), len(st.Counts), len(mt.cells))
 	}
-	if len(st.PerClass) != int(numClasses) || len(st.Messages) != int(numClasses) {
-		return fmt.Errorf("energy: snapshot has %d/%d class buckets, want %d",
-			len(st.PerClass), len(st.Messages), int(numClasses))
+	for i := range mt.cells {
+		mt.cells[i] = acc{sizeSum: st.SizeSums[i], count: st.Counts[i]}
 	}
-	copy(mt.perNode, st.PerNode)
-	copy(mt.perClass[:], st.PerClass)
-	copy(mt.messages[:], st.Messages)
-	mt.total = st.Total
 	return nil
 }
 
 // Reset zeroes all accumulators; the model and node count are kept.
 func (mt *Meter) Reset() {
-	for i := range mt.perNode {
-		mt.perNode[i] = 0
+	for i := range mt.cells {
+		mt.cells[i] = acc{}
 	}
-	mt.perClass = [numClasses]float64{}
-	mt.messages = [numClasses]uint64{}
-	mt.total = 0
 }

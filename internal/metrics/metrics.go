@@ -48,12 +48,18 @@ func (h HitClass) String() string {
 }
 
 // Collector accumulates one run's observations. Not safe for concurrent
-// use; one simulation run owns one collector.
+// use; one simulation run owns one collector (sharded runs own one per
+// shard and Merge them).
+//
+// Every accumulator is either an integer sum or a sample multiset whose
+// digests are computed over a sorted copy, so the observations commute:
+// merging per-shard collectors yields bit-identical reports to a single
+// collector that saw the same observations in any order.
 type Collector struct {
-	latencies     []float64
-	latSumByClass [numClasses]float64
-	byClass       [numClasses]uint64
-	staleByClass  [numClasses]uint64
+	latencies    []float64
+	latClasses   []uint8 // serving class of latencies[i]
+	byClass      [numClasses]uint64
+	staleByClass [numClasses]uint64
 
 	bytesRequested int64
 	bytesFromCache int64 // served from local or regional caches
@@ -83,6 +89,9 @@ func (c *Collector) Reserve(n int) {
 	grown := make([]float64, len(c.latencies), n)
 	copy(grown, c.latencies)
 	c.latencies = grown
+	grownCls := make([]uint8, len(c.latClasses), n)
+	copy(grownCls, c.latClasses)
+	c.latClasses = grownCls
 }
 
 // Request records a completed (or failed) request.
@@ -98,7 +107,7 @@ func (c *Collector) Request(latency float64, size int, class HitClass, stale boo
 		return
 	}
 	c.latencies = append(c.latencies, latency)
-	c.latSumByClass[class] += latency
+	c.latClasses = append(c.latClasses, uint8(class))
 	if class == LocalHit || class == RegionalHit {
 		c.bytesFromCache += int64(size)
 	}
@@ -148,10 +157,10 @@ func (c *Collector) Completed() uint64 {
 // with the fixed-size per-class arrays flattened to slices so the layout
 // is explicit in the serialized form.
 type State struct {
-	Latencies     []float64
-	LatSumByClass []float64
-	ByClass       []uint64
-	StaleByClass  []uint64
+	Latencies    []float64
+	LatClasses   []uint8
+	ByClass      []uint64
+	StaleByClass []uint64
 
 	BytesRequested int64
 	BytesFromCache int64
@@ -171,7 +180,7 @@ type State struct {
 func (c *Collector) StateSnapshot() State {
 	return State{
 		Latencies:           append([]float64(nil), c.latencies...),
-		LatSumByClass:       append([]float64(nil), c.latSumByClass[:]...),
+		LatClasses:          append([]uint8(nil), c.latClasses...),
 		ByClass:             append([]uint64(nil), c.byClass[:]...),
 		StaleByClass:        append([]uint64(nil), c.staleByClass[:]...),
 		BytesRequested:      c.bytesRequested,
@@ -189,13 +198,21 @@ func (c *Collector) StateSnapshot() State {
 // RestoreState overwrites the accumulators from a snapshot, validating
 // that the per-class layout matches this build's class set.
 func (c *Collector) RestoreState(st State) error {
-	if len(st.LatSumByClass) != int(numClasses) || len(st.ByClass) != int(numClasses) ||
-		len(st.StaleByClass) != int(numClasses) {
-		return fmt.Errorf("metrics: snapshot has %d/%d/%d class buckets, want %d",
-			len(st.LatSumByClass), len(st.ByClass), len(st.StaleByClass), int(numClasses))
+	if len(st.ByClass) != int(numClasses) || len(st.StaleByClass) != int(numClasses) {
+		return fmt.Errorf("metrics: snapshot has %d/%d class buckets, want %d",
+			len(st.ByClass), len(st.StaleByClass), int(numClasses))
+	}
+	if len(st.LatClasses) != len(st.Latencies) {
+		return fmt.Errorf("metrics: snapshot has %d latency classes for %d samples",
+			len(st.LatClasses), len(st.Latencies))
+	}
+	for _, cl := range st.LatClasses {
+		if cl >= uint8(numClasses) || HitClass(cl) == Failure {
+			return fmt.Errorf("metrics: snapshot latency sample carries class %d", cl)
+		}
 	}
 	c.latencies = append([]float64(nil), st.Latencies...)
-	copy(c.latSumByClass[:], st.LatSumByClass)
+	c.latClasses = append([]uint8(nil), st.LatClasses...)
 	copy(c.byClass[:], st.ByClass)
 	copy(c.staleByClass[:], st.StaleByClass)
 	c.bytesRequested = st.BytesRequested
@@ -257,12 +274,31 @@ func (c *Collector) Snapshot() Report {
 	r.Requests = r.Completed + r.Failures
 	r.StaleByClass = make(map[string]uint64, int(numClasses))
 	r.MeanLatencyByClass = make(map[string]float64, int(numClasses))
+	// Per-class means are computed over a sorted copy of each class's
+	// samples, so the result is independent of observation order (and
+	// therefore of how a sharded run partitioned the requests).
+	var classBuf []float64
 	for cl := HitClass(0); cl < numClasses; cl++ {
 		r.ByClass[cl.String()] = c.byClass[cl]
 		r.StaleByClass[cl.String()] = c.staleByClass[cl]
-		if cl != Failure && c.byClass[cl] > 0 {
-			r.MeanLatencyByClass[cl.String()] = c.latSumByClass[cl] / float64(c.byClass[cl])
+		if cl == Failure || c.byClass[cl] == 0 {
+			continue
 		}
+		classBuf = classBuf[:0]
+		for i, lcl := range c.latClasses {
+			if HitClass(lcl) == cl {
+				classBuf = append(classBuf, c.latencies[i])
+			}
+		}
+		if len(classBuf) == 0 {
+			continue
+		}
+		sort.Float64s(classBuf)
+		var sum float64
+		for _, l := range classBuf {
+			sum += l
+		}
+		r.MeanLatencyByClass[cl.String()] = sum / float64(c.byClass[cl])
 	}
 	if len(c.latencies) > 0 {
 		sorted := make([]float64, len(c.latencies))
@@ -284,6 +320,28 @@ func (c *Collector) Snapshot() Report {
 		r.FalseHitRatio = float64(c.staleHits) / float64(served)
 	}
 	return r
+}
+
+// Merge folds another collector's observations into this one. Because
+// every accumulator is an integer sum or an order-insensitive sample
+// multiset, merging per-shard collectors in any order produces the same
+// Snapshot as a single collector that recorded everything.
+func (c *Collector) Merge(o *Collector) {
+	c.latencies = append(c.latencies, o.latencies...)
+	c.latClasses = append(c.latClasses, o.latClasses...)
+	for cl := HitClass(0); cl < numClasses; cl++ {
+		c.byClass[cl] += o.byClass[cl]
+		c.staleByClass[cl] += o.staleByClass[cl]
+	}
+	c.bytesRequested += o.bytesRequested
+	c.bytesFromCache += o.bytesFromCache
+	c.controlMessages += o.controlMessages
+	c.searchMessages += o.searchMessages
+	c.maintenanceMessages += o.maintenanceMessages
+	c.validHits += o.validHits
+	c.staleHits += o.staleHits
+	c.updatesIssued += o.updatesIssued
+	c.pollsIssued += o.pollsIssued
 }
 
 // percentile interpolates the p-quantile of a sorted sample.

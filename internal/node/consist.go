@@ -38,7 +38,7 @@ func (n *Network) UpdateFrom(origin radio.NodeID, k workload.Key) {
 		// Flood the update (which doubles as the invalidation) through
 		// the entire network.
 		m := n.newMsg(message{
-			Kind: kindInvalidate, ID: n.newID(), FloodID: n.newID(), Key: k,
+			Kind: kindInvalidate, ID: p.newID(), FloodID: p.newID(), Key: k,
 			Origin: origin, OriginPos: n.ch.Position(origin), OriginRegion: p.regionID,
 			Version: newVersion, TTL: n.cfg.NetworkTTL,
 			Size: n.catalog.Size(k),
@@ -75,7 +75,7 @@ func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, ho
 		return
 	}
 	m := n.newMsg(message{
-		Kind: kindUpdateRoute, ID: n.newID(), Key: k,
+		Kind: kindUpdateRoute, ID: p.newID(), Key: k,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
 		TargetRegion: regionID, TargetPos: center,
 		Version: version, Size: n.catalog.Size(k),
@@ -84,7 +84,7 @@ func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, ho
 		// Already inside the target region: flood directly.
 		m.Kind = kindUpdateFlood
 		m.TTL = n.cfg.RegionTTL
-		m.FloodID = n.newID()
+		m.FloodID = p.newID()
 		p.markSeen(m.FloodID)
 		n.broadcast(p.id, m)
 		return
@@ -99,7 +99,7 @@ func (p *Peer) onUpdateRoute(m *message) {
 		// Rewrite the routed update into the localized flood in place.
 		m.Kind = kindUpdateFlood
 		m.TTL = p.net.cfg.RegionTTL
-		m.FloodID = p.net.newID()
+		m.FloodID = p.newID()
 		p.markSeen(m.FloodID)
 		p.applyUpdateMessage(m)
 		p.net.broadcast(p.id, m)
@@ -226,7 +226,7 @@ func (n *Network) sendPoll(p *Peer, req *pendingReq) bool {
 		// The home region is the local region: flood the poll locally.
 		m.Kind = kindPollFlood
 		m.TTL = n.cfg.RegionTTL
-		m.FloodID = n.newID()
+		m.FloodID = p.newID()
 		p.markSeen(m.FloodID)
 		n.broadcast(p.id, m)
 		return true
@@ -244,7 +244,7 @@ func (p *Peer) onPollRoute(m *message) {
 		// Rewrite the routed poll into the localized flood in place.
 		m.Kind = kindPollFlood
 		m.TTL = p.net.cfg.RegionTTL
-		m.FloodID = p.net.newID()
+		m.FloodID = p.newID()
 		p.markSeen(m.FloodID)
 		if p.answerPoll(m) {
 			p.net.releaseMsg(m)
@@ -312,7 +312,7 @@ func (p *Peer) onPollReply(m *message) {
 		return
 	}
 	n := p.net
-	req, ok := n.pending[m.ID]
+	req, ok := p.pending[m.ID]
 	if !ok {
 		n.releaseMsg(m)
 		return

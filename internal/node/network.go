@@ -82,11 +82,34 @@ type Network struct {
 	// network-wide update rather than instantaneously.
 	tables   []*region.Table
 	truth    []uint64 // authoritative version per key (ground truth for FHR)
-	pending  map[uint64]*pendingReq
-	nextID   uint64
 	stats    Stats
 	adaptive AdaptiveStats
 	started  bool
+
+	// clones lists every shard's Network replica (index = shard) in a
+	// sharded run; nil in sequential runs. The replicas share peers,
+	// tables, truth and the catalog, and each owns its scheduler,
+	// channel, collector, meter, router, message pool and counters.
+	// Every peer's net field binds it to its owner shard's replica.
+	clones []*Network
+	shard  int32
+}
+
+// Add returns the field-wise sum of two protocol counter snapshots;
+// sharded runs use it to merge per-shard replicas into the sequential
+// run's totals.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Handoffs:        s.Handoffs + o.Handoffs,
+		LostKeys:        s.LostKeys + o.LostKeys,
+		StrandedKeys:    s.StrandedKeys + o.StrandedKeys,
+		HomelessKeys:    s.HomelessKeys + o.HomelessKeys,
+		Relocations:     s.Relocations + o.Relocations,
+		RoutingFailures: s.RoutingFailures + o.RoutingFailures,
+		LostUpdates:     s.LostUpdates + o.LostUpdates,
+		PollsAnswered:   s.PollsAnswered + o.PollsAnswered,
+		UpdatesApplied:  s.UpdatesApplied + o.UpdatesApplied,
+	}
 }
 
 // New builds the network: peers, initial key placement at home regions
@@ -115,18 +138,18 @@ func New(opts Options) (*Network, error) {
 		tracer:  opts.Tracer,
 		probe:   opts.Probe,
 		truth:   make([]uint64, opts.Catalog.Len()),
-		pending: make(map[uint64]*pendingReq),
 	}
 	n.tables = []*region.Table{opts.Regions}
 	n.peers = make([]*Peer, n.ch.N())
 	for i := range n.peers {
 		p := &Peer{
-			id:    radio.NodeID(i),
-			net:   n,
-			store: cache.NewStore(),
-			alive: true,
-			seen:  make(map[uint64]float64),
-			rng:   n.rng.Stream(fmt.Sprintf("peer/%d", i)),
+			id:      radio.NodeID(i),
+			net:     n,
+			store:   cache.NewStore(),
+			alive:   true,
+			seen:    make(map[uint64]float64),
+			pending: make(map[uint64]*pendingReq),
+			rng:     n.rng.Stream(fmt.Sprintf("peer/%d", i)),
 		}
 		if n.cfg.CacheBytes > 0 {
 			c, err := n.newCache()
@@ -175,8 +198,19 @@ func (n *Network) releaseMsg(m *message) { n.pool.unref(m) }
 // MsgPoolLive returns the number of pooled messages currently owned by
 // the run (0 under NoPooling). At a quiescent boundary it must equal the
 // number of stashed pendingReply messages — the lifecycle tests and the
-// poison mode hold the protocol to that.
-func (n *Network) MsgPoolLive() uint64 { return n.pool.live() }
+// poison mode hold the protocol to that. Boxes migrate between shard
+// replicas with their frames, so in a sharded run only the sum over all
+// replicas is meaningful.
+func (n *Network) MsgPoolLive() uint64 {
+	if n.clones == nil {
+		return n.pool.live()
+	}
+	var live uint64
+	for _, c := range n.clones {
+		live += c.pool.acquired - c.pool.released
+	}
+	return live
+}
 
 // handleDrop settles ownership of a transmitted frame that will never
 // reach handleFrame: unicast send-time loss, dead receiver, collision.
@@ -275,7 +309,13 @@ func (n *Network) Stats() Stats { return n.stats }
 // PendingRequests returns the number of requests still awaiting an answer
 // or a timeout. After the event queue drains it must be zero — every
 // request resolves to a hit, a failure, or a timeout chain ending in one.
-func (n *Network) PendingRequests() int { return len(n.pending) }
+func (n *Network) PendingRequests() int {
+	total := 0
+	for _, p := range n.peers {
+		total += len(p.pending)
+	}
+	return total
+}
 
 // Table returns the latest region table.
 func (n *Network) Table() *region.Table { return n.table }
@@ -293,12 +333,6 @@ func (n *Network) emit(e trace.Event) {
 		e.Time = n.sched.Now()
 		n.tracer.Emit(e)
 	}
-}
-
-// newID hands out a fresh message/flood identifier.
-func (n *Network) newID() uint64 {
-	n.nextID++
-	return n.nextID
 }
 
 // recording reports whether metrics should be recorded at the current
@@ -533,7 +567,7 @@ func (n *Network) handleFrame(to radio.NodeID, f radio.Frame) {
 func (n *Network) Run(duration float64) metrics.Report {
 	if !n.started {
 		n.started = true
-		n.startDrivers()
+		n.StartDrivers()
 		if n.cfg.Adaptive.Enabled {
 			n.startAdaptiveController()
 		}
@@ -555,13 +589,29 @@ func (n *Network) Report() metrics.Report {
 }
 
 // armMeterReset schedules the energy-meter reset at the warmup boundary.
+// The reset is network-global work: a sharded run executes it at a
+// barrier and zeroes every shard replica's meter.
 func (n *Network) armMeterReset(at float64) {
-	n.sched.AtProc(sim.Proc{Kind: procMeterReset, Owner: -1}, at, n.meter.Reset)
+	n.sched.AtProcAs(sim.Proc{Kind: procMeterReset, Owner: -1}, at, n.resetMeters, -1)
 }
 
-// startDrivers schedules each peer's request, update and mobility-check
-// loops.
-func (n *Network) startDrivers() {
+// resetMeters zeroes the energy meter — every shard replica's, in a
+// sharded run, since charges accumulate on the shard that spends them.
+func (n *Network) resetMeters() {
+	if n.clones == nil {
+		n.meter.Reset()
+		return
+	}
+	for _, c := range n.clones {
+		c.meter.Reset()
+	}
+}
+
+// StartDrivers schedules each peer's request, update and mobility-check
+// loops, in ascending peer order. The parallel runner calls it directly
+// (single-threaded, before the first window) so the canonical keys of
+// the initial events match the sequential run's exactly.
+func (n *Network) StartDrivers() {
 	for _, p := range n.peers {
 		p.scheduleMobilityCheck()
 		if n.gen == nil {
@@ -574,11 +624,23 @@ func (n *Network) startDrivers() {
 	}
 }
 
+// noteTopologyChange invalidates cached planarizations on every shard's
+// channel — liveness is shared state, so all replicas observe the change.
+func (n *Network) noteTopologyChange() {
+	if n.clones == nil {
+		n.ch.NoteTopologyChange()
+		return
+	}
+	for _, c := range n.clones {
+		c.ch.NoteTopologyChange()
+	}
+}
+
 // Crash kills a peer immediately: no handoff, its keys become unavailable
 // until a replica or relocation covers them.
 func (n *Network) Crash(id radio.NodeID) {
 	n.peers[id].alive = false
-	n.ch.NoteTopologyChange()
+	n.noteTopologyChange()
 	n.emit(trace.Event{Kind: trace.NodeCrashed, Node: int(id)})
 }
 
@@ -591,7 +653,7 @@ func (n *Network) Quit(id radio.NodeID) {
 	}
 	p.rehomeKeys(true)
 	p.alive = false
-	n.ch.NoteTopologyChange()
+	n.noteTopologyChange()
 	n.emit(trace.Event{Kind: trace.NodeQuit, Node: int(id)})
 }
 
@@ -602,7 +664,7 @@ func (n *Network) Revive(id radio.NodeID) {
 		return
 	}
 	p.alive = true
-	n.ch.NoteTopologyChange()
+	n.noteTopologyChange()
 	p.store = cache.NewStore()
 	if p.cache != nil {
 		c, err := n.newCache()
@@ -691,7 +753,7 @@ func (n *Network) publishTable(next *region.Table, near region.ID) {
 	}
 	n.applyTable(initiator, idx)
 	m := n.newMsg(message{
-		Kind: kindTableUpdate, ID: n.newID(), FloodID: n.newID(),
+		Kind: kindTableUpdate, ID: initiator.newID(), FloodID: initiator.newID(),
 		Origin: initiator.id, OriginPos: n.ch.Position(initiator.id),
 		TTL: n.cfg.NetworkTTL, TableIdx: idx,
 	})

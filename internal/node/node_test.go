@@ -1,6 +1,8 @@
 package node
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"precinct/internal/consistency"
@@ -78,7 +80,11 @@ func build(t *testing.T, o harnessOpts) *harness {
 	}
 	radioCfg := radio.DefaultConfig()
 	radioCfg.LossRate = o.loss
-	ch, err := radio.New(radioCfg, sched, mob, meter, rng.Stream("loss"))
+	loss := make([]*rand.Rand, o.nodes)
+	for i := range loss {
+		loss[i] = rng.Stream(fmt.Sprintf("loss/%d", i))
+	}
+	ch, err := radio.New(radioCfg, sched, mob, meter, loss)
 	if err != nil {
 		t.Fatal(err)
 	}

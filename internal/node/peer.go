@@ -45,7 +45,27 @@ type Peer struct {
 	seen      map[uint64]float64
 	nextPrune float64
 	rng       *rand.Rand
+
+	// pending holds this peer's outstanding requests by ID. Requester
+	// state lives with the requester (not the network) so a sharded run
+	// touches it only on the peer's own shard.
+	pending map[uint64]*pendingReq
+	// nextID feeds newID; per-peer so ID assignment is independent of
+	// cross-peer event interleaving.
+	nextID uint64
 }
+
+// newID hands out a fresh message/flood/request identifier, unique
+// network-wide: the peer index tags the top bits, a per-peer counter the
+// low 40. Each peer draws only from its own sequence, so a sharded run
+// hands out exactly the IDs the sequential run does.
+func (p *Peer) newID() uint64 {
+	p.nextID++
+	return uint64(p.id+1)<<40 | p.nextID
+}
+
+// reqOrigin decodes the issuing peer from a request ID.
+func reqOrigin(id uint64) int { return int(id>>40) - 1 }
 
 // seenRetention is how long flood IDs are remembered, in seconds. Flood
 // waves (TTL-bounded broadcasts plus retries) die out well within this.
@@ -142,16 +162,18 @@ func (p *Peer) scheduleNextRequest() {
 	p.armRequest(p.net.sched.Now() + gap)
 }
 
-// armRequest registers the request event at an absolute time. Restore
-// calls this directly with the snapshot's recorded fire time.
+// armRequest registers the request event at an absolute time, pinned to
+// the peer's own execution context so a sharded run fires it on the
+// peer's shard. Restore calls this directly with the snapshot's recorded
+// fire time.
 func (p *Peer) armRequest(at float64) {
-	p.net.sched.AtProc(sim.Proc{Kind: procRequest, Owner: int(p.id)}, at, func() {
+	p.net.sched.AtProcAs(sim.Proc{Kind: procRequest, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			k := p.net.gen.PickKey(p.rng)
 			p.net.RequestFrom(p.id, k)
 		}
 		p.scheduleNextRequest()
-	})
+	}, int(p.id))
 }
 
 // scheduleNextUpdate arms the peer's Poisson update process.
@@ -160,15 +182,18 @@ func (p *Peer) scheduleNextUpdate() {
 	p.armUpdate(p.net.sched.Now() + gap)
 }
 
-// armUpdate registers the update event at an absolute time.
+// armUpdate registers the update event at an absolute time. Updates are
+// network-global work (execAs -1): an update bumps the shared ground
+// truth, so a sharded run executes it at a barrier while every shard
+// worker is parked.
 func (p *Peer) armUpdate(at float64) {
-	p.net.sched.AtProc(sim.Proc{Kind: procUpdate, Owner: int(p.id)}, at, func() {
+	p.net.sched.AtProcAs(sim.Proc{Kind: procUpdate, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			k := p.net.gen.PickUpdateKey(p.rng)
 			p.net.UpdateFrom(p.id, k)
 		}
 		p.scheduleNextUpdate()
-	})
+	}, -1)
 }
 
 // scheduleMobilityCheck arms the periodic inter-region mobility detector
@@ -177,14 +202,15 @@ func (p *Peer) scheduleMobilityCheck() {
 	p.armMobilityCheck(p.net.sched.Now() + p.net.cfg.MobilityCheckInterval)
 }
 
-// armMobilityCheck registers the mobility check at an absolute time.
+// armMobilityCheck registers the mobility check at an absolute time,
+// pinned to the peer's own execution context.
 func (p *Peer) armMobilityCheck(at float64) {
-	p.net.sched.AtProc(sim.Proc{Kind: procMobility, Owner: int(p.id)}, at, func() {
+	p.net.sched.AtProcAs(sim.Proc{Kind: procMobility, Owner: int(p.id)}, at, func() {
 		if p.alive {
 			p.checkMobility()
 		}
 		p.scheduleMobilityCheck()
-	})
+	}, int(p.id))
 }
 
 // checkMobility detects a region crossing and re-homes any stored keys
@@ -266,7 +292,7 @@ func (p *Peer) rehomeKeys(evacuate bool) {
 	for _, id := range order {
 		g := groups[id]
 		m := p.net.newMsg(message{
-			Kind: kindHandoff, ID: p.net.newID(),
+			Kind: kindHandoff, ID: p.newID(),
 			Origin: p.id, OriginPos: p.net.ch.Position(p.id),
 			TargetRegion: g.region, TargetPos: p.net.ch.Position(g.target.id),
 			TargetNode: g.target.id, HasTargetNode: true,

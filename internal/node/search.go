@@ -56,9 +56,9 @@ type pendingReq struct {
 // this, any in-flight request would block the quiescence a snapshot
 // needs, which in lossy networks can starve checkpointing entirely.
 func (n *Network) armReqTimeout(req *pendingReq, at float64) {
-	req.timeout = n.sched.AtProc(sim.Proc{Kind: procReqTimeout, Owner: int(req.id)}, at, func() {
+	req.timeout = n.sched.AtProcAs(sim.Proc{Kind: procReqTimeout, Owner: int(req.id)}, at, func() {
 		n.onTimeout(req.id)
-	})
+	}, int(req.origin))
 }
 
 // RequestFrom runs the full search process for key k issued by the given
@@ -71,7 +71,7 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 	now := n.sched.Now()
 	size := n.catalog.Size(k)
 	req := &pendingReq{
-		id:           n.newID(),
+		id:           p.newID(),
 		origin:       origin,
 		key:          k,
 		size:         size,
@@ -96,7 +96,7 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 				return
 			}
 			// Stale-suspect copy: validate with the home region.
-			n.pending[req.id] = req
+			p.pending[req.id] = req
 			req.phase = phasePoll
 			req.cachedVersion = e.Version
 			if n.sendPoll(p, req) {
@@ -104,11 +104,11 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 				return
 			}
 			// No route to the home region: fall through to a search.
-			delete(n.pending, req.id)
+			delete(p.pending, req.id)
 		}
 	}
 
-	n.pending[req.id] = req
+	p.pending[req.id] = req
 	switch n.cfg.Retrieval {
 	case PReCinCt:
 		// Without cooperative caching there is nothing to find in the
@@ -210,7 +210,7 @@ func (n *Network) floodSearch(p *Peer, req *pendingReq, ttl int) {
 	m := n.newMsg(message{
 		Kind: kindSearchFlood, ID: req.id, Key: req.key,
 		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
-		TTL: ttl, FloodID: n.newID(),
+		TTL: ttl, FloodID: p.newID(),
 	})
 	p.markSeen(m.FloodID)
 	n.broadcast(p.id, m)
@@ -218,11 +218,11 @@ func (n *Network) floodSearch(p *Peer, req *pendingReq, ttl int) {
 
 // onTimeout advances a pending request to its next phase, or fails it.
 func (n *Network) onTimeout(id uint64) {
-	req, ok := n.pending[id]
+	p := n.peers[reqOrigin(id)]
+	req, ok := p.pending[id]
 	if !ok {
 		return
 	}
-	p := n.peers[req.origin]
 	if !p.alive {
 		n.fail(req)
 		return
@@ -280,7 +280,7 @@ func (n *Network) onTimeout(id uint64) {
 
 // fail closes a request unanswered.
 func (n *Network) fail(req *pendingReq) {
-	delete(n.pending, req.id)
+	delete(n.peers[req.origin].pending, req.id)
 	if req.pendingReply != nil {
 		// A stashed answer dies with the request (dead-origin timeout).
 		n.releaseMsg(req.pendingReply)
@@ -297,7 +297,7 @@ func (n *Network) finish(req *pendingReq, class metrics.HitClass, latency float6
 	if req.timeout != 0 {
 		n.sched.Cancel(req.timeout)
 	}
-	delete(n.pending, req.id)
+	delete(n.peers[req.origin].pending, req.id)
 	if req.record {
 		n.coll.Request(latency, req.size, class, stale)
 	}
@@ -413,7 +413,7 @@ func (p *Peer) onRoutedSearch(m *message) {
 		// which built the flood before checking its own holdings.
 		m.Kind = kindHomeFlood
 		m.TTL = p.net.cfg.RegionTTL
-		m.FloodID = p.net.newID()
+		m.FloodID = p.newID()
 		p.markSeen(m.FloodID)
 		// The point of broadcast also checks its own holdings. answer
 		// reads only fields the rewrite above left untouched.
@@ -466,7 +466,7 @@ func (p *Peer) onReply(m *message) {
 		return
 	}
 	n := p.net
-	req, ok := n.pending[m.ID]
+	req, ok := p.pending[m.ID]
 	if !ok {
 		n.releaseMsg(m) // duplicate answer; first one won
 		return

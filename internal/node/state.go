@@ -32,6 +32,7 @@ type PeerState struct {
 	TableIdx  int
 	Alive     bool
 	NextPrune float64
+	NextID    uint64
 	Seen      []SeenEntry // sorted by ID
 	HasCache  bool
 	Cache     cache.CacheState
@@ -58,12 +59,11 @@ type PendingReqState struct {
 }
 
 // NetworkState is the serializable state of the protocol layer: the
-// region-table version history, key ground truth, counters, outstanding
-// requests, and every peer.
+// region-table version history, key ground truth, outstanding requests,
+// and every peer. Message-ID counters live in each PeerState.
 type NetworkState struct {
 	Tables   []region.TableState
 	Truth    []uint64
-	NextID   uint64
 	Stats    Stats
 	Adaptive AdaptiveStats
 	Pending  []PendingReqState // sorted by ID
@@ -78,13 +78,12 @@ func (n *Network) StateSnapshot() (NetworkState, error) {
 	st := NetworkState{
 		Tables:   make([]region.TableState, len(n.tables)),
 		Truth:    append([]uint64(nil), n.truth...),
-		NextID:   n.nextID,
 		Stats:    n.stats,
 		Adaptive: n.adaptive,
-		Pending:  make([]PendingReqState, 0, len(n.pending)),
+		Pending:  make([]PendingReqState, 0, n.PendingRequests()),
 		Peers:    make([]PeerState, len(n.peers)),
 	}
-	for _, req := range n.pending {
+	for _, req := range n.allPending() {
 		ps := PendingReqState{
 			ID:            req.id,
 			Origin:        int(req.origin),
@@ -114,6 +113,7 @@ func (n *Network) StateSnapshot() (NetworkState, error) {
 			TableIdx:  p.tableIdx,
 			Alive:     p.alive,
 			NextPrune: p.nextPrune,
+			NextID:    p.nextID,
 			Seen:      make([]SeenEntry, 0, len(p.seen)),
 			Store:     p.store.StateSnapshot(),
 		}
@@ -175,7 +175,6 @@ func (n *Network) RestoreState(st NetworkState) error {
 	n.tables = tables
 	n.table = tables[len(tables)-1]
 	copy(n.truth, st.Truth)
-	n.nextID = st.NextID
 	n.stats = st.Stats
 	n.adaptive = st.Adaptive
 	for i, ps := range st.Peers {
@@ -184,6 +183,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 		p.tableIdx = ps.TableIdx
 		p.alive = ps.Alive
 		p.nextPrune = ps.NextPrune
+		p.nextID = ps.NextID
 		p.seen = make(map[uint64]float64, len(ps.Seen))
 		for _, se := range ps.Seen {
 			p.seen[se.ID] = se.Expiry
@@ -197,15 +197,21 @@ func (n *Network) RestoreState(st NetworkState) error {
 			}
 		}
 	}
-	n.pending = make(map[uint64]*pendingReq, len(st.Pending))
+	for _, p := range n.peers {
+		p.pending = make(map[uint64]*pendingReq)
+	}
 	for i, ps := range st.Pending {
 		if ps.Origin < 0 || ps.Origin >= len(n.peers) {
 			return fmt.Errorf("node: snapshot pending request %d has unknown origin %d", ps.ID, ps.Origin)
 		}
+		if ps.Origin != reqOrigin(ps.ID) {
+			return fmt.Errorf("node: snapshot pending request %d carries origin %d, ID encodes %d",
+				ps.ID, ps.Origin, reqOrigin(ps.ID))
+		}
 		if ps.Phase < int(phaseRegional) || ps.Phase > int(phaseFlood) {
 			return fmt.Errorf("node: snapshot pending request %d has unknown phase %d", ps.ID, ps.Phase)
 		}
-		if _, dup := n.pending[ps.ID]; dup {
+		if _, dup := n.peers[ps.Origin].pending[ps.ID]; dup {
 			return fmt.Errorf("node: snapshot carries pending request %d twice", ps.ID)
 		}
 		if i > 0 && st.Pending[i-1].ID >= ps.ID {
@@ -231,10 +237,22 @@ func (n *Network) RestoreState(st NetworkState) error {
 			reply.released = false
 			req.pendingReply = &reply
 		}
-		n.pending[ps.ID] = req
+		n.peers[ps.Origin].pending[ps.ID] = req
 	}
 	n.started = true
 	return nil
+}
+
+// allPending returns every peer's outstanding requests (unordered; the
+// snapshot sorts them by ID afterwards).
+func (n *Network) allPending() []*pendingReq {
+	out := make([]*pendingReq, 0, n.PendingRequests())
+	for _, p := range n.peers {
+		for _, req := range p.pending {
+			out = append(out, req)
+		}
+	}
+	return out
 }
 
 // Rearm re-registers one node-layer recurring process from a scheduler
@@ -275,7 +293,12 @@ func (n *Network) Rearm(p sim.Proc, at float64) error {
 		}
 		n.armMeterReset(at)
 	case procReqTimeout:
-		req, ok := n.pending[uint64(p.Owner)]
+		id := uint64(p.Owner)
+		origin := reqOrigin(id)
+		if origin < 0 || origin >= len(n.peers) {
+			return fmt.Errorf("node: snapshot arms a timeout for request %d with unknown origin %d", p.Owner, origin)
+		}
+		req, ok := n.peers[origin].pending[id]
 		if !ok {
 			return fmt.Errorf("node: snapshot arms a timeout for unknown pending request %d", p.Owner)
 		}

@@ -1,0 +1,169 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunZeroJobs(t *testing.T) {
+	called := atomic.Int32{}
+	if err := Run(0, 4, func(i int) error { called.Add(1); return nil }); err != nil {
+		t.Fatalf("Run(0, ...) = %v, want nil", err)
+	}
+	if err := Run(-3, 4, func(i int) error { called.Add(1); return nil }); err != nil {
+		t.Fatalf("Run(-3, ...) = %v, want nil", err)
+	}
+	if called.Load() != 0 {
+		t.Fatalf("job invoked %d times for empty input", called.Load())
+	}
+}
+
+func TestRunAllJobsOnce(t *testing.T) {
+	const n = 37
+	var hits [n]atomic.Int32
+	if err := Run(n, 5, func(i int) error { hits[i].Add(1); return nil }); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestRunMoreWorkersThanJobs(t *testing.T) {
+	// With workers > n, the pool must cap concurrency at n and still
+	// run every job exactly once.
+	const n = 3
+	var mu sync.Mutex
+	var running, peak int
+	var hits [n]int
+	err := Run(n, 64, func(i int) error {
+		mu.Lock()
+		running++
+		if running > peak {
+			peak = running
+		}
+		hits[i]++
+		mu.Unlock()
+		runtime.Gosched()
+		mu.Lock()
+		running--
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if peak > n {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", peak, n)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("job %d ran %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	var hits atomic.Int32
+	if err := Run(11, 0, func(i int) error { hits.Add(1); return nil }); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if hits.Load() != 11 {
+		t.Fatalf("ran %d jobs, want 11", hits.Load())
+	}
+}
+
+func TestRunFirstErrorAborts(t *testing.T) {
+	// One worker makes scheduling deterministic: job 2 fails, jobs 3+
+	// must be skipped, and the error must identify job 2.
+	var ran []int
+	boom := errors.New("boom")
+	err := Run(8, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want wrapped %v", err, boom)
+	}
+	want := []int{0, 1, 2}
+	if len(ran) != len(want) {
+		t.Fatalf("jobs run after abort: %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("jobs run after abort: %v, want %v", ran, want)
+		}
+	}
+}
+
+func TestRunJoinsAllErrors(t *testing.T) {
+	// Multiple workers may each fail before observing the abort flag;
+	// every error that occurred must survive into the joined result.
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var gate sync.WaitGroup
+	gate.Add(2)
+	err := Run(2, 2, func(i int) error {
+		// Both jobs pass this barrier before either can fail, so
+		// neither observes the other's abort.
+		gate.Done()
+		gate.Wait()
+		if i == 0 {
+			return errA
+		}
+		return errB
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("Run = %v, want both %v and %v joined", err, errA, errB)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	var ran atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("Run swallowed the job panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "job 1 panicked") || !strings.Contains(msg, "kaboom") {
+			t.Fatalf("panic message %q does not identify job and cause", msg)
+		}
+	}()
+	_ = Run(6, 1, func(i int) error {
+		ran.Add(1)
+		if i == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestRunPanicAborts(t *testing.T) {
+	// A panic acts like an error for scheduling: queued jobs are
+	// skipped and the workers drain instead of deadlocking.
+	var ran []int
+	func() {
+		defer func() { _ = recover() }()
+		_ = Run(8, 1, func(i int) error {
+			ran = append(ran, i)
+			if i == 0 {
+				panic("early")
+			}
+			return nil
+		})
+	}()
+	if len(ran) != 1 || ran[0] != 0 {
+		t.Fatalf("jobs run after panic: %v, want [0]", ran)
+	}
+}

@@ -27,7 +27,7 @@ func benchChannel(b *testing.B, n int, cfg Config) (*Channel, *sim.Scheduler) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ch, err := New(cfg, sched, mob, meter, rng)
+	ch, err := New(cfg, sched, mob, meter, perSenderLoss(n, 1))
 	if err != nil {
 		b.Fatal(err)
 	}

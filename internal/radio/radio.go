@@ -135,6 +135,24 @@ type Stats struct {
 	DeadDrops       uint64 // receptions whose receiver died mid-flight
 }
 
+// Add returns the field-wise sum of two counter snapshots. Sharded runs
+// use it to merge per-shard channels: send-side counters accumulate on
+// the sender's shard and fire-side counters on the receiver's, so the
+// sum equals the sequential run's single channel exactly.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BroadcastFrames: s.BroadcastFrames + o.BroadcastFrames,
+		UnicastFrames:   s.UnicastFrames + o.UnicastFrames,
+		Deliveries:      s.Deliveries + o.Deliveries,
+		Drops:           s.Drops + o.Drops,
+		Collisions:      s.Collisions + o.Collisions,
+		Undeliverable:   s.Undeliverable + o.Undeliverable,
+		BytesOnAir:      s.BytesOnAir + o.BytesOnAir,
+		Handled:         s.Handled + o.Handled,
+		DeadDrops:       s.DeadDrops + o.DeadDrops,
+	}
+}
+
 // Channel is the shared medium. One Channel serves one simulation run and
 // is not safe for concurrent use.
 type Channel struct {
@@ -145,7 +163,24 @@ type Channel struct {
 	handler Handler
 	onDrop  DropHandler
 	alive   func(NodeID) bool
-	rng     *rand.Rand
+	// loss holds one RNG stream per sender, so loss draws depend only on
+	// the sender's own transmission history — a sharded run, where each
+	// sender transmits from its own shard, consumes the streams exactly
+	// as the sequential run does.
+	loss []*rand.Rand
+
+	// Sharded-run bridge: when shardOf is set, a delivery whose receiver
+	// lives on another shard is not scheduled locally but parked in
+	// outbox, carrying a canonical key reserved on this (the sender's)
+	// scheduler; the parallel runner moves it to the receiver shard's
+	// channel via Inject at the next barrier. clonePayload deep-copies a
+	// broadcast payload per remote receiver, because the reference-count
+	// sharing the node layer uses for local receivers cannot cross
+	// shards.
+	shardOf      []int32
+	selfShard    int32
+	outbox       []RemoteDelivery
+	clonePayload func(any) any
 
 	txBusyUntil []float64
 	rxBusyUntil []float64
@@ -189,23 +224,33 @@ type Channel struct {
 }
 
 // New creates a channel over the mobility model. The meter may be nil to
-// disable energy accounting. lossRNG is only consulted when LossRate > 0.
-func New(cfg Config, sched *sim.Scheduler, mob mobility.Model, meter *energy.Meter, lossRNG *rand.Rand) (*Channel, error) {
+// disable energy accounting. loss holds one RNG stream per sender (see
+// Channel.loss); it is only consulted when LossRate > 0, but when it is,
+// every sender needs a stream.
+func New(cfg Config, sched *sim.Scheduler, mob mobility.Model, meter *energy.Meter, loss []*rand.Rand) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if sched == nil || mob == nil {
 		return nil, fmt.Errorf("radio: scheduler and mobility model are required")
 	}
-	if cfg.LossRate > 0 && lossRNG == nil {
-		return nil, fmt.Errorf("radio: loss injection requires an RNG stream")
+	if cfg.LossRate > 0 {
+		if len(loss) != mob.Len() {
+			return nil, fmt.Errorf("radio: loss injection requires one RNG stream per sender, got %d for %d nodes",
+				len(loss), mob.Len())
+		}
+		for i, r := range loss {
+			if r == nil {
+				return nil, fmt.Errorf("radio: nil loss stream for sender %d", i)
+			}
+		}
 	}
 	ch := &Channel{
 		cfg:         cfg,
 		sched:       sched,
 		mob:         mob,
 		meter:       meter,
-		rng:         lossRNG,
+		loss:        loss,
 		alive:       func(NodeID) bool { return true },
 		txBusyUntil: make([]float64, mob.Len()),
 		posCache:    make([]geo.Point, mob.Len()),
@@ -322,12 +367,81 @@ func (ch *Channel) recycleDelivery(d *delivery) {
 	}
 }
 
-// scheduleDelivery books one reception for `to` after `delay`.
-func (ch *Channel) scheduleDelivery(delay float64, to NodeID, f Frame, air float64) {
+// scheduleDelivery books one reception for `to` after `delay`. The
+// delivery event executes under the receiver's context, so a sharded
+// run can route it to the receiver's shard. It reports whether the
+// reception stayed on this channel (false: parked in the outbox for a
+// remote shard — for broadcasts, with a deep-copied payload, since the
+// local receivers share the original by reference count).
+func (ch *Channel) scheduleDelivery(delay float64, to NodeID, f Frame, air float64) bool {
+	if ch.shardOf != nil && ch.shardOf[to] != ch.selfShard {
+		if f.Broadcast && ch.clonePayload != nil {
+			f.Payload = ch.clonePayload(f.Payload)
+		}
+		creator, cseq := ch.sched.ReserveKey()
+		ch.outbox = append(ch.outbox, RemoteDelivery{
+			At: ch.sched.Now() + delay, To: to, F: f, Air: air,
+			Creator: creator, Cseq: cseq,
+		})
+		return false
+	}
 	ch.inFlight++
 	d := ch.takeDelivery()
 	d.to, d.f, d.air = to, f, air
-	ch.sched.AfterCtx(delay, fireDelivery, d)
+	ch.sched.AfterCtxAs(delay, fireDelivery, d, int(to))
+	return true
+}
+
+// RemoteDelivery is a reception crossing shards: everything the
+// receiver's channel needs to schedule it, plus the canonical event key
+// reserved on the sender's scheduler — so the delivery event sorts
+// exactly where the sequential run would have placed it.
+type RemoteDelivery struct {
+	At      float64
+	To      NodeID
+	F       Frame
+	Air     float64
+	Creator int32
+	Cseq    uint64
+}
+
+// EnableSharding puts the channel in sharded mode: deliveries to nodes
+// whose shardOf entry differs from self are parked in the outbox
+// instead of scheduled. clonePayload (may be nil) deep-copies broadcast
+// payloads that cross shards.
+func (ch *Channel) EnableSharding(shardOf []int32, self int32, clonePayload func(any) any) {
+	ch.shardOf = shardOf
+	ch.selfShard = self
+	ch.clonePayload = clonePayload
+}
+
+// DrainOutbox returns the cross-shard deliveries parked since the last
+// drain and resets the outbox. Only the parallel runner calls it, at
+// barriers.
+func (ch *Channel) DrainOutbox() []RemoteDelivery {
+	out := ch.outbox
+	ch.outbox = ch.outbox[len(ch.outbox):]
+	return out
+}
+
+// Inject schedules a reception that was sent from another shard. The
+// barrier protocol guarantees rd.At is not in this shard's past.
+func (ch *Channel) Inject(rd RemoteDelivery) {
+	ch.inFlight++
+	d := ch.takeDelivery()
+	d.to, d.f, d.air = rd.To, rd.F, rd.Air
+	ch.sched.InjectAtCtx(rd.At, fireDelivery, d, int(rd.To), rd.Creator, rd.Cseq)
+}
+
+// Lookahead returns the conservative horizon width for sharded runs:
+// no transmission can affect another node sooner than the minimum
+// frame service time (zero-payload airtime plus propagation). The
+// safety margin absorbs floating-point rounding in `now + delay`
+// arrival arithmetic, keeping every cross-shard arrival provably at or
+// beyond the horizon.
+func (c Config) Lookahead() float64 {
+	minAir := c.MACOverhead + float64(c.HeaderBytes)*8/c.Bandwidth
+	return minAir + c.Propagation - 1e-9
 }
 
 // fire resolves a reception at its delivery time, preserving the exact
@@ -511,8 +625,8 @@ func (ch *Channel) txDelay(from NodeID, size int) float64 {
 	return end - now
 }
 
-func (ch *Channel) lost() bool {
-	return ch.cfg.LossRate > 0 && ch.rng.Float64() < ch.cfg.LossRate
+func (ch *Channel) lost(from NodeID) bool {
+	return ch.cfg.LossRate > 0 && ch.loss[from].Float64() < ch.cfg.LossRate
 }
 
 // Broadcast transmits a frame to every live node within range of the
@@ -539,13 +653,17 @@ func (ch *Channel) Broadcast(from NodeID, size int, payload any) int {
 		if ch.meter != nil {
 			ch.meter.Charge(int(nb.ID), energy.BroadcastRecv, onAir)
 		}
-		if ch.lost() {
+		if ch.lost(from) {
 			ch.stats.Drops++
 			continue
 		}
-		delivered++
 		ch.stats.Deliveries++
-		ch.scheduleDelivery(delay, nb.ID, f, ch.airtime(size))
+		// In sharded mode only same-shard receivers count toward the
+		// return value: they share the payload by reference, while
+		// remote receivers got an owned deep copy via the outbox.
+		if ch.scheduleDelivery(delay, nb.ID, f, ch.airtime(size)) {
+			delivered++
+		}
 	}
 	return delivered
 }
@@ -578,7 +696,7 @@ func (ch *Channel) Unicast(from, to NodeID, size int, payload any) bool {
 			}
 		}
 	}
-	if ch.lost() {
+	if ch.lost(from) {
 		ch.stats.Drops++
 		// The frame was sent; it just never arrived. Ownership of the
 		// payload transferred to the channel on send, so settle it now.

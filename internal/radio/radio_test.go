@@ -25,6 +25,16 @@ func lineTopology(t *testing.T, n int, spacing float64) *mobility.Static {
 	return s
 }
 
+// perSenderLoss builds one loss RNG stream per sender, as radio.New
+// requires when LossRate > 0.
+func perSenderLoss(n int, seed int64) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	return out
+}
+
 func newChannel(t *testing.T, cfg Config, mob mobility.Model, withMeter bool) (*Channel, *sim.Scheduler, *energy.Meter) {
 	t.Helper()
 	sched := sim.NewScheduler()
@@ -36,7 +46,7 @@ func newChannel(t *testing.T, cfg Config, mob mobility.Model, withMeter bool) (*
 			t.Fatal(err)
 		}
 	}
-	ch, err := New(cfg, sched, mob, meter, rand.New(rand.NewSource(1)))
+	ch, err := New(cfg, sched, mob, meter, perSenderLoss(mob.Len(), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +293,7 @@ func TestLossInjection(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LossRate = 0.5
 	sched := sim.NewScheduler()
-	ch, err := New(cfg, sched, mob, nil, rand.New(rand.NewSource(7)))
+	ch, err := New(cfg, sched, mob, nil, perSenderLoss(mob.Len(), 7))
 	if err != nil {
 		t.Fatal(err)
 	}

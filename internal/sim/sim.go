@@ -1,11 +1,21 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is intentionally single-threaded: given the same seed and the
-// same sequence of scheduled callbacks, a run is bit-for-bit reproducible.
-// Parallelism in this repository lives one level up, where independent
+// The kernel's reference mode is single-threaded: given the same seed and
+// the same sequence of scheduled callbacks, a run is bit-for-bit
+// reproducible. Parallelism lives one level up, in two forms: independent
 // scenario replications run on a worker pool (see the root precinct
-// package). That split — sequential core, embarrassingly parallel sweeps —
-// keeps the protocol logic free of locks while still saturating cores.
+// package), and a single large run can be sharded across cores by giving
+// each shard its own Scheduler and synchronizing them at a conservative
+// lookahead horizon (see the root package's parallel runner).
+//
+// Sharded execution preserves the reference mode's results exactly
+// because every event carries a canonical key (time, creator, cseq) that
+// is assigned identically in both modes: `creator` is the execution
+// context (peer id, or -1 for network-global work) of the event that
+// scheduled it, and `cseq` is drawn from a per-creator counter. A
+// creator's events fire on a single shard (or on the coordinator, for
+// creator -1), so the counter draw order — and therefore every key — is
+// independent of how the event loop is partitioned.
 package sim
 
 import (
@@ -31,17 +41,22 @@ type Proc struct {
 }
 
 // ProcEvent is one pending tagged event: what to re-arm, when it was due
-// to fire, and its insertion sequence number. Restore re-registers
-// ProcEvents in ascending Seq order so that same-time events keep their
-// FIFO tie-break order.
+// to fire, its insertion sequence number, and the execution context that
+// scheduled it. Restore re-registers ProcEvents in ascending Seq order
+// with the scheduler's context set to Creator, so same-time events keep
+// their canonical tie-break order across a checkpoint boundary.
 type ProcEvent struct {
-	Proc Proc
-	Time float64
-	Seq  uint64
+	Proc    Proc
+	Time    float64
+	Seq     uint64
+	Creator int
 }
 
 // SchedulerState is the serializable scheduler state at a quiescent
 // boundary: the clock and counters, plus every pending tagged event.
+// The per-creator cseq counters are NOT serialized: re-arming in
+// ascending Seq order with the saved Creator reproduces every relative
+// cseq order that the canonical comparator can observe.
 type SchedulerState struct {
 	Now       float64
 	Seq       uint64
@@ -60,17 +75,44 @@ type SchedulerState struct {
 // cancellation guard, and gen is the belt-and-suspenders check that a
 // recycled box can never masquerade as a live one.
 type event struct {
-	time   float64
-	seq    uint64 // insertion order; breaks ties deterministically (FIFO)
-	handle Handle
-	fn     func()
-	fnCtx  func(any)
-	ctx    any
-	gen    uint64 // incremented every time the box is recycled
-	index  int    // heap index; -1 once popped or cancelled
+	time    float64
+	seq     uint64 // insertion order (for snapshots; not an ordering key)
+	creator int32  // execution context that scheduled this event
+	cseq    uint64 // per-creator sequence; (time, creator, cseq) is total
+	execAs  int32  // execution context the callback runs under
+	handle  Handle
+	fn      func()
+	fnCtx   func(any)
+	ctx     any
+	gen     uint64 // incremented every time the box is recycled
+	index   int    // heap index; -1 once popped or cancelled
 }
 
-// eventQueue implements heap.Interface ordered by (time, seq).
+// EventKey is the canonical total order over events: (Time, Creator,
+// Cseq). It is identical in sequential and sharded runs, which is what
+// lets a sharded run's merged trace reproduce the sequential one.
+type EventKey struct {
+	Time    float64
+	Creator int32
+	Cseq    uint64
+}
+
+// Less orders keys canonically.
+func (k EventKey) Less(o EventKey) bool {
+	if k.Time != o.Time {
+		return k.Time < o.Time
+	}
+	if k.Creator != o.Creator {
+		return k.Creator < o.Creator
+	}
+	return k.Cseq < o.Cseq
+}
+
+func (ev *event) key() EventKey {
+	return EventKey{Time: ev.time, Creator: ev.creator, Cseq: ev.cseq}
+}
+
+// eventQueue implements heap.Interface ordered by the canonical key.
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -79,7 +121,10 @@ func (q eventQueue) Less(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
-	return q[i].seq < q[j].seq
+	if q[i].creator != q[j].creator {
+		return q[i].creator < q[j].creator
+	}
+	return q[i].cseq < q[j].cseq
 }
 
 func (q eventQueue) Swap(i, j int) {
@@ -104,10 +149,40 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// Counters hands out per-creator sequence numbers. Index creator+1
+// (creator -1, the network-global context, uses slot 0). In sharded
+// runs one Counters instance is shared by every shard scheduler; this is
+// safe without locks because creator c's counter is only drawn while
+// c's events execute, which happens on exactly one goroutine at a time
+// (c's owning shard during a window, or the coordinator at a barrier).
+type Counters struct {
+	c []uint64
+}
+
+// NewCounters returns counters pre-sized for creators -1..n-1. Sharded
+// runs must pre-size (growth would race); sequential runs may pass 0
+// and let the slice grow on demand.
+func NewCounters(n int) *Counters {
+	return &Counters{c: make([]uint64, n+1)}
+}
+
+func (k *Counters) next(creator int32) uint64 {
+	idx := int(creator) + 1
+	if idx >= len(k.c) {
+		grown := make([]uint64, idx+1)
+		copy(grown, k.c)
+		k.c = grown
+	}
+	v := k.c[idx]
+	k.c[idx]++
+	return v
+}
+
 // Scheduler owns the simulation clock and the pending event queue.
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
 	queue     eventQueue
+	gqueue    eventQueue // global (execAs -1) events, when splitGlobal
 	pending   map[Handle]*event
 	procs     map[Handle]Proc // tags on pending re-armable events
 	now       float64
@@ -116,6 +191,19 @@ type Scheduler struct {
 	executed  uint64
 	cancelled uint64
 	stopped   bool
+
+	// cur is the execution context of the in-flight event: the peer id
+	// whose callback is running, or -1 outside callbacks and for
+	// network-global work. New events record it as their creator and
+	// inherit it as their default execAs.
+	cur      int32
+	counters *Counters
+
+	// splitGlobal routes execAs -1 events to a separate queue that the
+	// shard worker's RunBefore never touches; the parallel coordinator
+	// executes them single-threaded at barriers. Sequential schedulers
+	// leave it off and pay nothing for the second queue.
+	splitGlobal bool
 
 	// free is the event-box freelist: popped and cancelled events are
 	// returned here and Schedule takes them back out, so the steady-state
@@ -136,21 +224,52 @@ type Scheduler struct {
 
 // NewScheduler returns an empty scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
+	return NewSchedulerWithCounters(NewCounters(0))
+}
+
+// NewSchedulerWithCounters returns an empty scheduler drawing cseq
+// numbers from the given (possibly shared) counter set.
+func NewSchedulerWithCounters(k *Counters) *Scheduler {
 	return &Scheduler{
-		pending: make(map[Handle]*event),
-		procs:   make(map[Handle]Proc),
-		nextID:  1,
+		pending:  make(map[Handle]*event),
+		procs:    make(map[Handle]Proc),
+		nextID:   1,
+		cur:      -1,
+		counters: k,
 	}
+}
+
+// Counters exposes the scheduler's counter set so shard schedulers can
+// share the primary's.
+func (s *Scheduler) Counters() *Counters { return s.counters }
+
+// SplitGlobal enables the two-queue mode for shard schedulers: events
+// with execAs -1 go to a separate queue for the coordinator. Must be
+// called before any event is scheduled.
+func (s *Scheduler) SplitGlobal() {
+	if len(s.queue) > 0 || len(s.gqueue) > 0 {
+		panic("sim: SplitGlobal after events were scheduled")
+	}
+	s.splitGlobal = true
 }
 
 // Now returns the current simulation time in seconds.
 func (s *Scheduler) Now() float64 { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return len(s.queue) + len(s.gqueue) }
 
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Cur returns the current execution context (-1 outside callbacks).
+func (s *Scheduler) Cur() int { return int(s.cur) }
+
+// SetCur overrides the execution context for subsequent scheduling
+// calls. Checkpoint restore uses it to re-arm saved events under their
+// original creator so canonical tie-breaks survive the boundary. Pass
+// -1 to return to the neutral context.
+func (s *Scheduler) SetCur(c int) { s.cur = int32(c) }
 
 // SetAfterEvent installs an observer called after each executed event.
 // Pass nil to remove it. The observer must not mutate the queue.
@@ -177,28 +296,31 @@ func (s *Scheduler) notifyAfterEvent() {
 }
 
 // CheckConsistency verifies the scheduler's internal bookkeeping: the
-// pending map and the heap must describe the same event set, heap indices
-// must be self-consistent, the heap property must hold, and no pending
-// event may be scheduled before the current clock. It is O(n) over the
-// queue and intended for invariant sweeps, not hot paths.
+// pending map and the heaps must describe the same event set, heap
+// indices must be self-consistent, the heap property must hold, and no
+// pending event may be scheduled before the current clock. It is O(n)
+// over the queue and intended for invariant sweeps, not hot paths.
 func (s *Scheduler) CheckConsistency() error {
-	if len(s.pending) != len(s.queue) {
-		return fmt.Errorf("sim: pending map has %d events but queue has %d", len(s.pending), len(s.queue))
+	if len(s.pending) != len(s.queue)+len(s.gqueue) {
+		return fmt.Errorf("sim: pending map has %d events but queues have %d",
+			len(s.pending), len(s.queue)+len(s.gqueue))
 	}
-	for i, ev := range s.queue {
-		if ev.index != i {
-			return fmt.Errorf("sim: event %d carries heap index %d at position %d", ev.handle, ev.index, i)
-		}
-		if s.pending[ev.handle] != ev {
-			return fmt.Errorf("sim: queued event %d missing from pending map", ev.handle)
-		}
-		if ev.time < s.now {
-			return fmt.Errorf("sim: pending event %d at t=%v is before now=%v", ev.handle, ev.time, s.now)
-		}
-		if i > 0 {
-			parent := (i - 1) / 2
-			if s.queue.Less(i, parent) {
-				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, parent)
+	for _, q := range []eventQueue{s.queue, s.gqueue} {
+		for i, ev := range q {
+			if ev.index != i {
+				return fmt.Errorf("sim: event %d carries heap index %d at position %d", ev.handle, ev.index, i)
+			}
+			if s.pending[ev.handle] != ev {
+				return fmt.Errorf("sim: queued event %d missing from pending map", ev.handle)
+			}
+			if ev.time < s.now {
+				return fmt.Errorf("sim: pending event %d at t=%v is before now=%v", ev.handle, ev.time, s.now)
+			}
+			if i > 0 {
+				parent := (i - 1) / 2
+				if q.Less(i, parent) {
+					return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, parent)
+				}
 			}
 		}
 	}
@@ -245,31 +367,50 @@ func (s *Scheduler) recycleEvent(ev *event) {
 	}
 }
 
-// schedule inserts a filled-in event box at absolute time t.
-func (s *Scheduler) schedule(t float64, ev *event) Handle {
+// queueOf returns the heap an event with the given execAs lives in.
+func (s *Scheduler) queueOf(execAs int32) *eventQueue {
+	if s.splitGlobal && execAs < 0 {
+		return &s.gqueue
+	}
+	return &s.queue
+}
+
+// schedule inserts a filled-in event box at absolute time t, drawing a
+// fresh canonical key under the current execution context.
+func (s *Scheduler) schedule(t float64, ev *event, execAs int32) Handle {
+	ev.creator = s.cur
+	ev.cseq = s.counters.next(s.cur)
+	return s.scheduleKeyed(t, ev, execAs)
+}
+
+// scheduleKeyed inserts an event whose creator/cseq are already set
+// (either freshly drawn or reserved on another shard).
+func (s *Scheduler) scheduleKeyed(t float64, ev *event, execAs int32) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	ev.time = t
+	ev.execAs = execAs
 	ev.seq = s.seq
 	ev.handle = s.nextID
 	s.seq++
 	s.nextID++
-	heap.Push(&s.queue, ev)
+	heap.Push(s.queueOf(execAs), ev)
 	s.pending[ev.handle] = ev
 	return ev.handle
 }
 
-// At schedules fn to run at absolute simulation time t. Scheduling in the
-// past panics: it would silently reorder causality and every such call is
-// a protocol bug.
+// At schedules fn to run at absolute simulation time t, executing under
+// the scheduling context (the event is "more work for whoever is running
+// now"). Scheduling in the past panics: it would silently reorder
+// causality and every such call is a protocol bug.
 func (s *Scheduler) At(t float64, fn func()) Handle {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
 	ev := s.takeEvent()
 	ev.fn = fn
-	return s.schedule(t, ev)
+	return s.schedule(t, ev, s.cur)
 }
 
 // AtCtx schedules fn(ctx) at absolute time t. Unlike At, the callback is
@@ -278,13 +419,21 @@ func (s *Scheduler) At(t float64, fn func()) Handle {
 // radio frame delivery) can pass a pooled context struct instead and
 // keep the whole Schedule→fire→recycle cycle allocation-free.
 func (s *Scheduler) AtCtx(t float64, fn func(any), ctx any) Handle {
+	return s.AtCtxAs(t, fn, ctx, int(s.cur))
+}
+
+// AtCtxAs is AtCtx with an explicit execution context for the callback:
+// the peer whose state it will touch (a frame's receiver), or -1 for
+// network-global work. Sharded runs use execAs to route the event to
+// its owner's shard.
+func (s *Scheduler) AtCtxAs(t float64, fn func(any), ctx any, execAs int) Handle {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
 	ev := s.takeEvent()
 	ev.fnCtx = fn
 	ev.ctx = ctx
-	return s.schedule(t, ev)
+	return s.schedule(t, ev, int32(execAs))
 }
 
 // After schedules fn to run d seconds from now.
@@ -303,30 +452,80 @@ func (s *Scheduler) AfterCtx(d float64, fn func(any), ctx any) Handle {
 	return s.AtCtx(s.now+d, fn, ctx)
 }
 
+// AfterCtxAs schedules fn(ctx) d seconds from now under an explicit
+// execution context (see AtCtxAs).
+func (s *Scheduler) AfterCtxAs(d float64, fn func(any), ctx any, execAs int) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtCtxAs(s.now+d, fn, ctx, execAs)
+}
+
 // AtProc schedules fn at absolute time t, tagged as a re-armable
-// process. Tagged events are what make a boundary quiescent: they can be
-// rebuilt from (Proc, Time) alone, so a checkpoint taken while only
-// tagged events are pending can be restored exactly.
+// process, executing under the scheduling context. Tagged events are
+// what make a boundary quiescent: they can be rebuilt from (Proc, Time)
+// alone, so a checkpoint taken while only tagged events are pending can
+// be restored exactly.
 func (s *Scheduler) AtProc(p Proc, t float64, fn func()) Handle {
+	return s.AtProcAs(p, t, fn, int(s.cur))
+}
+
+// AtProcAs is AtProc with an explicit execution context: the peer that
+// owns the recurring process, or -1 for network-global processes
+// (churn, faults, updates, the warmup meter reset) that a sharded run
+// executes single-threaded at barriers.
+func (s *Scheduler) AtProcAs(p Proc, t float64, fn func(), execAs int) Handle {
 	if p.Kind == "" {
 		panic("sim: AtProc with empty proc kind")
 	}
-	h := s.At(t, fn)
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := s.takeEvent()
+	ev.fn = fn
+	h := s.schedule(t, ev, int32(execAs))
 	s.procs[h] = p
 	return h
+}
+
+// ReserveKey draws a canonical key under the current context without
+// scheduling anything. A shard uses it for a cross-shard delivery: the
+// key is drawn on the sender's shard — exactly when the sequential run
+// would draw it — then travels with the frame and is attached on the
+// receiver's shard via InjectAtCtx.
+func (s *Scheduler) ReserveKey() (creator int32, cseq uint64) {
+	return s.cur, s.counters.next(s.cur)
+}
+
+// InjectAtCtx schedules fn(ctx) at absolute time t with an explicit,
+// previously reserved canonical key. The barrier protocol guarantees t
+// is not in this scheduler's past; scheduling in the past still panics,
+// as the causality backstop.
+func (s *Scheduler) InjectAtCtx(t float64, fn func(any), ctx any, execAs int, creator int32, cseq uint64) Handle {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := s.takeEvent()
+	ev.fnCtx = fn
+	ev.ctx = ctx
+	ev.creator = creator
+	ev.cseq = cseq
+	return s.scheduleKeyed(t, ev, int32(execAs))
 }
 
 // Quiescent reports whether every pending event is a tagged re-armable
 // process — i.e. no transient work (frame deliveries, request timeouts,
 // retries) is in flight and the run can be checkpointed.
-func (s *Scheduler) Quiescent() bool { return len(s.queue) == len(s.procs) }
+func (s *Scheduler) Quiescent() bool { return s.Len() == len(s.procs) }
 
 // PendingProcs returns the pending tagged events in ascending Seq order.
 func (s *Scheduler) PendingProcs() []ProcEvent {
 	out := make([]ProcEvent, 0, len(s.procs))
-	for _, ev := range s.queue {
-		if p, ok := s.procs[ev.handle]; ok {
-			out = append(out, ProcEvent{Proc: p, Time: ev.time, Seq: ev.seq})
+	for _, q := range []eventQueue{s.queue, s.gqueue} {
+		for _, ev := range q {
+			if p, ok := s.procs[ev.handle]; ok {
+				out = append(out, ProcEvent{Proc: p, Time: ev.time, Seq: ev.seq, Creator: int(ev.creator)})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
@@ -340,7 +539,7 @@ func (s *Scheduler) StateSnapshot() (SchedulerState, error) {
 	if !s.Quiescent() {
 		return SchedulerState{}, fmt.Errorf(
 			"sim: not quiescent: %d pending events, only %d re-armable",
-			len(s.queue), len(s.procs))
+			s.Len(), len(s.procs))
 	}
 	return SchedulerState{
 		Now:       s.now,
@@ -354,13 +553,15 @@ func (s *Scheduler) StateSnapshot() (SchedulerState, error) {
 
 // RestoreState rewinds the clock and counters to a snapshot. The queue
 // must be empty — the caller re-arms the snapshot's Procs afterwards (in
-// ascending Seq order, so same-time events keep their relative order).
-// Re-armed events receive fresh sequence numbers at or above Seq; that
-// preserves every ordering that matters, because all snapshot events
-// were inserted before (and all post-restore events after) the boundary.
+// ascending Seq order, under SetCur(Creator), so same-time events keep
+// their relative canonical order). Re-armed events receive fresh
+// sequence numbers at or above Seq; within each creator the re-arm
+// order matches the original insertion order, so every relative cseq
+// comparison the canonical order can make is preserved even though the
+// counters restart from zero.
 func (s *Scheduler) RestoreState(st SchedulerState) error {
-	if len(s.queue) != 0 {
-		return fmt.Errorf("sim: RestoreState on a scheduler with %d pending events", len(s.queue))
+	if s.Len() != 0 {
+		return fmt.Errorf("sim: RestoreState on a scheduler with %d pending events", s.Len())
 	}
 	if st.Now < 0 {
 		return fmt.Errorf("sim: negative snapshot clock %v", st.Now)
@@ -382,7 +583,7 @@ func (s *Scheduler) Cancel(h Handle) bool {
 	}
 	delete(s.pending, h)
 	delete(s.procs, h)
-	heap.Remove(&s.queue, ev.index)
+	heap.Remove(s.queueOf(ev.execAs), ev.index)
 	s.cancelled++
 	s.recycleEvent(ev)
 	return true
@@ -390,35 +591,59 @@ func (s *Scheduler) Cancel(h Handle) bool {
 
 // fire runs one popped event: the callback fields are copied out and the
 // box recycled BEFORE the callback executes, so a callback that schedules
-// new events reuses the box it just vacated.
+// new events reuses the box it just vacated. The execution context is
+// the event's execAs for the duration of the callback.
 func (s *Scheduler) fire(next *event) {
 	fn, fnCtx, ctx := next.fn, next.fnCtx, next.ctx
+	s.cur = next.execAs
 	s.recycleEvent(next)
 	if fn != nil {
 		fn()
 	} else {
 		fnCtx(ctx)
 	}
+	s.cur = -1
+}
+
+// peekMin returns the canonically-least pending event across both
+// queues, or nil.
+func (s *Scheduler) peekMin() *event {
+	var best *event
+	if len(s.queue) > 0 {
+		best = s.queue[0]
+	}
+	if len(s.gqueue) > 0 {
+		if g := s.gqueue[0]; best == nil || g.key().Less(best.key()) {
+			best = g
+		}
+	}
+	return best
+}
+
+// pop removes an event (known to be a queue head) from its queue and
+// the bookkeeping maps.
+func (s *Scheduler) pop(ev *event) {
+	heap.Remove(s.queueOf(ev.execAs), ev.index)
+	delete(s.pending, ev.handle)
+	delete(s.procs, ev.handle)
 }
 
 // Stop makes the current Run call return after the in-flight event
 // completes. Pending events stay queued.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Run executes events in timestamp order until the queue drains or the
+// Run executes events in canonical order until the queue drains or the
 // clock would pass `until`. Events scheduled exactly at `until` still run.
 // It returns the number of events executed by this call.
 func (s *Scheduler) Run(until float64) uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.time > until {
+	for !s.stopped {
+		next := s.peekMin()
+		if next == nil || next.time > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		delete(s.pending, next.handle)
-		delete(s.procs, next.handle)
+		s.pop(next)
 		s.now = next.time
 		s.fire(next)
 		s.executed++
@@ -439,16 +664,11 @@ func (s *Scheduler) Run(until float64) uint64 {
 // lockstep comparison of two runs (replay bisection), where the caller
 // needs to observe state between individual events.
 func (s *Scheduler) Step(until float64) bool {
-	if len(s.queue) == 0 {
+	next := s.peekMin()
+	if next == nil || next.time > until {
 		return false
 	}
-	next := s.queue[0]
-	if next.time > until {
-		return false
-	}
-	heap.Pop(&s.queue)
-	delete(s.pending, next.handle)
-	delete(s.procs, next.handle)
+	s.pop(next)
 	s.now = next.time
 	s.fire(next)
 	s.executed++
@@ -462,11 +682,12 @@ func (s *Scheduler) Step(until float64) bool {
 func (s *Scheduler) RunAll() uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		heap.Pop(&s.queue)
-		delete(s.pending, next.handle)
-		delete(s.procs, next.handle)
+	for !s.stopped {
+		next := s.peekMin()
+		if next == nil {
+			break
+		}
+		s.pop(next)
 		s.now = next.time
 		s.fire(next)
 		s.executed++
@@ -474,6 +695,80 @@ func (s *Scheduler) RunAll() uint64 {
 		s.notifyAfterEvent()
 	}
 	return n
+}
+
+// RunBefore executes local-queue events with time strictly below the
+// horizon h, in canonical order, and returns the count. It is the shard
+// worker's inner loop: global-queue events are left for the coordinator
+// (the barrier protocol guarantees none is due before h), and the clock
+// is NOT advanced to h — the next window's bounds are recomputed from
+// queue heads, so the clock only ever reflects fired events.
+func (s *Scheduler) RunBefore(h float64) uint64 {
+	var n uint64
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.time >= h {
+			break
+		}
+		s.pop(next)
+		s.now = next.time
+		s.fire(next)
+		s.executed++
+		n++
+	}
+	return n
+}
+
+// StepAt fires the canonically-least pending event if it is due exactly
+// at time t, reporting whether one fired. The coordinator drains
+// same-time barrier batches with it, interleaving shards in canonical
+// order.
+func (s *Scheduler) StepAt(t float64) bool {
+	next := s.peekMin()
+	if next == nil || next.time != t {
+		return false
+	}
+	s.pop(next)
+	s.now = next.time
+	s.fire(next)
+	s.executed++
+	return true
+}
+
+// PeekLocal returns the due time of the earliest local-queue event.
+func (s *Scheduler) PeekLocal() (float64, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].time, true
+}
+
+// PeekGlobal returns the due time of the earliest global-queue event.
+func (s *Scheduler) PeekGlobal() (float64, bool) {
+	if len(s.gqueue) == 0 {
+		return 0, false
+	}
+	return s.gqueue[0].time, true
+}
+
+// PeekKey returns the canonical key of the earliest pending event
+// across both queues.
+func (s *Scheduler) PeekKey() (EventKey, bool) {
+	next := s.peekMin()
+	if next == nil {
+		return EventKey{}, false
+	}
+	return next.key(), true
+}
+
+// AdvanceTo moves the clock forward to t without firing anything; the
+// parallel runner uses it to land every shard clock on the common end
+// time after the window loop drains. Moving backwards panics.
+func (s *Scheduler) AdvanceTo(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", t, s.now))
+	}
+	s.now = t
 }
 
 // RNG derives a deterministic random stream for a named component. Two

@@ -6,9 +6,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Kind labels an event.
@@ -51,6 +53,78 @@ type Event struct {
 // Tracer consumes events.
 type Tracer interface {
 	Emit(Event)
+}
+
+// Canonicalize sorts events in place into the canonical total order used
+// to compare runs across execution modes: lexicographic over every field
+// (time, kind, node, key, class, latency, stale, region, count). The
+// order is total up to full equality, so any permutation of the same
+// multiset of events canonicalizes to the same sequence — a sharded run
+// whose shards emitted interleaved fragments compares byte-equal to the
+// sequential run after both sides canonicalize.
+func Canonicalize(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		return eventLess(events[i], events[j])
+	})
+}
+
+// eventLess is the canonical strict order over events: lexicographic
+// across all fields, in struct order.
+func eventLess(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Latency != b.Latency {
+		return a.Latency < b.Latency
+	}
+	if a.Stale != b.Stale {
+		return b.Stale
+	}
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Count < b.Count
+}
+
+// EncodeLines renders events as the JSON-lines stream a Writer would
+// produce, for byte-level comparison in tests.
+func EncodeLines(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeLines parses a JSON-lines stream back into events: the inverse
+// of a Writer (and of EncodeLines), used by tooling that re-sorts or
+// diffs recorded traces.
+func DecodeLines(data []byte) ([]Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // Writer streams events as JSON lines to an io.Writer. It buffers; call

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -103,5 +104,42 @@ func TestBufferCap(t *testing.T) {
 	}
 	if len(unbounded.Events) != 100 || unbounded.Dropped != 0 {
 		t.Error("unbounded buffer dropped events")
+	}
+}
+
+func TestCanonicalizeIsOrderFree(t *testing.T) {
+	// A multiset with ties on every prefix: the order must be total up to
+	// full equality so any permutation canonicalizes identically.
+	events := []Event{
+		{Time: 2, Kind: RequestCompleted, Node: 1, Key: 7, Class: "remote", Latency: 0.5},
+		{Time: 1, Kind: RequestIssued, Node: 4, Key: 9},
+		{Time: 1, Kind: RequestIssued, Node: 2, Key: 9},
+		{Time: 1, Kind: RequestIssued, Node: 2, Key: 3},
+		{Time: 2, Kind: RequestCompleted, Node: 1, Key: 7, Class: "local", Latency: 0.1},
+		{Time: 2, Kind: RequestCompleted, Node: 1, Key: 7, Class: "remote", Latency: 0.2, Stale: true},
+		{Time: 2, Kind: Handoff, Node: 1, Region: 3, Count: 2},
+		{Time: 2, Kind: Handoff, Node: 1, Region: 3, Count: 1},
+		{Time: 2, Kind: Handoff, Node: 1, Region: 3, Count: 1}, // exact duplicate
+	}
+	want := append([]Event(nil), events...)
+	Canonicalize(want)
+	wantBytes, err := EncodeLines(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		Canonicalize(shuffled)
+		got, err := EncodeLines(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Fatalf("trial %d: canonical encoding differs:\n%s\nvs\n%s", trial, got, wantBytes)
+		}
 	}
 }

@@ -74,6 +74,9 @@ func debugBreakEnv(b *built) error {
 // same scenario. The error reports build failures only; detected
 // violations are returned in the InvariantReport.
 func RunChecked(s Scenario) (Result, InvariantReport, error) {
+	if s.Shards > 1 {
+		return Result{}, InvariantReport{}, fmt.Errorf("precinct: invariant checking runs sequentially; set Shards <= 1 (the equivalence suite proves sharded runs report-identical)")
+	}
 	b, err := s.buildTraced(nil)
 	if err != nil {
 		return Result{}, InvariantReport{}, err

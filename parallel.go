@@ -1,0 +1,323 @@
+package precinct
+
+// Parallel event execution: a conservative-lookahead sharded run of the
+// discrete-event loop (DESIGN.md section 13).
+//
+// The node population is sliced into Scenario.Shards spatial shards, each
+// owning a replica of the simulation world — scheduler, radio channel,
+// mobility model, energy meter, metrics collector, trace buffer — that
+// shares the protocol state (peers, region tables, key ground truth) with
+// every other shard. Shard workers execute their peers' events
+// concurrently inside windows bounded by the minimum radio frame delay:
+// within such a window no transmission can reach another node, so no
+// cross-shard interaction is possible and the shards are independent.
+// Cross-shard frame deliveries are parked in per-channel outboxes and
+// exchanged at window boundaries, carrying canonical event keys reserved
+// on the sender, so every event sorts exactly where the sequential run
+// would have placed it. Events that mutate shared state (updates, churn,
+// faults, the warmup meter reset) execute with execAs -1, which routes
+// them to a separate global queue; the coordinator fires those
+// single-threaded at barriers, interleaved with same-timestamp local
+// events in canonical key order — the exact order the sequential
+// scheduler would have used. The result is report-identical to the
+// sequential run: same Report, same protocol/radio counters, same
+// canonical trace.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"precinct/internal/energy"
+	"precinct/internal/geo"
+	"precinct/internal/metrics"
+	"precinct/internal/node"
+	"precinct/internal/radio"
+	"precinct/internal/sim"
+	"precinct/internal/trace"
+)
+
+// parallelRun is an assembled sharded simulation. Index 0 of every slice
+// is the primary world built by buildFull; indices 1.. are replicas.
+type parallelRun struct {
+	b         *built
+	shardOf   []int32
+	scheds    []*sim.Scheduler
+	channels  []*radio.Channel
+	clones    []*node.Network
+	colls     []*metrics.Collector
+	meters    []*energy.Meter
+	bufs      []*trace.Buffer // per-shard trace buffers; nil when untraced
+	lookahead float64
+}
+
+// shardAssignment maps every peer to a shard by sorting the initial node
+// layout along x (ties by y, then id) and slicing it into equal-count
+// strips. Spatial contiguity keeps most radio traffic shard-local early
+// on; ownership is static, so peers that later roam across strips simply
+// generate more cross-shard deliveries — correctness never depends on
+// where a peer is, only on who owns it.
+func shardAssignment(b *built, shards int) []int32 {
+	n := b.scenario.Nodes
+	type placed struct {
+		pos geo.Point
+		id  int
+	}
+	pts := make([]placed, n)
+	for i := range pts {
+		pts[i] = placed{pos: b.channel.Position(radio.NodeID(i)), id: i}
+	}
+	sort.Slice(pts, func(a, c int) bool {
+		if pts[a].pos.X != pts[c].pos.X {
+			return pts[a].pos.X < pts[c].pos.X
+		}
+		if pts[a].pos.Y != pts[c].pos.Y {
+			return pts[a].pos.Y < pts[c].pos.Y
+		}
+		return pts[a].id < pts[c].id
+	})
+	out := make([]int32, n)
+	for rank, p := range pts {
+		out[p.id] = int32(rank * shards / n)
+	}
+	return out
+}
+
+// buildParallel assembles the sharded simulation: the primary world via
+// buildFull, then one replica world per additional shard, then the
+// network clones bound to their shards.
+func (s Scenario) buildParallel(tracer trace.Tracer) (*parallelRun, error) {
+	var bufs []*trace.Buffer
+	var primaryTracer trace.Tracer
+	if tracer != nil {
+		// Shards emit into private buffers; the merged canonical stream
+		// is replayed into the caller's tracer after the run.
+		bufs = make([]*trace.Buffer, s.Shards)
+		for i := range bufs {
+			bufs[i] = &trace.Buffer{}
+		}
+		primaryTracer = bufs[0]
+	}
+	b, err := s.buildFull(primaryTracer, true)
+	if err != nil {
+		return nil, err
+	}
+	p := &parallelRun{
+		b:         b,
+		scheds:    make([]*sim.Scheduler, s.Shards),
+		channels:  make([]*radio.Channel, s.Shards),
+		clones:    make([]*node.Network, s.Shards),
+		colls:     make([]*metrics.Collector, s.Shards),
+		meters:    make([]*energy.Meter, s.Shards),
+		bufs:      bufs,
+		lookahead: b.channel.Config().Lookahead(),
+	}
+	p.scheds[0], p.channels[0], p.clones[0] = b.sched, b.channel, b.network
+	p.colls[0], p.meters[0] = b.coll, b.meter
+	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(s.AreaSide, s.AreaSide))
+	for k := 1; k < s.Shards; k++ {
+		// Each replica rebuilds mobility and loss streams from a fresh
+		// registry with the primary's seed: streams are derived by name,
+		// so replica trajectories and draws match the primary's exactly.
+		rng := sim.NewRNG(s.Seed)
+		sched := sim.NewSchedulerWithCounters(b.sched.Counters())
+		sched.SplitGlobal()
+		mob, err := s.buildMobility(area, rng)
+		if err != nil {
+			return nil, err
+		}
+		meter, err := energy.NewMeter(s.Nodes, energy.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		ch, err := radio.New(s.radioConfig(), sched, mob, meter, lossStreams(rng, s.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		if s.NoPooling {
+			sched.DisableRecycling()
+			ch.DisableRecycling()
+		}
+		var tr trace.Tracer
+		if bufs != nil {
+			tr = bufs[k]
+		}
+		coll := newCollector()
+		clone, err := b.network.CloneForShard(node.ShardWorld{
+			Scheduler: sched,
+			Channel:   ch,
+			Collector: coll,
+			Meter:     meter,
+			Tracer:    tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.scheds[k], p.channels[k], p.clones[k] = sched, ch, clone
+		p.colls[k], p.meters[k] = coll, meter
+	}
+	p.shardOf = shardAssignment(b, s.Shards)
+	if err := b.network.EnableSharding(p.shardOf, p.clones); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// run drives the window loop to the end time. Shard 0 executes on the
+// calling goroutine; shards 1.. on persistent workers that park between
+// windows. All cross-goroutine synchronization is by the start/done
+// channel handshake, which orders every shard's window against the
+// coordinator's barrier work.
+func (p *parallelRun) run(until float64) {
+	type worker struct {
+		start chan float64
+		done  chan struct{}
+	}
+	workers := make([]worker, len(p.scheds)-1)
+	for i := range workers {
+		w := worker{start: make(chan float64, 1), done: make(chan struct{}, 1)}
+		workers[i] = w
+		go func(sc *sim.Scheduler) {
+			for h := range w.start {
+				sc.RunBefore(h)
+				w.done <- struct{}{}
+			}
+		}(p.scheds[i+1])
+	}
+	defer func() {
+		for _, w := range workers {
+			close(w.start)
+		}
+	}()
+
+	p.b.network.StartParallel(until)
+	for {
+		// T: earliest shard-local event; G: earliest global event.
+		T, G := math.Inf(1), math.Inf(1)
+		for _, sc := range p.scheds {
+			if t, ok := sc.PeekLocal(); ok && t < T {
+				T = t
+			}
+			if t, ok := sc.PeekGlobal(); ok && t < G {
+				G = t
+			}
+		}
+		M := math.Min(T, G)
+		if M > until {
+			break
+		}
+		// The window may extend one lookahead past the earliest event but
+		// never past a due global event or the end of the run.
+		if H := math.Min(math.Min(T+p.lookahead, G), until); H > T {
+			for _, w := range workers {
+				w.start <- H
+			}
+			p.scheds[0].RunBefore(H)
+			for _, w := range workers {
+				<-w.done
+			}
+		} else {
+			p.drainBarrier(M)
+		}
+		p.flushOutboxes()
+	}
+	for _, sc := range p.scheds {
+		if sc.Now() < until {
+			sc.AdvanceTo(until)
+		}
+	}
+}
+
+// drainBarrier executes every event due exactly at time m — global ones
+// and any same-timestamp local ones — single-threaded, always firing the
+// canonically least key remaining across all shards. Re-peeking each
+// iteration mirrors the sequential scheduler's pop-min behavior when a
+// fired event schedules more work at the same instant.
+//
+// Every shard clock is advanced to m first: a barrier event may touch
+// peers on any shard (a quit fault re-homes keys through the owner
+// clone's scheduler and channel), and those must observe the barrier
+// time, not the owner shard's last window — exactly as the sequential
+// run's single clock would read. No clock can be past m: windows never
+// run past the earliest global event, and m is the minimum pending time.
+func (p *parallelRun) drainBarrier(m float64) {
+	for _, sc := range p.scheds {
+		if sc.Now() < m {
+			sc.AdvanceTo(m)
+		}
+	}
+	for {
+		best := -1
+		var bestKey sim.EventKey
+		for i, sc := range p.scheds {
+			k, ok := sc.PeekKey()
+			if !ok || k.Time != m {
+				continue
+			}
+			if best < 0 || k.Less(bestKey) {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		p.scheds[best].StepAt(m)
+	}
+}
+
+// flushOutboxes moves cross-shard deliveries parked during the last
+// window (or barrier) to their receiving shards. Every parked arrival
+// lies at least one lookahead past its send time, hence strictly beyond
+// the window that produced it — never in the receiver's past.
+func (p *parallelRun) flushOutboxes() {
+	for _, ch := range p.channels {
+		for _, rd := range ch.DrainOutbox() {
+			p.channels[p.shardOf[rd.To]].Inject(rd)
+		}
+	}
+}
+
+// runParallel executes a Shards>1 scenario and merges the per-shard
+// worlds into the same Result shape a sequential run produces.
+func runParallel(s Scenario, tracer trace.Tracer) (Result, RunStats, error) {
+	p, err := s.buildParallel(tracer)
+	if err != nil {
+		return Result{}, RunStats{}, err
+	}
+	p.run(s.Duration)
+
+	var events uint64
+	for _, sc := range p.scheds {
+		events += sc.Executed()
+	}
+	for k := 1; k < len(p.clones); k++ {
+		p.b.coll.Merge(p.colls[k])
+		if p.b.meter != nil {
+			if err := p.b.meter.Merge(p.meters[k]); err != nil {
+				return Result{}, RunStats{}, fmt.Errorf("precinct: merging shard %d meter: %w", k, err)
+			}
+		}
+	}
+	var protoStats node.Stats
+	var radioStats radio.Stats
+	for k := range p.clones {
+		protoStats = protoStats.Add(p.clones[k].Stats())
+		radioStats = radioStats.Add(p.channels[k].Stats())
+	}
+	if p.bufs != nil {
+		var all []trace.Event
+		for _, b := range p.bufs {
+			all = append(all, b.Events...)
+		}
+		trace.Canonicalize(all)
+		for _, e := range all {
+			tracer.Emit(e)
+		}
+	}
+	return Result{
+		Scenario: s,
+		Report:   fromMetrics(p.b.network.Report()),
+		Protocol: fromStats(protoStats),
+		Radio:    fromRadio(radioStats),
+	}, RunStats{Events: events}, nil
+}

@@ -1,0 +1,194 @@
+package precinct_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+	"precinct/internal/trace"
+)
+
+// parallelize normalizes a generated scenario into the sharded-execution
+// envelope: sharded runs require perfect location knowledge and static
+// regions, so those knobs are cleared before comparing modes.
+func parallelize(s precinct.Scenario, shards int) precinct.Scenario {
+	s.BeaconInterval = 0
+	s.AdaptiveRegions = false
+	s.Shards = shards
+	return s
+}
+
+// tracedEvents executes a scenario and returns the result plus the
+// decoded protocol trace.
+func tracedEvents(s precinct.Scenario) (precinct.Result, []trace.Event, error) {
+	var buf bytes.Buffer
+	res, err := precinct.RunTraced(s, &buf)
+	if err != nil {
+		return res, nil, err
+	}
+	events, err := trace.DecodeLines(buf.Bytes())
+	return res, events, err
+}
+
+// compareModes runs a scenario sequentially and with the given shard
+// counts, requiring identical Report/Protocol/Radio and byte-identical
+// canonical traces from every mode.
+func compareModes(t *testing.T, s precinct.Scenario, shardCounts ...int) {
+	t.Helper()
+	seq, seqEvents, err := tracedEvents(parallelize(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Canonicalize(seqEvents)
+	seqBytes, err := trace.EncodeLines(seqEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range shardCounts {
+		if shards > s.Nodes {
+			continue
+		}
+		par, parEvents, err := tracedEvents(parallelize(s, shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(seq.Report, par.Report) {
+			t.Errorf("shards=%d: Report diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Report, par.Report)
+		}
+		if !reflect.DeepEqual(seq.Protocol, par.Protocol) {
+			t.Errorf("shards=%d: ProtocolStats diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Protocol, par.Protocol)
+		}
+		if !reflect.DeepEqual(seq.Radio, par.Radio) {
+			t.Errorf("shards=%d: RadioStats diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Radio, par.Radio)
+		}
+		trace.Canonicalize(parEvents)
+		parBytes, err := trace.EncodeLines(parEvents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqBytes, parBytes) {
+			t.Errorf("shards=%d: canonical traces differ (%d vs %d events)",
+				shards, len(seqEvents), len(parEvents))
+		}
+	}
+}
+
+// TestParallelEquivalence enforces the sharded-execution determinism
+// contract: for fuzz-generated scenarios across every mobility model,
+// retrieval scheme, consistency scheme, loss/collision setting, fault
+// schedule and churn — including lossy large-N scale scenarios — a run
+// sharded over 2 or 4 goroutines reports identically to the sequential
+// run, down to byte-identical canonical traces.
+func TestParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("fuzz/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			compareModes(t, fuzzgen.Expand(seed), 2, 4)
+		})
+	}
+	// The race detector multiplies the cost of the large-N seeds several
+	// times over; cap them like -short does (the full sizes run
+	// race-free in the regular suite).
+	maxNodes := 2000
+	if testing.Short() || raceEnabled {
+		maxNodes = 500
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("scale/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			compareModes(t, fuzzgen.ExpandScale(seed, maxNodes), 4)
+		})
+	}
+}
+
+// TestParallelUnpooledEquivalence pins the sharded scheduler to the
+// NoPooling reference path on a couple of seeds: freelists off on every
+// shard must not change anything.
+func TestParallelUnpooledEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 8} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := fuzzgen.Expand(seed)
+			s.NoPooling = true
+			compareModes(t, s, 4)
+		})
+	}
+}
+
+// TestParallelScenarioValidation pins the sharded-execution envelope.
+func TestParallelScenarioValidation(t *testing.T) {
+	base := precinct.DefaultScenario()
+	base.Duration = 10
+	base.Warmup = 0
+
+	s := base
+	s.Shards = 2
+	s.BeaconInterval = 1
+	if err := s.Validate(); err == nil {
+		t.Error("sharded run with beaconing should be rejected")
+	}
+	s = base
+	s.Shards = 2
+	s.AdaptiveRegions = true
+	if err := s.Validate(); err == nil {
+		t.Error("sharded run with adaptive regions should be rejected")
+	}
+	s = base
+	s.Shards = s.Nodes + 1
+	if err := s.Validate(); err == nil {
+		t.Error("more shards than nodes should be rejected")
+	}
+	s = base
+	s.Shards = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative shards should be rejected")
+	}
+	s = base
+	s.Shards = 2
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid sharded scenario rejected: %v", err)
+	}
+}
+
+// TestTraceShuffleCanonicalizes records a real run's trace, shuffles it,
+// and requires canonicalization to restore the byte-exact encoding of
+// the canonicalized sequential ordering — the property the cross-mode
+// trace comparison rests on.
+func TestTraceShuffleCanonicalizes(t *testing.T) {
+	s := fuzzgen.Expand(5)
+	_, events, err := tracedEvents(parallelize(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 100 {
+		t.Fatalf("trace too small to be meaningful: %d events", len(events))
+	}
+	want := append([]trace.Event(nil), events...)
+	trace.Canonicalize(want)
+	wantBytes, err := trace.EncodeLines(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]trace.Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		trace.Canonicalize(shuffled)
+		got, err := trace.EncodeLines(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Fatalf("trial %d: shuffled trace does not canonicalize to the sequential ordering", trial)
+		}
+	}
+}

@@ -169,6 +169,15 @@ type Scenario struct {
 	ChurnInterval float64
 	ChurnDowntime float64
 	ChurnGraceful float64
+
+	// Shards > 1 runs the event loop on that many goroutines, one per
+	// spatial shard, synchronized at a conservative lookahead horizon
+	// derived from the minimum radio frame delay (DESIGN.md section 13).
+	// Results are identical to the sequential run (0 or 1): same Report,
+	// same protocol and radio counters, same trace events. Requires
+	// perfect location knowledge (BeaconInterval 0) and static regions
+	// (no AdaptiveRegions); checkpointing a sharded run is not supported.
+	Shards int
 }
 
 // Weights are the GD-LD utility weights: U = WR*accesses +
@@ -351,6 +360,73 @@ func policyByName(name string, w Weights) (cache.Policy, error) {
 	}
 }
 
+// lossStreams builds the per-sender frame-loss RNG streams the radio
+// layer consumes. One stream per sender keeps loss draws independent of
+// which shard executes a transmission, so sharded runs reproduce the
+// sequential draw sequence exactly.
+func lossStreams(rng *sim.RNG, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rng.Stream(fmt.Sprintf("loss/%d", i))
+	}
+	return out
+}
+
+// buildMobility constructs the scenario's mobility model against a given
+// RNG registry. Shard replicas call it with identically-seeded fresh
+// registries: streams are derived by name, so each replica's model walks
+// the exact trajectory the primary's does.
+func (s Scenario) buildMobility(area geo.Rect, rng *sim.RNG) (mobility.Model, error) {
+	model := s.MobilityModel
+	if model == "" {
+		if s.Mobile {
+			model = "waypoint"
+		} else {
+			model = "static"
+		}
+	}
+	switch model {
+	case "waypoint":
+		return mobility.NewWaypoint(s.Nodes, mobility.WaypointConfig{
+			Area:     area,
+			MinSpeed: 0.5,
+			MaxSpeed: s.MaxSpeed,
+			Pause:    s.Pause,
+		}, rng)
+	case "static":
+		return mobility.NewGridStatic(s.Nodes, area, 0.25, rng.Stream("placement"))
+	case "random-walk":
+		return mobility.NewWalk(s.Nodes, mobility.WalkConfig{
+			Area:     area,
+			MinSpeed: 0.5,
+			MaxSpeed: s.MaxSpeed,
+			StepTime: 20,
+		}, rng)
+	case "gauss-markov":
+		return mobility.NewGaussMarkov(s.Nodes, mobility.GaussMarkovConfig{
+			Area:           area,
+			MeanSpeed:      s.MaxSpeed,
+			SpeedSigma:     s.MaxSpeed / 4,
+			Alpha:          0.85,
+			UpdateInterval: 1,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("precinct: unknown mobility model %q", model)
+	}
+}
+
+// radioConfig maps the scenario's radio knobs onto the channel config.
+func (s Scenario) radioConfig() radio.Config {
+	cfg := radio.DefaultConfig()
+	cfg.Range = s.Range
+	cfg.Bandwidth = s.Bandwidth
+	cfg.LossRate = s.LossRate
+	cfg.BeaconInterval = s.BeaconInterval
+	cfg.Collisions = s.Collisions
+	cfg.LinearScan = s.LinearRadio
+	return cfg
+}
+
 // build wires the scenario into a runnable simulation.
 func (s Scenario) build() (*built, error) { return s.buildTraced(nil) }
 
@@ -378,49 +454,32 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	if s.Warmup < 0 || s.Warmup >= s.Duration {
 		return nil, fmt.Errorf("precinct: warmup %v must be in [0, duration)", s.Warmup)
 	}
+	if s.Shards < 0 {
+		return nil, fmt.Errorf("precinct: shards must be non-negative, got %d", s.Shards)
+	}
+	if s.Shards > 1 {
+		if s.Shards > s.Nodes {
+			return nil, fmt.Errorf("precinct: %d shards exceed %d nodes", s.Shards, s.Nodes)
+		}
+		if s.BeaconInterval > 0 {
+			return nil, fmt.Errorf("precinct: sharded runs require perfect location knowledge (BeaconInterval 0)")
+		}
+		if s.AdaptiveRegions {
+			return nil, fmt.Errorf("precinct: sharded runs do not support adaptive region management")
+		}
+	}
 
 	rng := sim.NewRNG(s.Seed)
 	sched := sim.NewScheduler()
+	if s.Shards > 1 {
+		// Shard schedulers share one counter set; pre-size it for every
+		// creator (-1..Nodes-1) so concurrent draws never grow the slice.
+		sched = sim.NewSchedulerWithCounters(sim.NewCounters(s.Nodes))
+		sched.SplitGlobal()
+	}
 	area := geo.NewRect(geo.Pt(0, 0), geo.Pt(s.AreaSide, s.AreaSide))
 
-	model := s.MobilityModel
-	if model == "" {
-		if s.Mobile {
-			model = "waypoint"
-		} else {
-			model = "static"
-		}
-	}
-	var mob mobility.Model
-	var err error
-	switch model {
-	case "waypoint":
-		mob, err = mobility.NewWaypoint(s.Nodes, mobility.WaypointConfig{
-			Area:     area,
-			MinSpeed: 0.5,
-			MaxSpeed: s.MaxSpeed,
-			Pause:    s.Pause,
-		}, rng)
-	case "static":
-		mob, err = mobility.NewGridStatic(s.Nodes, area, 0.25, rng.Stream("placement"))
-	case "random-walk":
-		mob, err = mobility.NewWalk(s.Nodes, mobility.WalkConfig{
-			Area:     area,
-			MinSpeed: 0.5,
-			MaxSpeed: s.MaxSpeed,
-			StepTime: 20,
-		}, rng)
-	case "gauss-markov":
-		mob, err = mobility.NewGaussMarkov(s.Nodes, mobility.GaussMarkovConfig{
-			Area:           area,
-			MeanSpeed:      s.MaxSpeed,
-			SpeedSigma:     s.MaxSpeed / 4,
-			Alpha:          0.85,
-			UpdateInterval: 1,
-		}, rng)
-	default:
-		return nil, fmt.Errorf("precinct: unknown mobility model %q", model)
-	}
+	mob, err := s.buildMobility(area, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -430,14 +489,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		return nil, err
 	}
 
-	radioCfg := radio.DefaultConfig()
-	radioCfg.Range = s.Range
-	radioCfg.Bandwidth = s.Bandwidth
-	radioCfg.LossRate = s.LossRate
-	radioCfg.BeaconInterval = s.BeaconInterval
-	radioCfg.Collisions = s.Collisions
-	radioCfg.LinearScan = s.LinearRadio
-	ch, err := radio.New(radioCfg, sched, mob, meter, rng.Stream("loss"))
+	ch, err := radio.New(s.radioConfig(), sched, mob, meter, lossStreams(rng, s.Nodes))
 	if err != nil {
 		return nil, err
 	}
@@ -634,6 +686,9 @@ func RunWithStats(s Scenario) (Result, RunStats, error) {
 }
 
 func runWithStats(s Scenario, tracer trace.Tracer) (Result, RunStats, error) {
+	if s.Shards > 1 {
+		return runParallel(s, tracer)
+	}
 	b, err := s.buildTraced(tracer)
 	if err != nil {
 		return Result{}, RunStats{}, err

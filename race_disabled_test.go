@@ -1,0 +1,7 @@
+//go:build !race
+
+package precinct_test
+
+// raceEnabled mirrors the race detector's build tag; see
+// race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package precinct_test
+
+// raceEnabled mirrors the race detector's build tag, letting heavyweight
+// suites cap their largest scenarios when instrumentation multiplies
+// their cost (the full sizes still run race-free under `make test`).
+const raceEnabled = true

@@ -1,12 +1,9 @@
 package precinct
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"precinct/internal/pool"
 	"precinct/internal/stats"
 )
 
@@ -38,49 +35,10 @@ func Sweep(scenarios []Scenario, workers int) ([]Result, error) {
 	return results, nil
 }
 
-// runPool executes job(0..n-1) on a worker pool. workers <= 0 uses
-// GOMAXPROCS. The first error aborts the pool: already-running jobs
-// finish, queued jobs are skipped, and the returned error joins every
-// job error that occurred.
+// runPool executes job(0..n-1) on a worker pool. It is a thin alias
+// for pool.Run, kept so existing call sites read unchanged.
 func runPool(n, workers int, job func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	errs := make([]error, n)
-
-	// Buffering the queue lets it be filled and closed up front, so
-	// workers observing the abort flag can drain the remainder without a
-	// producer goroutine blocking on sends.
-	jobs := make(chan int, n)
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-
-	var aborted atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if aborted.Load() {
-					continue
-				}
-				if err := job(i); err != nil {
-					errs[i] = err
-					aborted.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	return errors.Join(errs...)
+	return pool.Run(n, workers, job)
 }
 
 // Replicate runs the same scenario under each seed (in parallel) and
