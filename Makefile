@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke cover soak ci
+.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke cover soak soak-100k ci
 
 all: build
 
@@ -124,6 +124,8 @@ resume-smoke:
 # area grows with sqrt(N), ~400 m regions) must (1) complete under the
 # full runtime invariant catalog and (2) survive an interrupted
 # checkpoint/resume round-trip bit-identically to an uninterrupted run.
+# A second, 10000-node cell (the SoA layout's first big tier, DESIGN.md
+# section 14) runs the invariant catalog at a smoke-sized horizon.
 scale-smoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	flags="-nodes 1000 -area 4243 -regions 121 -loss 0.1 -warmup 30 -duration 180" && \
@@ -133,13 +135,24 @@ scale-smoke:
 	test -n "$$(ls "$$dir"/*.ckpt)" && \
 	$(GO) run ./cmd/precinct-sim $$flags -checkpoint-dir "$$dir" -resume > "$$dir/resumed.txt" && \
 	diff "$$dir/full.txt" "$$dir/resumed.txt" && \
-	echo "scale-smoke: 1000-node lossy run passed the invariant catalog and resumed bit-identically"
+	echo "scale-smoke: 1000-node lossy run passed the invariant catalog and resumed bit-identically" && \
+	$(GO) run ./cmd/precinct-sim -nodes 10000 -area 13416 -regions 1156 -loss 0.1 -warmup 30 -duration 120 -check > "$$dir/checked10k.txt" && \
+	echo "scale-smoke: 10000-node lossy run passed the invariant catalog"
 
 # The build-tagged endurance tier (soak_test.go): one 2000-node, 30%
 # loss scenario for a long horizon under the invariant catalog, plus
 # checkpoint/resume and heap/linear equivalence at that scale. Minutes,
-# not seconds — run explicitly, not from ci.
+# not seconds — run explicitly, not from ci. The 100k memory soak has
+# its own target below.
 soak:
-	$(GO) test -tags soak -run Soak -timeout 60m -v .
+	$(GO) test -tags soak -run Soak -skip Soak100k -timeout 60m -v .
+
+# The 100k-node memory-ceiling soak (soak100k_test.go, DESIGN.md
+# section 14): the acceptance-shape scenario — 100000 nodes, 30% loss,
+# push-adaptive-pull, 300 s — under the full invariant catalog with an
+# RSS sampler alongside; peak resident set must stay at or under 4 GiB.
+# Tens of minutes — run explicitly, not from ci.
+soak-100k:
+	$(GO) test -tags soak -run Soak100k -timeout 60m -v .
 
 ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke bench-compare-allocs bench-compare-advisory

@@ -139,12 +139,17 @@ func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly, advis
 	// like the sequential ones; goroutine scheduling adds runtime
 	// bookkeeping jitter of order 1e-4 allocs/event, absorbed many times
 	// over by the 0.05 absolute slack, so allocations still gate hard.
+	// The 10000-node cell anchors the big tier (DESIGN.md section 14):
+	// its allocs/event gate binding like the others, and its resident-set
+	// footprint (mem_bytes_per_node) is compared advisory — RSS depends
+	// on the machine and GC phase, so it warns about per-node memory
+	// growth without failing builds on paging noise.
 	fmt.Printf("scale probes vs %s (tolerance %.0f%%):\n", baseScale, tol*100)
 	for _, cell := range []struct {
 		n      int
 		loss   float64
 		shards int
-	}{{500, 0, 1}, {500, 0.1, 1}, {500, 0.1, 4}} {
+	}{{500, 0, 1}, {500, 0.1, 1}, {500, 0.1, 4}, {10000, 0.3, 1}} {
 		name := fmt.Sprintf("scale/n=%d/loss=%g", cell.n, cell.loss)
 		if cell.shards > 1 {
 			name += fmt.Sprintf("/shards=%d", cell.shards)
@@ -168,6 +173,12 @@ func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly, advis
 		}
 		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol, 0.05, advisory) {
 			regressed = true
+		}
+		if base.MemBytesPerNode > 0 && e.MemBytesPerNode > 0 {
+			// Always advisory: resident-set footprint is not deterministic
+			// the way allocation counts are. The 4096-byte slack absorbs
+			// page-granularity jitter on small cells.
+			compareProbe(name, "mem_bytes_per_node", base.MemBytesPerNode, e.MemBytesPerNode, tol, 4096, true)
 		}
 	}
 

@@ -2,12 +2,16 @@ package main
 
 // Scale-tier benchmark suite, run via -scale. It runs the large-N
 // scenario grid — nodes in {250, 500, 1000, 2000} crossed with loss
-// rates {0, 0.1, 0.3} at constant node density — end to end and emits a
-// machine-readable JSON report (BENCH_scale.json at the repository root
-// holds the committed numbers; see EXPERIMENTS.md §Scale tier). Each
-// cell records wall clock, scheduler throughput (events/sec), allocation
-// pressure (allocs/event) and the headline protocol metrics, so both
-// performance and behavior are tracked across commits.
+// rates {0, 0.1, 0.3} at constant node density, plus the big tier
+// {10000, 50000, 100000} at the acceptance loss rate 0.3 (DESIGN.md
+// section 14) — end to end and emits a machine-readable JSON report
+// (BENCH_scale.json at the repository root holds the committed numbers;
+// see EXPERIMENTS.md §Scale tier). Each cell records wall clock,
+// scheduler throughput (events/sec), allocation pressure (allocs/event),
+// resident-set footprint (bytes/node, sampled from /proc/self/status
+// with the heap released to the OS between cells) and the headline
+// protocol metrics, so performance, memory and behavior are all tracked
+// across commits.
 //
 // Every cell also runs under the sharded parallel scheduler (DESIGN.md
 // section 13) with 2 and 4 shards, recording per-cell scaling
@@ -16,11 +20,16 @@ package main
 // counts diverge — so the speedup summary keys compare identical work.
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"precinct"
@@ -38,10 +47,18 @@ type scaleEntry struct {
 	Events         uint64  `json:"events"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
-	Requests       uint64  `json:"requests"`
-	ByteHitRatio   float64 `json:"byte_hit_ratio"`
-	MeanLatency    float64 `json:"mean_latency_s"`
-	P95Latency     float64 `json:"p95_latency_s"`
+	// PeakRSSBytes is the peak resident set sampled during the cell (0
+	// where /proc/self/status is unavailable); MemBytesPerNode divides it
+	// by the node count — the per-node footprint the SoA layout bounds
+	// (DESIGN.md section 14). Resident-set numbers are machine- and
+	// GC-phase-dependent, so the regression gate only compares them
+	// advisory, never binding.
+	PeakRSSBytes    uint64  `json:"peak_rss_bytes"`
+	MemBytesPerNode float64 `json:"mem_bytes_per_node"`
+	Requests        uint64  `json:"requests"`
+	ByteHitRatio    float64 `json:"byte_hit_ratio"`
+	MeanLatency     float64 `json:"mean_latency_s"`
+	P95Latency      float64 `json:"p95_latency_s"`
 }
 
 type scaleBenchReport struct {
@@ -80,15 +97,70 @@ func scaleScenario(n int, loss float64, quick bool) precinct.Scenario {
 	return s
 }
 
+// readRSSBytes reads the process's current resident set from
+// /proc/self/status (VmRSS, in kB). Returns 0 where procfs is
+// unavailable, which leaves the memory columns zero.
+func readRSSBytes() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
 // runScaleCell executes one grid cell, measuring wall clock and the
-// allocation count around the run.
+// allocation count around the run, with a sampler goroutine tracking
+// peak RSS. The heap is released to the OS first so one cell's garbage
+// does not inflate the next cell's resident set.
 func runScaleCell(s precinct.Scenario) (scaleEntry, error) {
+	debug.FreeOSMemory()
+	var peakRSS atomic.Uint64
+	peakRSS.Store(readRSSBytes())
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if rss := readRSSBytes(); rss > peakRSS.Load() {
+					peakRSS.Store(rss)
+				}
+			}
+		}
+	}()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
 	res, stats, err := precinct.RunWithStats(s)
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
+	if rss := readRSSBytes(); rss > peakRSS.Load() {
+		peakRSS.Store(rss)
+	}
+	close(stop)
+	<-sampled
 	if err != nil {
 		return scaleEntry{}, err
 	}
@@ -116,6 +188,8 @@ func runScaleCell(s precinct.Scenario) (scaleEntry, error) {
 		e.EventsPerSec = float64(stats.Events) / wall.Seconds()
 		e.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(stats.Events)
 	}
+	e.PeakRSSBytes = peakRSS.Load()
+	e.MemBytesPerNode = float64(e.PeakRSSBytes) / float64(s.Nodes)
 	return e, nil
 }
 
@@ -130,44 +204,60 @@ func writeScaleBench(path string, quick bool) error {
 		Quick:   quick,
 		Summary: map[string]float64{},
 	}
+	type cell struct {
+		n    int
+		loss float64
+	}
+	var cells []cell
 	nodes := []int{250, 500, 1000, 2000}
 	losses := []float64{0, 0.1, 0.3}
 	if quick {
 		nodes = []int{250, 500}
 		losses = []float64{0, 0.1}
 	}
+	for _, n := range nodes {
+		for _, loss := range losses {
+			cells = append(cells, cell{n, loss})
+		}
+	}
+	// The big tier (DESIGN.md section 14): 10k–100k nodes at the
+	// acceptance loss rate. Full runs only — at these sizes even the
+	// quick durations are minutes, defeating the point of -quick.
+	if !quick {
+		for _, n := range []int{10000, 50000, 100000} {
+			cells = append(cells, cell{n, 0.3})
+		}
+	}
 	shardCounts := []int{1, 2, 4}
 
 	fmt.Printf("scale tier, end-to-end runs (%d cores):\n", rep.Cores)
-	for _, n := range nodes {
-		for _, loss := range losses {
-			var seq scaleEntry
-			for _, shards := range shardCounts {
-				s := scaleScenario(n, loss, quick)
-				s.Shards = shards
-				e, err := runScaleCell(s)
-				if err != nil {
-					return fmt.Errorf("%s: %w", s.Name, err)
-				}
-				rep.Results = append(rep.Results, e)
-				fmt.Printf("  %-34s %8.2fs wall %10.0f ev/s %6.1f allocs/ev  hit %.3f  p95 %.3fs\n",
-					e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent,
-					e.ByteHitRatio, e.P95Latency)
-				if e.Requests == 0 {
-					return fmt.Errorf("%s: no requests issued", s.Name)
-				}
-				if shards == 1 {
-					seq = e
-					continue
-				}
-				// The sharded scheduler is report-identical to the
-				// sequential reference; a diverging event count means the
-				// two modes did different work and every speedup number
-				// below would be meaningless.
-				if e.Events != seq.Events {
-					return fmt.Errorf("%s: executed %d events, sequential reference executed %d",
-						e.Name, e.Events, seq.Events)
-				}
+	for _, c := range cells {
+		var seq scaleEntry
+		for _, shards := range shardCounts {
+			s := scaleScenario(c.n, c.loss, quick)
+			s.Shards = shards
+			e, err := runScaleCell(s)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rep.Results = append(rep.Results, e)
+			fmt.Printf("  %-34s %8.2fs wall %10.0f ev/s %6.1f allocs/ev  hit %.3f  p95 %.3fs  %5.1f KiB/node\n",
+				e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent,
+				e.ByteHitRatio, e.P95Latency, e.MemBytesPerNode/1024)
+			if e.Requests == 0 {
+				return fmt.Errorf("%s: no requests issued", s.Name)
+			}
+			if shards == 1 {
+				seq = e
+				continue
+			}
+			// The sharded scheduler is report-identical to the
+			// sequential reference; a diverging event count means the
+			// two modes did different work and every speedup number
+			// below would be meaningless.
+			if e.Events != seq.Events {
+				return fmt.Errorf("%s: executed %d events, sequential reference executed %d",
+					e.Name, e.Events, seq.Events)
 			}
 		}
 	}
@@ -179,6 +269,7 @@ func writeScaleBench(path string, quick bool) error {
 		}
 		rep.Summary[key+"_events_per_sec"] = e.EventsPerSec
 		rep.Summary[key+"_allocs_per_event"] = e.AllocsPerEvent
+		rep.Summary[key+"_mem_bytes_per_node"] = e.MemBytesPerNode
 	}
 	// Per-cell scaling efficiency: wall-clock speedup of each sharded run
 	// over the sequential reference of the same cell.

@@ -459,14 +459,19 @@ type StoredItem struct {
 	TTR float64
 }
 
-// NewStore returns an empty static store.
-func NewStore() *Store { return &Store{items: make(map[workload.Key]*StoredItem)} }
+// NewStore returns an empty static store. The backing map is allocated
+// on first Put: at large N the vast majority of peers never hold a key,
+// and 100k empty maps are pure startup RSS.
+func NewStore() *Store { return &Store{} }
 
 // Len returns the number of stored keys.
 func (s *Store) Len() int { return len(s.items) }
 
 // Put inserts or replaces an item.
 func (s *Store) Put(it StoredItem) {
+	if s.items == nil {
+		s.items = make(map[workload.Key]*StoredItem)
+	}
 	cp := it
 	s.items[it.Key] = &cp
 }

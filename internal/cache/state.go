@@ -90,8 +90,14 @@ func (s *Store) StateSnapshot() []StoredItem {
 	return out
 }
 
-// RestoreState overwrites the store's contents from a snapshot.
+// RestoreState overwrites the store's contents from a snapshot. An
+// empty snapshot restores to the lazy (nil-map) state, so a restored
+// large-N run pays for only the stores that actually hold keys.
 func (s *Store) RestoreState(items []StoredItem) error {
+	if len(items) == 0 {
+		s.items = nil
+		return nil
+	}
 	m := make(map[workload.Key]*StoredItem, len(items))
 	for i := range items {
 		it := items[i]

@@ -44,7 +44,12 @@ const Magic = "PRCNCKPT"
 // accumulator cells instead of precomputed floats, scheduler processes
 // carry their creator for canonical-key-faithful re-arming, and
 // message-ID counters moved from the network section into each peer.
-const Version = 2
+//
+// Version 3: the metrics section carries the streaming collector's
+// running aggregates (sample cap, total seen, Kahan latency sums, max,
+// per-class sums, reservoir RNG state) alongside the retained samples,
+// so a capped collector restores mid-reservoir bit-identically.
+const Version = 3
 
 // sectionNames is the canonical section order. Decode enforces it
 // exactly: a reordered or renamed section means the file was not written

@@ -42,6 +42,11 @@ func FuzzDecode(f *testing.F) {
 		v := append([]byte(nil), golden...)
 		binary.BigEndian.PutUint32(v[len(Magic):], Version+1)
 		f.Add(v)
+		// Previous format version: a version-2 header on a version-3 body
+		// must be rejected up front, not misparsed section by section.
+		pv := append([]byte(nil), golden...)
+		binary.BigEndian.PutUint32(pv[len(Magic):], Version-1)
+		f.Add(pv)
 		// Flip a byte deep in a payload so a CRC must catch it.
 		c := append([]byte(nil), golden...)
 		c[len(c)/2] ^= 0x01
@@ -91,6 +96,9 @@ func TestFuzzSeedsRejectCleanly(t *testing.T) {
 	v := append([]byte(nil), golden...)
 	binary.BigEndian.PutUint32(v[len(Magic):], Version+1)
 	bad["version"] = v
+	pv := append([]byte(nil), golden...)
+	binary.BigEndian.PutUint32(pv[len(Magic):], Version-1)
+	bad["old-version"] = pv
 	c := append([]byte(nil), golden...)
 	c[len(c)/2] ^= 0x01
 	bad["bitflip"] = c

@@ -111,19 +111,22 @@ func Expand(seed int64) precinct.Scenario {
 }
 
 // ExpandScale grows a seed into a large-N, lossy scenario for the scale
-// tier: 250–2000 peers at the paper's node density (the area grows with
-// sqrt(N) and the grid keeps ~400 m regions), always with a nonzero
-// LossRate. maxNodes caps the node count so tests can stay tractable
-// under -short (the invariant suite passes 500 there, 2000 otherwise).
-// Durations are short — event volume already scales with N — so a
-// 2000-node scenario completes in seconds, not minutes.
+// tier: 250–100000 peers at the paper's node density (the area grows
+// with sqrt(N) and the grid keeps ~400 m regions), always with a
+// nonzero LossRate. maxNodes caps the node count so tests can stay
+// tractable under -short (the invariant suite passes 500 there, 2000
+// otherwise; only the soak/acceptance runs lift the cap into the
+// 10k–100k tier). Durations are short — event volume already scales
+// with N — except at 10k+ nodes, where the duration is pinned to the
+// acceptance shape (300 s, 60 s warmup) regardless of seed.
 func ExpandScale(seed int64, maxNodes int) precinct.Scenario {
 	rng := rand.New(rand.NewSource(seed ^ 0x5ca1e5ca1e))
 	s := precinct.DefaultScenario()
 	s.Name = fmt.Sprintf("scale-%d", seed)
 	s.Seed = seed
 
-	nodes := 250 << rng.Intn(4) // 250, 500, 1000, 2000
+	tiers := []int{250, 500, 1000, 2000, 10000, 50000, 100000}
+	nodes := tiers[rng.Intn(len(tiers))]
 	if maxNodes > 0 && nodes > maxNodes {
 		nodes = maxNodes
 	}
@@ -160,6 +163,12 @@ func ExpandScale(seed int64, maxNodes int) precinct.Scenario {
 
 	s.Warmup = 20
 	s.Duration = 60 + float64(rng.Intn(61))
+	if s.Nodes >= 10000 {
+		// The big tier always runs the acceptance shape: a full 300 s
+		// scenario with a 60 s cache-fill warmup.
+		s.Warmup = 60
+		s.Duration = 300
+	}
 	return s
 }
 

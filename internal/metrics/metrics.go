@@ -61,6 +61,24 @@ type Collector struct {
 	byClass      [numClasses]uint64
 	staleByClass [numClasses]uint64
 
+	// Streaming mode (DESIGN.md section 14). cap == 0 retains every
+	// latency sample — the exact reference behavior, where Snapshot
+	// digests are computed over sorted copies of the full multiset.
+	// cap > 0 bounds the retained buffer: once more than cap samples have
+	// been observed the buffer becomes an Algorithm-R reservoir and the
+	// running aggregates below take over the mean/max, so memory stays
+	// constant no matter how long the run is. Below the cap the two modes
+	// are bit-identical.
+	cap      int
+	seen     uint64  // latency samples observed (== len(latencies) until the cap is crossed)
+	latSum   float64 // Kahan running sum over every latency observed
+	latSumC  float64 // Kahan compensation for latSum
+	latMax   float64
+	rngState uint64 // splitmix64 state driving reservoir replacement draws
+
+	classSum  [numClasses]float64 // Kahan running per-class latency sums
+	classSumC [numClasses]float64
+
 	bytesRequested int64
 	bytesFromCache int64 // served from local or regional caches
 
@@ -75,14 +93,53 @@ type Collector struct {
 	pollsIssued   uint64
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty collector that retains every sample.
 func NewCollector() *Collector { return &Collector{} }
+
+// NewCollectorCapped returns a collector that retains at most cap
+// latency samples. Until the cap is crossed it behaves exactly like an
+// uncapped collector; past it, the sample buffer turns into a uniform
+// reservoir (Algorithm R with a deterministic splitmix64 stream) and
+// the snapshot's mean/max come from exact running aggregates, with the
+// percentiles estimated from the reservoir. cap <= 0 means unlimited.
+func NewCollectorCapped(cap int) *Collector {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Collector{cap: cap}
+}
+
+// SampleCap returns the retained-sample bound (0 = unlimited).
+func (c *Collector) SampleCap() int { return c.cap }
+
+// kahanAdd folds v into the compensated running sum (*sum, *comp).
+func kahanAdd(sum, comp *float64, v float64) {
+	y := v - *comp
+	t := *sum + y
+	*comp = (t - *sum) - y
+	*sum = t
+}
+
+// nextRand advances the collector's deterministic splitmix64 stream.
+// The stream exists so reservoir replacement never touches the
+// simulation's RNG registry: collectors draw identically on every
+// machine without perturbing any protocol-visible random sequence.
+func (c *Collector) nextRand() uint64 {
+	c.rngState += 0x9E3779B97F4A7C15
+	z := c.rngState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
 
 // Reserve pre-sizes the latency sample buffer for about n completed
 // requests, so large-N runs do not regrow it doubling-by-doubling in
 // the event loop. Purely a capacity hint: it never shrinks the buffer
 // and has no effect on any observation or snapshot.
 func (c *Collector) Reserve(n int) {
+	if c.cap > 0 && n > c.cap {
+		n = c.cap // the buffer never grows past the reservoir bound
+	}
 	if n <= 0 || cap(c.latencies) >= n {
 		return
 	}
@@ -106,8 +163,22 @@ func (c *Collector) Request(latency float64, size int, class HitClass, stale boo
 	if class == Failure {
 		return
 	}
-	c.latencies = append(c.latencies, latency)
-	c.latClasses = append(c.latClasses, uint8(class))
+	c.seen++
+	kahanAdd(&c.latSum, &c.latSumC, latency)
+	kahanAdd(&c.classSum[class], &c.classSumC[class], latency)
+	if latency > c.latMax {
+		c.latMax = latency
+	}
+	if c.cap == 0 || len(c.latencies) < c.cap {
+		c.latencies = append(c.latencies, latency)
+		c.latClasses = append(c.latClasses, uint8(class))
+	} else if j := c.nextRand() % c.seen; j < uint64(c.cap) {
+		// Algorithm R: the t-th sample (t = seen) replaces a uniformly
+		// chosen slot with probability cap/t, keeping the buffer a
+		// uniform sample of everything observed so far.
+		c.latencies[j] = latency
+		c.latClasses[j] = uint8(class)
+	}
 	if class == LocalHit || class == RegionalHit {
 		c.bytesFromCache += int64(size)
 	}
@@ -174,6 +245,18 @@ type State struct {
 
 	UpdatesIssued uint64
 	PollsIssued   uint64
+
+	// Streaming-mode accumulators (checkpoint container version 3).
+	// SamplesSeen > len(Latencies) marks a collector whose buffer has
+	// become a reservoir; the sums reproduce the continued run exactly.
+	SampleCap   int
+	SamplesSeen uint64
+	LatSum      float64
+	LatSumC     float64
+	LatMax      float64
+	ClassSum    []float64
+	ClassSumC   []float64
+	RNGState    uint64
 }
 
 // StateSnapshot captures the collector's accumulators.
@@ -183,6 +266,14 @@ func (c *Collector) StateSnapshot() State {
 		LatClasses:          append([]uint8(nil), c.latClasses...),
 		ByClass:             append([]uint64(nil), c.byClass[:]...),
 		StaleByClass:        append([]uint64(nil), c.staleByClass[:]...),
+		SampleCap:           c.cap,
+		SamplesSeen:         c.seen,
+		LatSum:              c.latSum,
+		LatSumC:             c.latSumC,
+		LatMax:              c.latMax,
+		ClassSum:            append([]float64(nil), c.classSum[:]...),
+		ClassSumC:           append([]float64(nil), c.classSumC[:]...),
+		RNGState:            c.rngState,
 		BytesRequested:      c.bytesRequested,
 		BytesFromCache:      c.bytesFromCache,
 		ControlMessages:     c.controlMessages,
@@ -211,10 +302,33 @@ func (c *Collector) RestoreState(st State) error {
 			return fmt.Errorf("metrics: snapshot latency sample carries class %d", cl)
 		}
 	}
+	if st.SampleCap != c.cap {
+		return fmt.Errorf("metrics: snapshot collector retains %d samples, this run retains %d",
+			st.SampleCap, c.cap)
+	}
+	if st.SamplesSeen < uint64(len(st.Latencies)) {
+		return fmt.Errorf("metrics: snapshot saw %d samples but retains %d",
+			st.SamplesSeen, len(st.Latencies))
+	}
+	if c.cap > 0 && len(st.Latencies) > c.cap {
+		return fmt.Errorf("metrics: snapshot retains %d samples over the %d cap",
+			len(st.Latencies), c.cap)
+	}
+	if len(st.ClassSum) != int(numClasses) || len(st.ClassSumC) != int(numClasses) {
+		return fmt.Errorf("metrics: snapshot has %d/%d class sums, want %d",
+			len(st.ClassSum), len(st.ClassSumC), int(numClasses))
+	}
 	c.latencies = append([]float64(nil), st.Latencies...)
 	c.latClasses = append([]uint8(nil), st.LatClasses...)
 	copy(c.byClass[:], st.ByClass)
 	copy(c.staleByClass[:], st.StaleByClass)
+	c.seen = st.SamplesSeen
+	c.latSum = st.LatSum
+	c.latSumC = st.LatSumC
+	c.latMax = st.LatMax
+	copy(c.classSum[:], st.ClassSum)
+	copy(c.classSumC[:], st.ClassSumC)
+	c.rngState = st.RNGState
 	c.bytesRequested = st.BytesRequested
 	c.bytesFromCache = st.BytesFromCache
 	c.controlMessages = st.ControlMessages
@@ -274,14 +388,23 @@ func (c *Collector) Snapshot() Report {
 	r.Requests = r.Completed + r.Failures
 	r.StaleByClass = make(map[string]uint64, int(numClasses))
 	r.MeanLatencyByClass = make(map[string]float64, int(numClasses))
-	// Per-class means are computed over a sorted copy of each class's
-	// samples, so the result is independent of observation order (and
-	// therefore of how a sharded run partitioned the requests).
+	// Exact mode: every observed sample is still in the buffer. Per-class
+	// and global means are computed over a sorted copy of each sample
+	// multiset, so the result is independent of observation order (and
+	// therefore of how a sharded run partitioned the requests). Once the
+	// reservoir has dropped samples (seen > retained), the exact running
+	// aggregates supply the means and max, and only the percentiles are
+	// estimated from the retained sample.
+	exact := c.seen == uint64(len(c.latencies))
 	var classBuf []float64
 	for cl := HitClass(0); cl < numClasses; cl++ {
 		r.ByClass[cl.String()] = c.byClass[cl]
 		r.StaleByClass[cl.String()] = c.staleByClass[cl]
 		if cl == Failure || c.byClass[cl] == 0 {
+			continue
+		}
+		if !exact {
+			r.MeanLatencyByClass[cl.String()] = c.classSum[cl] / float64(c.byClass[cl])
 			continue
 		}
 		classBuf = classBuf[:0]
@@ -300,7 +423,8 @@ func (c *Collector) Snapshot() Report {
 		}
 		r.MeanLatencyByClass[cl.String()] = sum / float64(c.byClass[cl])
 	}
-	if len(c.latencies) > 0 {
+	switch {
+	case exact && len(c.latencies) > 0:
 		sorted := make([]float64, len(c.latencies))
 		copy(sorted, c.latencies)
 		sort.Float64s(sorted)
@@ -312,6 +436,14 @@ func (c *Collector) Snapshot() Report {
 		r.P50Latency = percentile(sorted, 0.50)
 		r.P95Latency = percentile(sorted, 0.95)
 		r.MaxLatency = sorted[len(sorted)-1]
+	case !exact && c.seen > 0:
+		r.MeanLatency = c.latSum / float64(c.seen)
+		r.MaxLatency = c.latMax
+		sorted := make([]float64, len(c.latencies))
+		copy(sorted, c.latencies)
+		sort.Float64s(sorted)
+		r.P50Latency = percentile(sorted, 0.50)
+		r.P95Latency = percentile(sorted, 0.95)
 	}
 	if c.bytesRequested > 0 {
 		r.ByteHitRatio = float64(c.bytesFromCache) / float64(c.bytesRequested)
@@ -329,9 +461,30 @@ func (c *Collector) Snapshot() Report {
 func (c *Collector) Merge(o *Collector) {
 	c.latencies = append(c.latencies, o.latencies...)
 	c.latClasses = append(c.latClasses, o.latClasses...)
+	c.seen += o.seen
+	kahanAdd(&c.latSum, &c.latSumC, o.latSum-o.latSumC)
+	if o.latMax > c.latMax {
+		c.latMax = o.latMax
+	}
+	c.rngState ^= o.rngState
+	if c.cap > 0 && len(c.latencies) > c.cap {
+		// The concatenation overflowed the bound: keep an evenly spaced
+		// subsample. The merged buffer is a percentile estimate, not a
+		// uniform reservoir — which only matters past the cap, a regime
+		// the sub-cap equivalence contracts never enter.
+		n := len(c.latencies)
+		for i := 0; i < c.cap; i++ {
+			j := i * n / c.cap
+			c.latencies[i] = c.latencies[j]
+			c.latClasses[i] = c.latClasses[j]
+		}
+		c.latencies = c.latencies[:c.cap]
+		c.latClasses = c.latClasses[:c.cap]
+	}
 	for cl := HitClass(0); cl < numClasses; cl++ {
 		c.byClass[cl] += o.byClass[cl]
 		c.staleByClass[cl] += o.staleByClass[cl]
+		kahanAdd(&c.classSum[cl], &c.classSumC[cl], o.classSum[cl]-o.classSumC[cl])
 	}
 	c.bytesRequested += o.bytesRequested
 	c.bytesFromCache += o.bytesFromCache

@@ -78,6 +78,14 @@ type Config struct {
 	// contract (DESIGN.md section 12); the flag exists so the pooled
 	// lifecycle can be re-proven equivalent on whole scenarios.
 	NoPooling bool
+	// LegacyLayout selects the retained map-backed per-peer containers
+	// (flood-dedup map, pending-request map, individually allocated
+	// peers) instead of the default struct-of-arrays layout (peer slab,
+	// open-addressed seen table, pending slice with a request freelist).
+	// Both layouts are bit-identical by contract (DESIGN.md section 14);
+	// the flag exists so the equivalence can be re-proven on whole
+	// scenarios at any time.
+	LegacyLayout bool
 
 	// EnRoute lets peers on the path to the home region answer requests
 	// from their caches (Section 3.1).

@@ -312,7 +312,7 @@ func (p *Peer) onPollReply(m *message) {
 		return
 	}
 	n := p.net
-	req, ok := p.pending[m.ID]
+	req, ok := p.pendingGet(m.ID)
 	if !ok {
 		n.releaseMsg(m)
 		return

@@ -1,0 +1,281 @@
+package node
+
+// Struct-of-arrays peer containers (DESIGN.md section 14). The default
+// layout replaces the per-peer maps with index-friendly storage: flood
+// dedup lives in an open-addressed linear-probing table (two flat
+// slices, no per-entry boxes), outstanding requests live in a small
+// slice searched linearly (a peer rarely has more than a handful), and
+// request boxes recycle through a per-network freelist. The legacy
+// map-backed containers remain selectable via Config.LegacyLayout as
+// the reference path; every access below dispatches on which container
+// a peer carries, and both behave identically by contract.
+
+// seenTable is an open-addressed linear-probing hash table from flood
+// ID to expiry time. Message IDs are never zero (newID ORs a counter
+// that starts at one), so zero keys mark empty slots and the table
+// needs no tombstones — entries are only removed wholesale at prune
+// time by rehashing the survivors.
+type seenTable struct {
+	keys []uint64
+	exps []float64
+	used int
+	// shift maps a mixed 64-bit hash to a slot index: the table size is
+	// a power of two, and the top bits of the multiplicative hash are
+	// the well-mixed ones.
+	shift uint
+}
+
+// seenMinSlots is the smallest table allocation (slots, power of two).
+const seenMinSlots = 16
+
+// hashID mixes a flood ID multiplicatively (Fibonacci hashing); the
+// high bits of the product index the table.
+func hashID(id uint64) uint64 { return id * 0x9E3779B97F4A7C15 }
+
+// init sizes the table for about n entries (load factor <= 0.5 at n).
+func (t *seenTable) init(n int) {
+	size := seenMinSlots
+	for size < n*2 {
+		size *= 2
+	}
+	t.keys = make([]uint64, size)
+	t.exps = make([]float64, size)
+	t.used = 0
+	t.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		t.shift--
+	}
+}
+
+// lookup returns the expiry recorded for id.
+func (t *seenTable) lookup(id uint64) (float64, bool) {
+	if t.used == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := hashID(id) >> t.shift; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case id:
+			return t.exps[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// store inserts or overwrites the expiry for id (id must be nonzero).
+func (t *seenTable) store(id uint64, exp float64) {
+	if len(t.keys) == 0 || t.used*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := hashID(id) >> t.shift; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case id:
+			t.exps[i] = exp
+			return
+		case 0:
+			t.keys[i] = id
+			t.exps[i] = exp
+			t.used++
+			return
+		}
+	}
+}
+
+// grow doubles the table and rehashes every entry.
+func (t *seenTable) grow() {
+	old := *t
+	t.init(len(old.keys))
+	for i, k := range old.keys {
+		if k != 0 {
+			t.store(k, old.exps[i])
+		}
+	}
+}
+
+// prune drops every entry whose expiry is at or before now, rehashing
+// the survivors into a right-sized table (the same semantics as the
+// legacy map prune: strictly-later expiries survive).
+func (t *seenTable) prune(now float64) {
+	live := 0
+	for i, k := range t.keys {
+		if k != 0 && t.exps[i] > now {
+			live++
+		}
+	}
+	old := *t
+	t.init(live)
+	for i, k := range old.keys {
+		if k != 0 && old.exps[i] > now {
+			t.store(k, old.exps[i])
+		}
+	}
+}
+
+// seenLookup returns the recorded expiry for a flood ID.
+func (p *Peer) seenLookup(id uint64) (float64, bool) {
+	if p.seen != nil {
+		exp, ok := p.seen[id]
+		return exp, ok
+	}
+	return p.seenTab.lookup(id)
+}
+
+// seenStore records (or refreshes) a flood ID's expiry.
+func (p *Peer) seenStore(id uint64, exp float64) {
+	if p.seen != nil {
+		p.seen[id] = exp
+		return
+	}
+	p.seenTab.store(id, exp)
+}
+
+// seenPrune drops every dedup entry expired at now.
+func (p *Peer) seenPrune(now float64) {
+	if p.seen != nil {
+		for k, exp := range p.seen {
+			if exp <= now {
+				delete(p.seen, k)
+			}
+		}
+		return
+	}
+	p.seenTab.prune(now)
+}
+
+// seenLen counts recorded dedup entries (including not-yet-pruned
+// expired ones, matching the legacy map).
+func (p *Peer) seenLen() int {
+	if p.seen != nil {
+		return len(p.seen)
+	}
+	return p.seenTab.used
+}
+
+// seenEach visits every dedup entry in container order (callers that
+// need determinism sort afterwards, as with map iteration).
+func (p *Peer) seenEach(fn func(id uint64, exp float64)) {
+	if p.seen != nil {
+		for id, exp := range p.seen {
+			fn(id, exp)
+		}
+		return
+	}
+	for i, k := range p.seenTab.keys {
+		if k != 0 {
+			fn(k, p.seenTab.exps[i])
+		}
+	}
+}
+
+// seenReset replaces the dedup container with an empty one sized for n
+// entries, keeping the peer's configured layout.
+func (p *Peer) seenReset(n int) {
+	if p.seen != nil {
+		p.seen = make(map[uint64]float64, n)
+		return
+	}
+	p.seenTab.init(n)
+}
+
+// pendingGet returns the outstanding request with the given ID.
+func (p *Peer) pendingGet(id uint64) (*pendingReq, bool) {
+	if p.pending != nil {
+		req, ok := p.pending[id]
+		return req, ok
+	}
+	for _, req := range p.pendingS {
+		if req.id == id {
+			return req, true
+		}
+	}
+	return nil, false
+}
+
+// pendingPut registers an outstanding request. The caller guarantees
+// the ID is not already present (request IDs are unique per peer).
+func (p *Peer) pendingPut(req *pendingReq) {
+	if p.pending != nil {
+		p.pending[req.id] = req
+		return
+	}
+	p.pendingS = append(p.pendingS, req)
+}
+
+// pendingDelete removes an outstanding request by ID (no-op when
+// absent), swap-deleting in the slice layout.
+func (p *Peer) pendingDelete(id uint64) {
+	if p.pending != nil {
+		delete(p.pending, id)
+		return
+	}
+	for i, req := range p.pendingS {
+		if req.id == id {
+			last := len(p.pendingS) - 1
+			p.pendingS[i] = p.pendingS[last]
+			p.pendingS[last] = nil
+			p.pendingS = p.pendingS[:last]
+			return
+		}
+	}
+}
+
+// pendingLen counts outstanding requests.
+func (p *Peer) pendingLen() int {
+	if p.pending != nil {
+		return len(p.pending)
+	}
+	return len(p.pendingS)
+}
+
+// pendingEach visits every outstanding request in container order.
+func (p *Peer) pendingEach(fn func(*pendingReq)) {
+	if p.pending != nil {
+		for _, req := range p.pending {
+			fn(req)
+		}
+		return
+	}
+	for _, req := range p.pendingS {
+		fn(req)
+	}
+}
+
+// pendingReset empties the pending container, keeping the layout.
+func (p *Peer) pendingReset() {
+	if p.pending != nil {
+		p.pending = make(map[uint64]*pendingReq)
+		return
+	}
+	for i := range p.pendingS {
+		p.pendingS[i] = nil
+	}
+	p.pendingS = p.pendingS[:0]
+}
+
+// acquireReq takes a request box for RequestFrom. The SoA layout
+// recycles boxes through a freelist; the legacy reference path
+// allocates one per request, as the pre-SoA implementation did.
+func (n *Network) acquireReq() *pendingReq {
+	if last := len(n.reqFree) - 1; last >= 0 {
+		req := n.reqFree[last]
+		n.reqFree[last] = nil
+		n.reqFree = n.reqFree[:last]
+		return req
+	}
+	return &pendingReq{}
+}
+
+// releaseReq returns a finished request's box to the freelist. Safe at
+// the end of finish/fail only: finish cancels any armed timeout, fail
+// runs from the timeout itself, and the timeout closure captures the
+// request ID by value — a stale fire after recycling misses the pending
+// lookup and no-ops.
+func (n *Network) releaseReq(req *pendingReq) {
+	if n.cfg.LegacyLayout {
+		return
+	}
+	*req = pendingReq{}
+	n.reqFree = append(n.reqFree, req)
+}

@@ -1,0 +1,215 @@
+package node
+
+import (
+	"sort"
+	"testing"
+)
+
+// The layout accessors are proven behaviorally equivalent at the
+// whole-scenario level by the root-package TestLayoutEquivalence suite;
+// the tests below pin the container semantics directly — collision
+// probing, load-factor growth, prune-as-rebuild, swap-delete and the
+// freelist — where a scenario run would only exercise them implicitly.
+
+func TestSeenTableStoreLookupGrow(t *testing.T) {
+	var tab seenTable
+	if _, ok := tab.lookup(42); ok {
+		t.Fatalf("lookup on an empty table reported a hit")
+	}
+	// Push well past the 3/4 load factor of the minimum 16-slot table
+	// so the table grows (and rehashes) several times. Sequential IDs
+	// also land in clustered slots under Fibonacci hashing, exercising
+	// the linear-probe path.
+	const n = 200
+	for id := uint64(1); id <= n; id++ {
+		tab.store(id, float64(id))
+	}
+	if tab.used != n {
+		t.Fatalf("used = %d after %d distinct stores", tab.used, n)
+	}
+	if len(tab.keys)&(len(tab.keys)-1) != 0 {
+		t.Fatalf("table size %d is not a power of two", len(tab.keys))
+	}
+	if tab.used*4 > len(tab.keys)*3 {
+		t.Fatalf("load factor above 3/4: %d used in %d slots", tab.used, len(tab.keys))
+	}
+	for id := uint64(1); id <= n; id++ {
+		exp, ok := tab.lookup(id)
+		if !ok || exp != float64(id) {
+			t.Fatalf("lookup(%d) = %v, %v; want %v, true", id, exp, ok, float64(id))
+		}
+	}
+	if _, ok := tab.lookup(n + 1); ok {
+		t.Fatalf("lookup reported a hit for an absent ID")
+	}
+	// Overwriting must refresh in place, not duplicate.
+	tab.store(7, 99.5)
+	if exp, ok := tab.lookup(7); !ok || exp != 99.5 {
+		t.Fatalf("overwrite: lookup(7) = %v, %v; want 99.5, true", exp, ok)
+	}
+	if tab.used != n {
+		t.Fatalf("used = %d after overwrite, want %d", tab.used, n)
+	}
+}
+
+func TestSeenTablePrune(t *testing.T) {
+	var tab seenTable
+	for id := uint64(1); id <= 100; id++ {
+		tab.store(id, float64(id))
+	}
+	// Prune drops expiries <= now and keeps strictly-later ones, the
+	// same boundary the legacy map prune used.
+	tab.prune(50)
+	if tab.used != 50 {
+		t.Fatalf("used = %d after pruning at 50, want 50", tab.used)
+	}
+	for id := uint64(1); id <= 100; id++ {
+		_, ok := tab.lookup(id)
+		if want := id > 50; ok != want {
+			t.Fatalf("after prune, lookup(%d) hit = %v, want %v", id, ok, want)
+		}
+	}
+	// Pruning everything must leave a usable (re-initialized) table.
+	tab.prune(1000)
+	if tab.used != 0 {
+		t.Fatalf("used = %d after pruning everything", tab.used)
+	}
+	tab.store(5, 6)
+	if exp, ok := tab.lookup(5); !ok || exp != 6 {
+		t.Fatalf("store after full prune: lookup(5) = %v, %v", exp, ok)
+	}
+}
+
+// layoutPeers returns one peer per layout: the SoA default (seen table
+// + pending slice) and the legacy reference (maps), matching how
+// Network.Add configures them.
+func layoutPeers() map[string]*Peer {
+	soa := &Peer{}
+	soa.seenTab.init(0)
+	legacy := &Peer{
+		seen:    map[uint64]float64{},
+		pending: map[uint64]*pendingReq{},
+	}
+	return map[string]*Peer{"soa": soa, "legacy": legacy}
+}
+
+func TestPeerSeenAccessorsBothLayouts(t *testing.T) {
+	for name, p := range layoutPeers() {
+		t.Run(name, func(t *testing.T) {
+			for id := uint64(1); id <= 40; id++ {
+				p.seenStore(id, float64(id))
+			}
+			if got := p.seenLen(); got != 40 {
+				t.Fatalf("seenLen = %d, want 40", got)
+			}
+			if exp, ok := p.seenLookup(17); !ok || exp != 17 {
+				t.Fatalf("seenLookup(17) = %v, %v", exp, ok)
+			}
+			if _, ok := p.seenLookup(1000); ok {
+				t.Fatalf("seenLookup reported a hit for an absent ID")
+			}
+			var ids []uint64
+			var sum float64
+			p.seenEach(func(id uint64, exp float64) {
+				ids = append(ids, id)
+				sum += exp
+			})
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			if len(ids) != 40 || ids[0] != 1 || ids[39] != 40 || sum != 820 {
+				t.Fatalf("seenEach visited ids %v (sum %v)", ids, sum)
+			}
+			p.seenPrune(20)
+			if got := p.seenLen(); got != 20 {
+				t.Fatalf("seenLen = %d after pruning at 20, want 20", got)
+			}
+			if _, ok := p.seenLookup(20); ok {
+				t.Fatalf("entry at the prune boundary survived")
+			}
+			if _, ok := p.seenLookup(21); !ok {
+				t.Fatalf("entry past the prune boundary was dropped")
+			}
+			p.seenReset(8)
+			if got := p.seenLen(); got != 0 {
+				t.Fatalf("seenLen = %d after reset", got)
+			}
+			p.seenStore(3, 4)
+			if exp, ok := p.seenLookup(3); !ok || exp != 4 {
+				t.Fatalf("store after reset: seenLookup(3) = %v, %v", exp, ok)
+			}
+		})
+	}
+}
+
+func TestPeerPendingAccessorsBothLayouts(t *testing.T) {
+	for name, p := range layoutPeers() {
+		t.Run(name, func(t *testing.T) {
+			reqs := make([]*pendingReq, 5)
+			for i := range reqs {
+				reqs[i] = &pendingReq{id: uint64(i + 1)}
+				p.pendingPut(reqs[i])
+			}
+			if got := p.pendingLen(); got != 5 {
+				t.Fatalf("pendingLen = %d, want 5", got)
+			}
+			if req, ok := p.pendingGet(3); !ok || req != reqs[2] {
+				t.Fatalf("pendingGet(3) = %v, %v", req, ok)
+			}
+			if _, ok := p.pendingGet(99); ok {
+				t.Fatalf("pendingGet reported a hit for an absent ID")
+			}
+			// Delete from the middle (swap-delete in the slice layout)
+			// and from the end, plus an absent-ID no-op.
+			p.pendingDelete(2)
+			p.pendingDelete(5)
+			p.pendingDelete(99)
+			if got := p.pendingLen(); got != 3 {
+				t.Fatalf("pendingLen = %d after deletes, want 3", got)
+			}
+			var ids []uint64
+			p.pendingEach(func(req *pendingReq) { ids = append(ids, req.id) })
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 4 {
+				t.Fatalf("pendingEach visited ids %v, want [1 3 4]", ids)
+			}
+			p.pendingReset()
+			if got := p.pendingLen(); got != 0 {
+				t.Fatalf("pendingLen = %d after reset", got)
+			}
+			p.pendingEach(func(*pendingReq) { t.Fatalf("pendingEach visited an entry after reset") })
+		})
+	}
+}
+
+func TestRequestFreelist(t *testing.T) {
+	n := &Network{}
+	a := n.acquireReq()
+	a.id = 42
+	n.releaseReq(a)
+	if len(n.reqFree) != 1 {
+		t.Fatalf("freelist holds %d boxes after release, want 1", len(n.reqFree))
+	}
+	b := n.acquireReq()
+	if b != a {
+		t.Fatalf("acquire did not recycle the released box")
+	}
+	if b.id != 0 {
+		t.Fatalf("recycled box was not zeroed: id = %d", b.id)
+	}
+	if len(n.reqFree) != 0 {
+		t.Fatalf("freelist holds %d boxes after acquire, want 0", len(n.reqFree))
+	}
+	// A second acquire with an empty freelist allocates fresh.
+	c := n.acquireReq()
+	if c == b {
+		t.Fatalf("empty-freelist acquire returned a live box")
+	}
+
+	// The legacy reference path allocates per request: release must not
+	// recycle (the pre-SoA implementation never reused boxes).
+	legacy := &Network{cfg: Config{LegacyLayout: true}}
+	r := legacy.acquireReq()
+	legacy.releaseReq(r)
+	if len(legacy.reqFree) != 0 {
+		t.Fatalf("legacy release recycled a box into the freelist")
+	}
+}

@@ -73,6 +73,11 @@ type Network struct {
 	// pool is the message freelist (DESIGN.md section 12). Disabled
 	// under Config.NoPooling, poisoning under PRECINCT_DEBUG=poison.
 	pool msgPool
+	// reqFree is the pendingReq freelist (DESIGN.md section 14); unused
+	// (never appended to) under Config.LegacyLayout. Requests are born
+	// and finished on their origin peer's shard, so in a sharded run
+	// each replica's freelist stays shard-local.
+	reqFree []*pendingReq
 
 	peers []*Peer
 	// tables is the region-table version history: index 0 is the
@@ -141,15 +146,33 @@ func New(opts Options) (*Network, error) {
 	}
 	n.tables = []*region.Table{opts.Regions}
 	n.peers = make([]*Peer, n.ch.N())
+	// The SoA layout allocates all peers as one slab: dense node indices
+	// become dense memory, and peer headers stop being 100k scattered
+	// heap objects. Pointer identity (p == exclude, p.net binding) is
+	// unaffected — n.peers still hands out stable *Peer values.
+	var slab []Peer
+	if !n.cfg.LegacyLayout {
+		slab = make([]Peer, n.ch.N())
+	}
 	for i := range n.peers {
-		p := &Peer{
-			id:      radio.NodeID(i),
-			net:     n,
-			store:   cache.NewStore(),
-			alive:   true,
-			seen:    make(map[uint64]float64),
-			pending: make(map[uint64]*pendingReq),
-			rng:     n.rng.Stream(fmt.Sprintf("peer/%d", i)),
+		var p *Peer
+		if slab != nil {
+			p = &slab[i]
+		} else {
+			p = &Peer{}
+		}
+		*p = Peer{
+			id:    radio.NodeID(i),
+			net:   n,
+			store: cache.NewStore(),
+			alive: true,
+			rng:   n.rng.Stream(fmt.Sprintf("peer/%d", i)),
+		}
+		if n.cfg.LegacyLayout {
+			p.seen = make(map[uint64]float64)
+			p.pending = make(map[uint64]*pendingReq)
+		} else {
+			p.seenTab.init(0)
 		}
 		if n.cfg.CacheBytes > 0 {
 			c, err := n.newCache()
@@ -312,7 +335,7 @@ func (n *Network) Stats() Stats { return n.stats }
 func (n *Network) PendingRequests() int {
 	total := 0
 	for _, p := range n.peers {
-		total += len(p.pending)
+		total += p.pendingLen()
 	}
 	return total
 }

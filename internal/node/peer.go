@@ -39,17 +39,25 @@ type Peer struct {
 	tableIdx int
 
 	alive bool
-	// seen deduplicates flood waves: flood ID -> expiry time. Entries
-	// are pruned periodically; a flood wave is over within seconds, so
-	// a short retention bounds memory on long runs.
+	// Flood-wave dedup: flood ID -> expiry time. Entries are pruned
+	// periodically; a flood wave is over within seconds, so a short
+	// retention bounds memory on long runs. The SoA layout keeps the
+	// records in seenTab (flat open-addressed arrays); the legacy
+	// reference layout keeps them in the seen map. Exactly one is live
+	// per run — a non-nil map selects the legacy path everywhere (see
+	// layout.go).
 	seen      map[uint64]float64
+	seenTab   seenTable
 	nextPrune float64
 	rng       *rand.Rand
 
-	// pending holds this peer's outstanding requests by ID. Requester
-	// state lives with the requester (not the network) so a sharded run
-	// touches it only on the peer's own shard.
-	pending map[uint64]*pendingReq
+	// Outstanding requests by ID. Requester state lives with the
+	// requester (not the network) so a sharded run touches it only on
+	// the peer's own shard. The SoA layout keeps the handful of live
+	// requests in the pendingS slice (linear search, swap delete); the
+	// legacy layout keeps the pending map.
+	pending  map[uint64]*pendingReq
+	pendingS []*pendingReq
 	// nextID feeds newID; per-peer so ID assignment is independent of
 	// cross-peer event interleaving.
 	nextID uint64
@@ -132,23 +140,19 @@ func dedupID(m *message) (uint64, bool) {
 // a true result here means the full handler would drop the message
 // without mutating anything.
 func (p *Peer) alreadySeen(id uint64) bool {
-	exp, ok := p.seen[id]
+	exp, ok := p.seenLookup(id)
 	return ok && exp > p.net.sched.Now()
 }
 
 // markSeen records a flood ID, reporting whether it was already seen.
 func (p *Peer) markSeen(id uint64) bool {
 	now := p.net.sched.Now()
-	if exp, ok := p.seen[id]; ok && exp > now {
+	if exp, ok := p.seenLookup(id); ok && exp > now {
 		return true
 	}
-	p.seen[id] = now + seenRetention
+	p.seenStore(id, now+seenRetention)
 	if now >= p.nextPrune {
-		for k, exp := range p.seen {
-			if exp <= now {
-				delete(p.seen, k)
-			}
-		}
+		p.seenPrune(now)
 		p.nextPrune = now + seenRetention
 	}
 	return false

@@ -56,8 +56,13 @@ type pendingReq struct {
 // this, any in-flight request would block the quiescence a snapshot
 // needs, which in lossy networks can starve checkpointing entirely.
 func (n *Network) armReqTimeout(req *pendingReq, at float64) {
-	req.timeout = n.sched.AtProcAs(sim.Proc{Kind: procReqTimeout, Owner: int(req.id)}, at, func() {
-		n.onTimeout(req.id)
+	// The closure captures the request ID by value, never the box: the
+	// box recycles through the freelist when the request closes, and a
+	// canceled-then-stale fire must miss the pending lookup, not read a
+	// reused box.
+	id := req.id
+	req.timeout = n.sched.AtProcAs(sim.Proc{Kind: procReqTimeout, Owner: int(id)}, at, func() {
+		n.onTimeout(id)
 	}, int(req.origin))
 }
 
@@ -70,7 +75,8 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 	}
 	now := n.sched.Now()
 	size := n.catalog.Size(k)
-	req := &pendingReq{
+	req := n.acquireReq()
+	*req = pendingReq{
 		id:           p.newID(),
 		origin:       origin,
 		key:          k,
@@ -96,7 +102,7 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 				return
 			}
 			// Stale-suspect copy: validate with the home region.
-			p.pending[req.id] = req
+			p.pendingPut(req)
 			req.phase = phasePoll
 			req.cachedVersion = e.Version
 			if n.sendPoll(p, req) {
@@ -104,11 +110,11 @@ func (n *Network) RequestFrom(origin radio.NodeID, k workload.Key) {
 				return
 			}
 			// No route to the home region: fall through to a search.
-			delete(p.pending, req.id)
+			p.pendingDelete(req.id)
 		}
 	}
 
-	p.pending[req.id] = req
+	p.pendingPut(req)
 	switch n.cfg.Retrieval {
 	case PReCinCt:
 		// Without cooperative caching there is nothing to find in the
@@ -219,7 +225,7 @@ func (n *Network) floodSearch(p *Peer, req *pendingReq, ttl int) {
 // onTimeout advances a pending request to its next phase, or fails it.
 func (n *Network) onTimeout(id uint64) {
 	p := n.peers[reqOrigin(id)]
-	req, ok := p.pending[id]
+	req, ok := p.pendingGet(id)
 	if !ok {
 		return
 	}
@@ -278,9 +284,10 @@ func (n *Network) onTimeout(id uint64) {
 	}
 }
 
-// fail closes a request unanswered.
+// fail closes a request unanswered. The box is dead afterwards (it
+// returns to the freelist); callers must not touch req again.
 func (n *Network) fail(req *pendingReq) {
-	delete(n.peers[req.origin].pending, req.id)
+	n.peers[req.origin].pendingDelete(req.id)
 	if req.pendingReply != nil {
 		// A stashed answer dies with the request (dead-origin timeout).
 		n.releaseMsg(req.pendingReply)
@@ -290,14 +297,16 @@ func (n *Network) fail(req *pendingReq) {
 		n.coll.Request(0, req.size, metrics.Failure, false)
 	}
 	n.emit(trace.Event{Kind: trace.RequestFailed, Node: int(req.origin), Key: uint32(req.key)})
+	n.releaseReq(req)
 }
 
-// finish closes a request successfully.
+// finish closes a request successfully. The box is dead afterwards (it
+// returns to the freelist); callers must not touch req again.
 func (n *Network) finish(req *pendingReq, class metrics.HitClass, latency float64, stale bool) {
 	if req.timeout != 0 {
 		n.sched.Cancel(req.timeout)
 	}
-	delete(n.peers[req.origin].pending, req.id)
+	n.peers[req.origin].pendingDelete(req.id)
 	if req.record {
 		n.coll.Request(latency, req.size, class, stale)
 	}
@@ -305,6 +314,7 @@ func (n *Network) finish(req *pendingReq, class metrics.HitClass, latency float6
 		Kind: trace.RequestCompleted, Node: int(req.origin), Key: uint32(req.key),
 		Class: class.String(), Latency: latency, Stale: stale,
 	})
+	n.releaseReq(req)
 }
 
 // lookupForAnswer checks whether the peer can answer a request for k:
@@ -466,7 +476,7 @@ func (p *Peer) onReply(m *message) {
 		return
 	}
 	n := p.net
-	req, ok := p.pending[m.ID]
+	req, ok := p.pendingGet(m.ID)
 	if !ok {
 		n.releaseMsg(m) // duplicate answer; first one won
 		return

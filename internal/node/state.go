@@ -114,12 +114,12 @@ func (n *Network) StateSnapshot() (NetworkState, error) {
 			Alive:     p.alive,
 			NextPrune: p.nextPrune,
 			NextID:    p.nextID,
-			Seen:      make([]SeenEntry, 0, len(p.seen)),
+			Seen:      make([]SeenEntry, 0, p.seenLen()),
 			Store:     p.store.StateSnapshot(),
 		}
-		for id, exp := range p.seen {
+		p.seenEach(func(id uint64, exp float64) {
 			ps.Seen = append(ps.Seen, SeenEntry{ID: id, Expiry: exp})
-		}
+		})
 		sort.Slice(ps.Seen, func(a, b int) bool { return ps.Seen[a].ID < ps.Seen[b].ID })
 		if p.cache != nil {
 			ps.HasCache = true
@@ -167,6 +167,18 @@ func (n *Network) RestoreState(st NetworkState) error {
 		if ps.TableIdx < 0 || ps.TableIdx >= len(tables) {
 			return fmt.Errorf("node: snapshot peer %d references table version %d of %d", i, ps.TableIdx, len(tables))
 		}
+		for j, se := range ps.Seen {
+			// Flood IDs are never zero (newID ORs a counter starting at
+			// one), and the snapshot writes them sorted; the SoA seen
+			// table additionally relies on the nonzero invariant for its
+			// empty-slot sentinel.
+			if se.ID == 0 {
+				return fmt.Errorf("node: snapshot peer %d carries a zero seen ID", i)
+			}
+			if j > 0 && ps.Seen[j-1].ID >= se.ID {
+				return fmt.Errorf("node: snapshot peer %d seen entries are not sorted by ID", i)
+			}
+		}
 	}
 	// All validation passed; now mutate. Nothing below can fail except the
 	// per-component restores, which validate before mutating themselves —
@@ -184,9 +196,9 @@ func (n *Network) RestoreState(st NetworkState) error {
 		p.alive = ps.Alive
 		p.nextPrune = ps.NextPrune
 		p.nextID = ps.NextID
-		p.seen = make(map[uint64]float64, len(ps.Seen))
+		p.seenReset(len(ps.Seen))
 		for _, se := range ps.Seen {
-			p.seen[se.ID] = se.Expiry
+			p.seenStore(se.ID, se.Expiry)
 		}
 		if err := p.store.RestoreState(ps.Store); err != nil {
 			return fmt.Errorf("node: peer %d store: %w", i, err)
@@ -198,7 +210,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 		}
 	}
 	for _, p := range n.peers {
-		p.pending = make(map[uint64]*pendingReq)
+		p.pendingReset()
 	}
 	for i, ps := range st.Pending {
 		if ps.Origin < 0 || ps.Origin >= len(n.peers) {
@@ -211,7 +223,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 		if ps.Phase < int(phaseRegional) || ps.Phase > int(phaseFlood) {
 			return fmt.Errorf("node: snapshot pending request %d has unknown phase %d", ps.ID, ps.Phase)
 		}
-		if _, dup := n.peers[ps.Origin].pending[ps.ID]; dup {
+		if _, dup := n.peers[ps.Origin].pendingGet(ps.ID); dup {
 			return fmt.Errorf("node: snapshot carries pending request %d twice", ps.ID)
 		}
 		if i > 0 && st.Pending[i-1].ID >= ps.ID {
@@ -237,7 +249,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 			reply.released = false
 			req.pendingReply = &reply
 		}
-		n.peers[ps.Origin].pending[ps.ID] = req
+		n.peers[ps.Origin].pendingPut(req)
 	}
 	n.started = true
 	return nil
@@ -248,9 +260,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 func (n *Network) allPending() []*pendingReq {
 	out := make([]*pendingReq, 0, n.PendingRequests())
 	for _, p := range n.peers {
-		for _, req := range p.pending {
-			out = append(out, req)
-		}
+		p.pendingEach(func(req *pendingReq) { out = append(out, req) })
 	}
 	return out
 }
@@ -298,7 +308,7 @@ func (n *Network) Rearm(p sim.Proc, at float64) error {
 		if origin < 0 || origin >= len(n.peers) {
 			return fmt.Errorf("node: snapshot arms a timeout for request %d with unknown origin %d", p.Owner, origin)
 		}
-		req, ok := n.peers[origin].pending[id]
+		req, ok := n.peers[origin].pendingGet(id)
 		if !ok {
 			return fmt.Errorf("node: snapshot arms a timeout for unknown pending request %d", p.Owner)
 		}

@@ -1,0 +1,175 @@
+package node
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"precinct/internal/sim"
+)
+
+// stateHarnessOpts builds two identically-configured networks: traffic
+// plus updates so every Rearm process kind has its prerequisites.
+func stateHarnessOpts() harnessOpts {
+	o := defaultHarnessOpts()
+	o.generator = true
+	o.updateInt = 200
+	return o
+}
+
+func TestStateSnapshotRestoreRoundTrip(t *testing.T) {
+	a := build(t, stateHarnessOpts())
+	a.net.Run(60)
+	// Guarantee at least one outstanding request in the snapshot: issue
+	// one for a remotely-homed key and capture before its events run.
+	requester := a.net.Peer(0)
+	k := a.keyHomedIn(t, requester.RegionID(), false)
+	a.net.RequestFrom(requester.ID(), k)
+	if a.net.PendingRequests() == 0 {
+		t.Fatal("no pending request right after RequestFrom")
+	}
+
+	st, err := a.net.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pending) == 0 {
+		t.Fatal("snapshot carries no pending requests")
+	}
+	hasSeen := false
+	for _, ps := range st.Peers {
+		if len(ps.Seen) > 0 {
+			hasSeen = true
+			break
+		}
+	}
+	if !hasSeen {
+		t.Fatal("snapshot carries no flood-dedup entries after 60 s of traffic")
+	}
+
+	b := build(t, stateHarnessOpts())
+	if err := b.net.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := b.net.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatal("snapshot of the restored network differs from the original snapshot")
+	}
+
+	// Every node-layer process kind re-arms against the restored state.
+	now := a.sched.Now()
+	rearms := []sim.Proc{
+		{Kind: procRequest, Owner: 1},
+		{Kind: procUpdate, Owner: 2},
+		{Kind: procMobility, Owner: 3},
+		{Kind: procMeterReset, Owner: -1},
+		{Kind: procReqTimeout, Owner: int(st.Pending[0].ID)},
+	}
+	for _, p := range rearms {
+		if err := b.net.Rearm(p, now+1); err != nil {
+			t.Errorf("Rearm(%q): %v", p.Kind, err)
+		}
+	}
+}
+
+func TestRestoreStateRejectsCorruptSnapshots(t *testing.T) {
+	a := build(t, stateHarnessOpts())
+	a.net.Run(30)
+	requester := a.net.Peer(0)
+	a.net.RequestFrom(requester.ID(), a.keyHomedIn(t, requester.RegionID(), false))
+
+	pristine, err := a.net.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seenPeer int = -1
+	for i, ps := range pristine.Peers {
+		if len(ps.Seen) >= 2 {
+			seenPeer = i
+			break
+		}
+	}
+	if seenPeer < 0 {
+		t.Fatal("no peer with two seen entries")
+	}
+
+	// Each mutation works on its own deep-ish copy: only the slices it
+	// touches are re-sliced, so the pristine snapshot stays intact.
+	cases := []struct {
+		name    string
+		mutate  func(st *NetworkState)
+		wantMsg string
+	}{
+		{"peer count", func(st *NetworkState) { st.Peers = st.Peers[:len(st.Peers)-1] }, "peers"},
+		{"truth length", func(st *NetworkState) { st.Truth = st.Truth[:len(st.Truth)-1] }, "keys"},
+		{"no tables", func(st *NetworkState) { st.Tables = nil }, "no region tables"},
+		{"peer id", func(st *NetworkState) {
+			st.Peers = append([]PeerState(nil), st.Peers...)
+			st.Peers[0].ID = 99
+		}, "carries ID"},
+		{"table index", func(st *NetworkState) {
+			st.Peers = append([]PeerState(nil), st.Peers...)
+			st.Peers[0].TableIdx = len(st.Tables)
+		}, "table version"},
+		{"zero seen id", func(st *NetworkState) {
+			st.Peers = append([]PeerState(nil), st.Peers...)
+			st.Peers[seenPeer].Seen = append([]SeenEntry(nil), st.Peers[seenPeer].Seen...)
+			st.Peers[seenPeer].Seen[0].ID = 0
+		}, "zero seen ID"},
+		{"unsorted seen", func(st *NetworkState) {
+			st.Peers = append([]PeerState(nil), st.Peers...)
+			s := append([]SeenEntry(nil), st.Peers[seenPeer].Seen...)
+			s[0], s[1] = s[1], s[0]
+			st.Peers[seenPeer].Seen = s
+		}, "not sorted"},
+		{"pending origin", func(st *NetworkState) {
+			st.Pending = append([]PendingReqState(nil), st.Pending...)
+			st.Pending[0].Origin = (st.Pending[0].Origin + 1) % len(st.Peers)
+		}, "ID encodes"},
+		{"pending phase", func(st *NetworkState) {
+			st.Pending = append([]PendingReqState(nil), st.Pending...)
+			st.Pending[0].Phase = 99
+		}, "unknown phase"},
+		{"duplicate pending", func(st *NetworkState) {
+			st.Pending = append(append([]PendingReqState(nil), st.Pending...), st.Pending[0])
+		}, "twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := pristine // shallow copy; mutations re-slice before touching
+			tc.mutate(&st)
+			b := build(t, stateHarnessOpts())
+			err := b.net.RestoreState(st)
+			if err == nil || !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("RestoreState = %v, want error containing %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestRearmRejectsUnknownAndUnconfigured(t *testing.T) {
+	// No generator: request/update processes have nothing to re-arm.
+	bare := build(t, defaultHarnessOpts())
+	cases := []struct {
+		p       sim.Proc
+		wantMsg string
+	}{
+		{sim.Proc{Kind: procRequest, Owner: 0}, "no generator"},
+		{sim.Proc{Kind: procUpdate, Owner: 0}, "updates are not configured"},
+		{sim.Proc{Kind: procMobility, Owner: 999}, "unknown peer"},
+		{sim.Proc{Kind: procAdaptive}, "not configured"},
+		{sim.Proc{Kind: procReqTimeout, Owner: int(uint64(1) << 40)}, "unknown pending request"},
+		{sim.Proc{Kind: procReqTimeout, Owner: int(uint64(999) << 40)}, "unknown origin"},
+		{sim.Proc{Kind: "bogus"}, "unknown process kind"},
+	}
+	for _, tc := range cases {
+		err := bare.net.Rearm(tc.p, 1)
+		if err == nil || !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("Rearm(%q, owner %d) = %v, want error containing %q",
+				tc.p.Kind, tc.p.Owner, err, tc.wantMsg)
+		}
+	}
+}

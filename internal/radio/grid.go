@@ -73,10 +73,13 @@ type grid struct {
 
 	// CSR storage: nodes holds all node indices grouped by cell;
 	// cell k's occupants are nodes[cellStart[k]:cellStart[k+1]].
+	// Cell membership is implicitly addressed: a node's cell is always
+	// computed from its cached indexed position (beaconPos or posCache),
+	// never stored per node — the rebuild's counting sort recomputes it,
+	// so the index carries no per-node bookkeeping array at all.
 	cellStart []int32
 	nodes     []int32
-	cursor    []int32   // scatter scratch for rebuilds
-	cellOf    []cellKey // cell per node at snapshot time
+	cursor    []int32 // scatter scratch for rebuilds
 
 	builtAt float64
 	built   bool
@@ -95,7 +98,6 @@ func newGrid(n int, rng, maxSpeed float64) *grid {
 		slack:    rng / 4,
 		maxSpeed: maxSpeed,
 		nodes:    make([]int32, n),
-		cellOf:   make([]cellKey, n),
 	}
 }
 
@@ -108,16 +110,19 @@ func (g *grid) cellAt(p geo.Point) cellKey {
 // may have nothing to do with the snapshot's).
 func (g *grid) invalidate() { g.built = false }
 
-// noteMove records that node i's indexed (observed) position changed.
-// Crossing a cell boundary invalidates the snapshot; the next query
-// rebuilds. Beacon refreshes arrive in batches, so this costs one
-// rebuild per batch, not per node.
-func (g *grid) noteMove(i int, p geo.Point) {
+// noteMove records that a node's indexed (observed) position changed
+// from old to new. Crossing a cell boundary invalidates the snapshot;
+// the next query rebuilds. The old cell is computed from the old
+// position rather than looked up — while the snapshot is valid, a
+// node's indexed position has only ever changed through noteMove, so
+// cellAt(old) is exactly the cell the snapshot filed the node under.
+// Beacon refreshes arrive in batches, so a crossing costs one rebuild
+// per batch, not per node.
+func (g *grid) noteMove(old, new geo.Point) {
 	if !g.built {
 		return
 	}
-	if k := g.cellAt(p); k != g.cellOf[i] {
-		g.cellOf[i] = k
+	if g.cellAt(new) != g.cellAt(old) {
 		g.built = false
 	}
 }
@@ -187,9 +192,11 @@ func (ch *Channel) rebuildGrid(now float64) {
 	n := ch.mob.Len()
 	beacon := ch.beaconAt != nil
 
-	// Pass 1: current indexed positions, per-node cells, bounds.
-	// Coarsen the cell size until the dense array fits (pathological
-	// spreads only; one iteration in practice).
+	// Pass 1: current indexed positions and bounds. Positions land in the
+	// epoch/beacon caches; cells are never stored per node — pass 2
+	// recomputes them from the cached positions with identical float ops
+	// (implicit addressing). Coarsen the cell size until the dense array
+	// fits (pathological spreads only; one iteration in practice).
 	for {
 		minCx, minCy := int32(math.MaxInt32), int32(math.MaxInt32)
 		maxCx, maxCy := int32(math.MinInt32), int32(math.MinInt32)
@@ -202,7 +209,6 @@ func (ch *Channel) rebuildGrid(now float64) {
 			}
 			cx := int32(math.Floor(p.X * g.invCell))
 			cy := int32(math.Floor(p.Y * g.invCell))
-			g.cellOf[i] = keyOf(cx, cy)
 			minCx, maxCx = min(minCx, cx), max(maxCx, cx)
 			minCy, maxCy = min(minCy, cy), max(maxCy, cy)
 		}
@@ -229,14 +235,14 @@ func (ch *Channel) rebuildGrid(now float64) {
 		clear(g.cellStart)
 	}
 	for i := 0; i < n; i++ {
-		g.cellStart[g.linIdx(g.cellOf[i])+1]++
+		g.cellStart[g.linIdxAt(ch.indexedPos(i, beacon))+1]++
 	}
 	for k := 1; k <= cells; k++ {
 		g.cellStart[k] += g.cellStart[k-1]
 	}
 	copy(g.cursor, g.cellStart)
 	for i := 0; i < n; i++ {
-		k := g.linIdx(g.cellOf[i])
+		k := g.linIdxAt(ch.indexedPos(i, beacon))
 		g.nodes[g.cursor[k]] = int32(i)
 		g.cursor[k]++
 	}
@@ -246,11 +252,25 @@ func (ch *Channel) rebuildGrid(now float64) {
 	g.drift = 0
 }
 
-// linIdx maps a packed cell key to its dense row-major index. Only valid
-// for cells inside the current bounds (true for every occupied cell).
-func (g *grid) linIdx(k cellKey) int {
-	cx := int32(int64(k) >> 32)
-	cy := int32(uint32(int64(k)))
+// indexedPos returns node i's already-cached indexed position: the
+// beacon estimate when beaconing is on, the epoch-cached true position
+// otherwise (pass 1 of the rebuild has just populated it at this
+// instant).
+func (ch *Channel) indexedPos(i int, beacon bool) geo.Point {
+	if beacon {
+		return ch.beaconPos[i]
+	}
+	return ch.posCache[i]
+}
+
+// linIdxAt maps a position to its cell's dense row-major index —
+// implicit addressing: the cell is recomputed from the cached position
+// with the same float ops as the bounds pass, never stored per node.
+// Only valid for positions inside the current bounds, which holds for
+// every indexed position by construction.
+func (g *grid) linIdxAt(p geo.Point) int {
+	cx := int32(math.Floor(p.X * g.invCell))
+	cy := int32(math.Floor(p.Y * g.invCell))
 	return int(cy-g.minCy)*int(g.w) + int(cx-g.minCx)
 }
 

@@ -519,11 +519,14 @@ func (ch *Channel) ObservedPosition(id NodeID) geo.Point {
 // mode) when the node crossed a cell boundary.
 func (ch *Channel) refreshBeacon(i int, now float64) {
 	p := ch.position(i)
+	if ch.grid != nil {
+		// The grid addresses cells implicitly: the node's old cell is
+		// recomputed from the beacon position being replaced, so the old
+		// value must be read before the overwrite below.
+		ch.grid.noteMove(ch.beaconPos[i], p)
+	}
 	ch.beaconPos[i] = p
 	ch.beaconAt[i] = now
-	if ch.grid != nil {
-		ch.grid.noteMove(i, p)
-	}
 }
 
 // refreshStaleBeacons refreshes the beacon of every live node whose last

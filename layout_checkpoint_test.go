@@ -1,0 +1,200 @@
+package precinct_test
+
+// Checkpoint proofs for the struct-of-arrays memory layout (DESIGN.md
+// section 14): the SoA containers — peer slab, open-addressed
+// flood-dedup tables, pending-request slice, capped streaming metrics
+// collector — must round-trip through the version-3 snapshot container
+// bit-identically at the 10k-node tier, and the container's new
+// validation surface (sorted nonzero seen IDs, streaming-aggregate
+// coherence) must fail closed on tampered state.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"precinct"
+	"precinct/internal/checkpoint"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// TestLayoutCheckpointRoundTrip is the scale-tier resume proof for the
+// SoA layout: a 10000-node, 30% loss, push-adaptive-pull run (the
+// acceptance shape) is snapshotted mid-flight, the snapshot is shown to
+// re-encode byte-identically (the format is deterministic over the SoA
+// state), and the resumed run must match the uninterrupted one down to
+// the trace bytes. -short drops to the 2000-node tier.
+func TestLayoutCheckpointRoundTrip(t *testing.T) {
+	maxNodes := 10000
+	if testing.Short() {
+		maxNodes = 2000
+	}
+	sc := fuzzgen.ExpandScale(8, maxNodes)
+
+	var bufFull bytes.Buffer
+	full, err := precinct.RunTraced(sc, &bufFull)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	dir := t.TempDir()
+	mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+	var buf1, buf2 bytes.Buffer
+	if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: "layout", Interval: 30, StopAfter: mid, TraceWriter: &buf1,
+	}); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// The snapshot must actually carry the SoA state this test is about:
+	// capped streaming collector, per-peer seen tables serialized in
+	// canonical order — and Encode∘Decode must be the identity on it.
+	path := filepath.Join(dir, "layout.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no snapshot after StopAfter: %v", err)
+	}
+	snap, err := checkpoint.Decode(data)
+	if err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	if snap.Metrics.SampleCap != precinct.DefaultSampleCap {
+		t.Errorf("snapshot collector cap = %d, want the streaming default %d",
+			snap.Metrics.SampleCap, precinct.DefaultSampleCap)
+	}
+	if snap.Metrics.SamplesSeen != uint64(len(snap.Metrics.Latencies)) {
+		t.Errorf("below the cap the collector must be exact: saw %d, retains %d",
+			snap.Metrics.SamplesSeen, len(snap.Metrics.Latencies))
+	}
+	seenPeers := 0
+	for _, p := range snap.Network.Peers {
+		if len(p.Seen) > 0 {
+			seenPeers++
+		}
+	}
+	if seenPeers == 0 {
+		t.Error("no peer snapshot carries seen-table state; the round-trip proves nothing")
+	}
+	reenc, err := checkpoint.Encode(snap)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(reenc, data) {
+		t.Error("Encode(Decode(snapshot)) differs from the file bytes; the container is not deterministic over SoA state")
+	}
+
+	resumed, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+		Dir: dir, Label: "layout", Interval: 30, Resume: true, TraceWriter: &buf2,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Errorf("resumed result differs from uninterrupted run:\n resumed: %+v\n full:    %+v",
+			resumed.Report, full.Report)
+	}
+	joined := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+	if !bytes.Equal(joined, bufFull.Bytes()) {
+		t.Errorf("trace streams differ: interrupted %d + resumed %d bytes vs full %d bytes",
+			buf1.Len(), buf2.Len(), bufFull.Len())
+	}
+}
+
+// TestLayoutCheckpointStateValidation is the corruption regression for
+// the version-3 container's semantic validation: a structurally sound
+// snapshot (framing and CRCs intact) whose decoded state violates the
+// new invariants — zero or unsorted seen IDs, a collector cap that does
+// not match this build, streaming aggregates that contradict the
+// retained samples — must be rejected at restore, never silently
+// repaired.
+func TestLayoutCheckpointStateValidation(t *testing.T) {
+	path, sc := makeSnapshot(t, 9, "layout")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Preconditions: the fixture must exercise every field the cases
+	// tamper with.
+	base, err := checkpoint.Decode(pristine)
+	if err != nil {
+		t.Fatalf("pristine snapshot does not decode: %v", err)
+	}
+	peerIdx := -1
+	for i, p := range base.Network.Peers {
+		if len(p.Seen) >= 2 {
+			peerIdx = i
+			break
+		}
+	}
+	if peerIdx < 0 {
+		t.Fatal("no peer with >=2 seen entries; pick a different seed")
+	}
+	if len(base.Metrics.Latencies) == 0 {
+		t.Fatal("snapshot has no latency samples; pick a different seed")
+	}
+
+	cases := []struct {
+		name    string
+		wantMsg string
+		mutate  func(s *checkpoint.Snapshot)
+	}{
+		{
+			name:    "zero-seen-id",
+			wantMsg: "zero seen ID",
+			mutate: func(s *checkpoint.Snapshot) {
+				s.Network.Peers[peerIdx].Seen[0].ID = 0
+			},
+		},
+		{
+			name:    "unsorted-seen",
+			wantMsg: "not sorted",
+			mutate: func(s *checkpoint.Snapshot) {
+				seen := s.Network.Peers[peerIdx].Seen
+				seen[0], seen[1] = seen[1], seen[0]
+			},
+		},
+		{
+			name:    "sample-cap-mismatch",
+			wantMsg: "retains",
+			mutate: func(s *checkpoint.Snapshot) {
+				s.Metrics.SampleCap = 0
+			},
+		},
+		{
+			name:    "aggregate-undercount",
+			wantMsg: "saw",
+			mutate: func(s *checkpoint.Snapshot) {
+				s.Metrics.SamplesSeen = 0
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Each case re-decodes the pristine bytes so mutations never
+			// leak between cases through shared slices.
+			snap, err := checkpoint.Decode(pristine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(snap)
+			dir := t.TempDir()
+			bad := filepath.Join(dir, "run.ckpt")
+			if err := checkpoint.WriteFile(bad, snap); err != nil {
+				t.Fatalf("tampered snapshot does not re-encode: %v", err)
+			}
+			_, err = precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Resume: true, StopAfter: sc.Warmup,
+			})
+			if err == nil {
+				t.Fatal("resume from semantically invalid snapshot succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package precinct_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// TestLayoutEquivalence enforces the memory-layout determinism contract
+// (DESIGN.md section 14) the same way TestPoolingEquivalence does for
+// the message lifecycle: a run on the struct-of-arrays layout — peer
+// slab, open-addressed flood-dedup table, pending-request slice with a
+// recycled-box freelist, capped streaming metrics collector — must be
+// bit-for-bit identical to the same run on the pointer/map-heavy
+// reference layout (Scenario.LegacyLayout). Identical means DeepEqual
+// Report/Protocol/Radio AND a byte-identical protocol trace, so not
+// just the aggregate counters but every request lifecycle, handoff,
+// update and failure event matches in order. The corpus is ≥18 fuzzgen
+// seeds spanning all three consistency schemes, message loss, churn,
+// adaptive regions, and the large-N lossy scale tier.
+func TestLayoutEquivalence(t *testing.T) {
+	type tc struct {
+		name string
+		s    precinct.Scenario
+	}
+	var cases []tc
+
+	// Regular fuzzgen seeds; half forced lossy so the timeout-heavy
+	// request paths (freelist churn, poll retries) are exercised.
+	for seed := int64(1); seed <= 14; seed++ {
+		s := fuzzgen.Expand(seed)
+		if seed%2 == 1 && s.LossRate == 0 {
+			s.LossRate = 0.1
+		}
+		cases = append(cases, tc{fmt.Sprintf("fuzz-%d", seed), s})
+	}
+
+	// Scale-tier seeds: large-N, always lossy. Capped under -short.
+	maxNodes := 2000
+	scaleSeeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		maxNodes = 500
+		scaleSeeds = scaleSeeds[:4]
+	}
+	for _, seed := range scaleSeeds {
+		cases = append(cases, tc{fmt.Sprintf("scale-%d", seed), fuzzgen.ExpandScale(seed, maxNodes)})
+	}
+
+	if len(cases) < 18 {
+		t.Fatalf("only %d seeds; the contract requires at least 18", len(cases))
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := c.s
+			s.LegacyLayout = false
+			soa, soaTrace := runTracedBytes(t, s)
+			s.LegacyLayout = true
+			ref, refTrace := runTracedBytes(t, s)
+
+			if !bytes.Equal(soaTrace, refTrace) {
+				sl := bytes.Split(soaTrace, []byte("\n"))
+				rl := bytes.Split(refTrace, []byte("\n"))
+				n := len(sl)
+				if len(rl) < n {
+					n = len(rl)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(sl[i], rl[i]) {
+						t.Fatalf("traces diverged at line %d:\nsoa:       %s\nreference: %s",
+							i, sl[i], rl[i])
+					}
+				}
+				t.Fatalf("trace lengths diverged: soa %d lines, reference %d lines",
+					len(sl), len(rl))
+			}
+			if !reflect.DeepEqual(soa.Report, ref.Report) {
+				t.Errorf("Report diverged:\nsoa:       %+v\nreference: %+v", soa.Report, ref.Report)
+			}
+			if !reflect.DeepEqual(soa.Protocol, ref.Protocol) {
+				t.Errorf("ProtocolStats diverged:\nsoa:       %+v\nreference: %+v", soa.Protocol, ref.Protocol)
+			}
+			if !reflect.DeepEqual(soa.Radio, ref.Radio) {
+				t.Errorf("RadioStats diverged:\nsoa:       %+v\nreference: %+v", soa.Radio, ref.Radio)
+			}
+		})
+	}
+}

@@ -142,7 +142,7 @@ func (s Scenario) buildParallel(tracer trace.Tracer) (*parallelRun, error) {
 		if bufs != nil {
 			tr = bufs[k]
 		}
-		coll := newCollector()
+		coll := newCollector(s)
 		clone, err := b.network.CloneForShard(node.ShardWorld{
 			Scheduler: sched,
 			Channel:   ch,

@@ -105,6 +105,20 @@ func TestParallelEquivalence(t *testing.T) {
 			compareModes(t, fuzzgen.ExpandScale(seed, maxNodes), 4)
 		})
 	}
+	// The 10k-node tier (DESIGN.md section 14): seed 8 expands to the
+	// acceptance shape — 10000 static nodes, 30% loss,
+	// push-adaptive-pull over a full 300 s horizon — and must shard
+	// identically like every smaller seed. Under -short or the race
+	// detector it rides the capped maxNodes above with the rest of the
+	// scale seeds.
+	bigNodes := 10000
+	if testing.Short() || raceEnabled {
+		bigNodes = maxNodes
+	}
+	t.Run("scale/seed=8-10k", func(t *testing.T) {
+		t.Parallel()
+		compareModes(t, fuzzgen.ExpandScale(8, bigNodes), 4)
+	})
 }
 
 // TestParallelUnpooledEquivalence pins the sharded scheduler to the

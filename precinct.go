@@ -102,6 +102,15 @@ type Scenario struct {
 	// section 12); the switch exists for equivalence testing and
 	// benchmarking, not for normal use.
 	NoPooling bool
+	// LegacyLayout selects the retained pointer/map-heavy per-node state
+	// layout: individually allocated peers, map-backed flood-dedup and
+	// pending-request containers, and an unbounded exact metrics
+	// collector. The default struct-of-arrays layout (peer slab,
+	// open-addressed seen table, pending slice, capped streaming
+	// collector) is bit-identical by contract at every scale the
+	// equivalence suites cover (DESIGN.md section 14); the switch exists
+	// so that can be re-proven on whole scenarios at any time.
+	LegacyLayout bool
 
 	// Items, MinItemSize and MaxItemSize describe the shared catalog.
 	Items       int
@@ -562,6 +571,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	cfg.Policy = policy
 	cfg.LinearCache = s.LinearCache
 	cfg.NoPooling = s.NoPooling
+	cfg.LegacyLayout = s.LegacyLayout
 	cfg.EnRoute = s.EnRoute
 	cfg.Replication = s.Replication
 	cfg.Warmup = s.Warmup
@@ -586,10 +596,11 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		cfg.CacheBytes = s.CacheBytes
 	}
 
-	coll := newCollector()
+	coll := newCollector(s)
 	if s.RequestInterval > 0 {
 		// Pre-size the latency buffer for the expected measured-request
-		// volume so large-N runs do not regrow it inside the event loop.
+		// volume so large-N runs do not regrow it inside the event loop
+		// (a capped collector clamps the reservation to its cap).
 		expected := float64(s.Nodes) * (s.Duration - s.Warmup) / s.RequestInterval
 		if max := 1 << 21; expected > float64(max) {
 			expected = float64(max)
