@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke cover soak soak-100k ci
+.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-workloads bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke workload-smoke cover soak soak-100k ci
 
 all: build
 
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGeoHash$$' -fuzztime $(FUZZTIME) ./internal/region
 	$(GO) test -run '^$$' -fuzz '^FuzzRegionForPoint$$' -fuzztime $(FUZZTIME) ./internal/region
 	$(GO) test -run '^$$' -fuzz '^FuzzZipfRank$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
@@ -62,6 +63,12 @@ bench-radio:
 # Run on a quiet machine.
 bench-scale:
 	$(GO) run ./cmd/precinct-bench -scale BENCH_scale.json
+
+# Regenerate the committed workload-lab numbers (BENCH_workloads.json):
+# every workload source over the same 1000-node scenario (DESIGN.md
+# section 15). Run on a quiet machine.
+bench-workloads:
+	$(GO) run ./cmd/precinct-bench -workloads BENCH_workloads.json
 
 # Bench regression gate: re-run a fast probe subset (radio neighbor
 # queries + two mid-size scale cells) and compare against the committed
@@ -139,6 +146,22 @@ scale-smoke:
 	$(GO) run ./cmd/precinct-sim -nodes 10000 -area 13416 -regions 1156 -loss 0.1 -warmup 30 -duration 120 -check > "$$dir/checked10k.txt" && \
 	echo "scale-smoke: 10000-node lossy run passed the invariant catalog"
 
+# Workload-lab smoke (DESIGN.md section 15): every workload source —
+# the non-stationary ones plus a replay of the committed sample trace —
+# through the real CLI at a short horizon under the full runtime
+# invariant catalog.
+workload-smoke:
+	@flags="-nodes 40 -warmup 20 -duration 150 -check" && \
+	for w in flash-crowd diurnal hotspot rank-churn; do \
+		echo "workload-smoke: $$w" && \
+		$(GO) run ./cmd/precinct-sim $$flags -workload $$w > /dev/null || exit 1; \
+	done && \
+	echo "workload-smoke: trace" && \
+	$(GO) run ./cmd/precinct-sim $$flags -workload trace \
+		-workload-trace internal/workload/testdata/sample_trace.csv \
+		-update-interval 60 -consistency push-adaptive-pull > /dev/null && \
+	echo "workload-smoke: every source passed the invariant catalog"
+
 # The build-tagged endurance tier (soak_test.go): one 2000-node, 30%
 # loss scenario for a long horizon under the invariant catalog, plus
 # checkpoint/resume and heap/linear equivalence at that scale. Minutes,
@@ -155,4 +178,4 @@ soak:
 soak-100k:
 	$(GO) test -tags soak -run Soak100k -timeout 60m -v .
 
-ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke bench-compare-allocs bench-compare-advisory
+ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke workload-smoke bench-compare-allocs bench-compare-advisory

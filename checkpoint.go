@@ -69,6 +69,7 @@ func (b *built) capture() (*checkpoint.Snapshot, error) {
 		Network:  netState,
 		Metrics:  b.coll.StateSnapshot(),
 		Energy:   b.meter.StateSnapshot(),
+		Workload: b.source.StateSnapshot(),
 	}, nil
 }
 
@@ -136,6 +137,9 @@ func restoreSnapshot(snap *checkpoint.Snapshot, tracer trace.Tracer, runner *inv
 		return nil, err
 	}
 	if err := b.meter.RestoreState(snap.Energy); err != nil {
+		return nil, err
+	}
+	if err := b.source.RestoreState(snap.Workload); err != nil {
 		return nil, err
 	}
 	if runner != nil {

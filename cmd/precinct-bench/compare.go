@@ -61,13 +61,30 @@ func compareProbe(name, metric string, base, curr, tol, slack float64, advisory 
 	return !ok && !advisory
 }
 
+// compareFloorProbe is compareProbe's mirror for higher-is-better
+// metrics like hit ratios: current must stay above base*(1-tol) minus
+// an absolute slack. Always advisory — hit ratios shift legitimately
+// whenever caching behavior improves elsewhere, so these probes flag
+// drift without failing builds.
+func compareFloorProbe(name, metric string, base, curr, tol, slack float64) {
+	limit := base*(1-tol) - slack
+	verdict := "ok"
+	if curr < limit {
+		verdict = "ADVISORY: under"
+	}
+	fmt.Printf("  %-34s %-16s base %12.4f  now %12.4f  (floor %12.4f)  %s\n",
+		name, metric, base, curr, limit, verdict)
+}
+
 // runBenchCompare re-runs the probe subset and compares against the
-// baselines at baseRadio and baseScale. It returns whether any probe
-// regressed beyond tol. With allocsOnly, timing metrics (ns/op,
-// wall_seconds) are compared advisory and only the deterministic
-// allocation metrics can regress the build. With advisory, every metric
-// is advisory: overruns are labeled but nothing regresses the build.
-func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly, advisory bool) (bool, error) {
+// baselines at baseRadio, baseScale and baseWorkloads. It returns
+// whether any probe regressed beyond tol. With allocsOnly, timing
+// metrics (ns/op, wall_seconds) are compared advisory and only the
+// deterministic allocation metrics can regress the build. With
+// advisory, every metric is advisory: overruns are labeled but nothing
+// regresses the build. The workload probes (byte hit ratio and latency
+// per source kind) are always advisory.
+func runBenchCompare(baseRadio, baseScale, baseWorkloads string, tol float64, allocsOnly, advisory bool) (bool, error) {
 	timingAdvisory := allocsOnly || advisory
 	var radioBase radioBenchReport
 	if err := loadJSON(baseRadio, &radioBase); err != nil {
@@ -180,6 +197,41 @@ func runBenchCompare(baseRadio, baseScale string, tol float64, allocsOnly, advis
 			// page-granularity jitter on small cells.
 			compareProbe(name, "mem_bytes_per_node", base.MemBytesPerNode, e.MemBytesPerNode, tol, 4096, true)
 		}
+	}
+
+	// Workload probes: the stationary baseline and one adversarial
+	// source, re-run at the baseline's durations. The simulation is
+	// deterministic, so the hit ratio and latency reproduce exactly
+	// unless caching behavior changed — but behavior changes are often
+	// intentional (that is the point of the lab), so these stay
+	// advisory and a drift means "regenerate BENCH_workloads.json and
+	// eyeball the table", never a failed build.
+	var wlBase workloadBenchReport
+	if err := loadJSON(baseWorkloads, &wlBase); err != nil {
+		return false, fmt.Errorf("workload baseline: %w", err)
+	}
+	wlByKind := map[string]workloadEntry{}
+	for _, e := range wlBase.Results {
+		wlByKind[e.Workload] = e
+	}
+	fmt.Printf("workload probes vs %s (tolerance %.0f%%, advisory):\n", baseWorkloads, tol*100)
+	traceDir, err := os.MkdirTemp("", "precinct-workloadcompare")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(traceDir)
+	for _, kind := range []string{"default", "flash-crowd"} {
+		base, ok := wlByKind[kind]
+		if !ok {
+			return false, fmt.Errorf("baseline %s has no entry for workload %q; regenerate it", baseWorkloads, kind)
+		}
+		s := workloadBenchScenario(kind, traceDir, wlBase.Quick)
+		e, err := runWorkloadCell(s)
+		if err != nil {
+			return false, err
+		}
+		compareFloorProbe(base.Name, "byte_hit_ratio", base.ByteHitRatio, e.ByteHitRatio, tol, 0.005)
+		compareProbe(base.Name, "mean_latency_s", base.MeanLatency, e.MeanLatency, tol, 0.01, true)
 	}
 
 	switch {

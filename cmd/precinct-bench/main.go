@@ -68,12 +68,14 @@ func main() {
 	chart := flag.Bool("chart", false, "render ASCII charts instead of aligned tables")
 	radioJSON := flag.String("radiojson", "", "run the radio hot-path benchmark suite, write JSON results to `file`, and exit")
 	scaleJSON := flag.String("scale", "", "run the large-N scale-tier benchmark grid, write JSON results to `file`, and exit (-quick shrinks the grid)")
+	workloadsJSON := flag.String("workloads", "", "run the workload-lab suite (every source at the 1000-node tier), write JSON results to `file`, and exit")
 	cores := flag.Int("cores", 0, "cap GOMAXPROCS for the whole process (0 = all cores); the scale suite records the value")
 	compare := flag.Bool("compare", false, "re-run a benchmark subset and compare against the committed baselines; exit 3 on regression")
 	allocsOnly := flag.Bool("allocs-only", false, "with -compare, gate only the deterministic allocation metrics; timing is compared advisory")
 	advisory := flag.Bool("advisory", false, "with -compare, never fail: regressions print with an ADVISORY: prefix and the exit status stays 0")
 	baseRadio := flag.String("baseline-radio", "BENCH_radio.json", "radio baseline for -compare")
 	baseScale := flag.String("baseline-scale", "BENCH_scale.json", "scale baseline for -compare")
+	baseWorkloads := flag.String("baseline-workloads", "BENCH_workloads.json", "workload baseline for -compare (hit-ratio probes, always advisory)")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs baseline for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
@@ -104,8 +106,15 @@ func main() {
 		}
 		return
 	}
+	if *workloadsJSON != "" {
+		if err := writeWorkloadBench(*workloadsJSON, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
-		regressed, err := runBenchCompare(*baseRadio, *baseScale, *tolerance, *allocsOnly, *advisory)
+		regressed, err := runBenchCompare(*baseRadio, *baseScale, *baseWorkloads, *tolerance, *allocsOnly, *advisory)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
 			os.Exit(1)

@@ -1,0 +1,187 @@
+package main
+
+// Workload-lab benchmark suite, run via -workloads. It runs every
+// workload source (DESIGN.md section 15) over the same 1000-node
+// scenario — the mid scale tier — and emits a machine-readable JSON
+// report (BENCH_workloads.json at the repository root holds the
+// committed numbers; see EXPERIMENTS.md §Workload lab). Each cell
+// records the headline cache metrics (byte hit ratio, false-hit ratio,
+// latency percentiles) plus wall clock and event throughput, so the
+// adversarial workloads' cost is tracked alongside their behavior.
+//
+// The trace cell replays a synthetic cachelib-format trace generated
+// deterministically at bench time (workload.WriteSyntheticTrace with a
+// pinned seed), so the committed numbers do not depend on a multi-
+// megabyte committed trace file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"precinct"
+	"precinct/internal/workload"
+)
+
+type workloadEntry struct {
+	// Name is "workload/<kind>/n=<nodes>".
+	Name           string  `json:"name"`
+	Workload       string  `json:"workload"`
+	Nodes          int     `json:"nodes"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Requests       uint64  `json:"requests"`
+	Completed      uint64  `json:"completed"`
+	ByteHitRatio   float64 `json:"byte_hit_ratio"`
+	FalseHitRatio  float64 `json:"false_hit_ratio"`
+	MeanLatency    float64 `json:"mean_latency_s"`
+	P50Latency     float64 `json:"p50_latency_s"`
+	P95Latency     float64 `json:"p95_latency_s"`
+	SearchMessages uint64  `json:"search_messages"`
+}
+
+type workloadBenchReport struct {
+	Go      string          `json:"go"`
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	Cores   int             `json:"cores"`
+	Quick   bool            `json:"quick"`
+	Results []workloadEntry `json:"results"`
+	// Summary holds the fields bench-compare reads advisory.
+	Summary map[string]float64 `json:"summary"`
+}
+
+// workloadBenchKinds is the suite's cell list: the stationary baseline
+// first, then every non-stationary source and the trace replay.
+func workloadBenchKinds() []string {
+	return []string{"default", "flash-crowd", "diurnal", "hotspot", "rank-churn", "trace"}
+}
+
+// writeWorkloadTrace materializes the synthetic trace the trace cell
+// replays: catalog-sized key population, paper-range skew and item
+// sizes, a modest write mix. Deterministic for a given quick setting.
+func writeWorkloadTrace(dir string, quick bool) (string, error) {
+	ops := 50000
+	if quick {
+		ops = 10000
+	}
+	path := filepath.Join(dir, "workloadbench_trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	cfg := workload.SyntheticTraceConfig{
+		Ops: ops, Keys: 1000, ZipfTheta: 0.8,
+		SetFraction: 0.1, DeleteFraction: 0.02,
+		MinSize: 1024, MaxSize: 10 * 1024, Seed: 1,
+	}
+	if err := workload.WriteSyntheticTrace(f, cfg); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// workloadBenchScenario builds one cell: the 1000-node scale-tier
+// scenario (constant density, lossless radio so hit-ratio differences
+// come from the workload alone) running the given source. tracePath is
+// consulted only by the trace kind.
+func workloadBenchScenario(kind, tracePath string, quick bool) precinct.Scenario {
+	s := scaleScenario(1000, 0, quick)
+	s.Name = "workload-" + kind
+	s.Workload = kind
+	if kind == "trace" {
+		s.TracePath = tracePath
+	}
+	return s
+}
+
+// runWorkloadCell executes one cell and collapses the result into a
+// report entry.
+func runWorkloadCell(s precinct.Scenario) (workloadEntry, error) {
+	t0 := time.Now()
+	res, stats, err := precinct.RunWithStats(s)
+	wall := time.Since(t0)
+	if err != nil {
+		return workloadEntry{}, err
+	}
+	r := res.Report
+	e := workloadEntry{
+		Name:           fmt.Sprintf("workload/%s/n=%d", s.Workload, s.Nodes),
+		Workload:       s.Workload,
+		Nodes:          s.Nodes,
+		SimSeconds:     s.Duration,
+		WallSeconds:    wall.Seconds(),
+		Events:         stats.Events,
+		Requests:       r.Requests,
+		Completed:      r.Completed,
+		ByteHitRatio:   r.ByteHitRatio,
+		FalseHitRatio:  r.FalseHitRatio,
+		MeanLatency:    r.MeanLatency,
+		P50Latency:     r.P50Latency,
+		P95Latency:     r.P95Latency,
+		SearchMessages: r.SearchMessages,
+	}
+	if stats.Events > 0 && wall > 0 {
+		e.EventsPerSec = float64(stats.Events) / wall.Seconds()
+	}
+	return e, nil
+}
+
+// writeWorkloadBench runs the workload suite and writes the JSON report
+// to path. quick shrinks durations (and the synthetic trace) for smoke
+// use in CI.
+func writeWorkloadBench(path string, quick bool) error {
+	rep := workloadBenchReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Cores:   runtime.GOMAXPROCS(0),
+		Quick:   quick,
+		Summary: map[string]float64{},
+	}
+	traceDir, err := os.MkdirTemp("", "precinct-workloadbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(traceDir)
+	tracePath, err := writeWorkloadTrace(traceDir, quick)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload lab, 1000-node tier (%d cores):\n", rep.Cores)
+	for _, kind := range workloadBenchKinds() {
+		s := workloadBenchScenario(kind, tracePath, quick)
+		e, err := runWorkloadCell(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		if e.Requests == 0 {
+			return fmt.Errorf("%s: no requests issued", s.Name)
+		}
+		rep.Results = append(rep.Results, e)
+		fmt.Printf("  %-28s %8.2fs wall %10.0f ev/s  hit %.3f  false %.4f  mean %.3fs  p95 %.3fs\n",
+			e.Name, e.WallSeconds, e.EventsPerSec, e.ByteHitRatio, e.FalseHitRatio,
+			e.MeanLatency, e.P95Latency)
+		rep.Summary[kind+"_byte_hit_ratio"] = e.ByteHitRatio
+		rep.Summary[kind+"_mean_latency_s"] = e.MeanLatency
+		rep.Summary[kind+"_p95_latency_s"] = e.P95Latency
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

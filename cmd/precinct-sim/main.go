@@ -7,6 +7,8 @@
 //	precinct-sim -nodes 80 -speed 6 -policy gd-ld -cache-frac 0.015
 //	precinct-sim -consistency push-adaptive-pull -update-interval 60
 //	precinct-sim -retrieval flooding -static -area 600 -cache-frac -1
+//	precinct-sim -workload flash-crowd -nodes 60
+//	precinct-sim -workload trace -workload-trace internal/workload/testdata/sample_trace.csv
 //	precinct-sim -config scenario.json -seed 7
 //	precinct-sim -save-config scenario.json -nodes 120
 //	precinct-sim -check -nodes 40 -duration 300
@@ -89,6 +91,8 @@ func main() {
 	theta := flag.Float64("zipf", def.ZipfTheta, "request Zipf skew")
 	reqInt := flag.Float64("request-interval", def.RequestInterval, "mean request gap per peer in s")
 	updInt := flag.Float64("update-interval", def.UpdateInterval, "mean update gap per peer in s (0 disables)")
+	workloadF := flag.String("workload", def.Workload, "request workload: default | trace | flash-crowd | diurnal | hotspot | rank-churn")
+	workloadTrace := flag.String("workload-trace", "", "cachelib-format trace CSV for -workload trace")
 	retrieval := flag.String("retrieval", def.Retrieval, "precinct | flooding | expanding-ring")
 	consistencyF := flag.String("consistency", def.Consistency, "none | plain-push | pull-every-time | push-adaptive-pull")
 	alpha := flag.Float64("ttr-alpha", def.TTRAlpha, "TTR smoothing factor in [0,1)")
@@ -145,6 +149,8 @@ func main() {
 		"zipf":             func() { s.ZipfTheta = *theta },
 		"request-interval": func() { s.RequestInterval = *reqInt },
 		"update-interval":  func() { s.UpdateInterval = *updInt },
+		"workload":         func() { s.Workload = *workloadF },
+		"workload-trace":   func() { s.TracePath = *workloadTrace },
 		"retrieval":        func() { s.Retrieval = *retrieval },
 		"consistency":      func() { s.Consistency = *consistencyF },
 		"ttr-alpha":        func() { s.TTRAlpha = *alpha },
@@ -288,6 +294,13 @@ func report(s precinct.Scenario, res precinct.Result, verbose bool) {
 	r := res.Report
 	fmt.Printf("scenario: %d nodes, %.0f m area, %d regions, retrieval=%s, consistency=%s, policy=%s\n",
 		s.Nodes, s.AreaSide, s.Regions, s.Retrieval, s.Consistency, s.Policy)
+	if s.Workload != "" && s.Workload != "default" {
+		if s.Workload == "trace" {
+			fmt.Printf("workload:           trace (%s)\n", s.TracePath)
+		} else {
+			fmt.Printf("workload:           %s\n", s.Workload)
+		}
+	}
 	fmt.Printf("requests:           %d (completed %d, failed %d)\n", r.Requests, r.Completed, r.Failures)
 	classes := make([]string, 0, len(r.ByClass))
 	for c := range r.ByClass {

@@ -66,7 +66,7 @@ func main() {
 	cfg.Warmup = 0
 	net, err := node.New(node.Options{
 		Config: cfg, Scheduler: sched, Channel: ch, Regions: table,
-		Catalog: catalog, Generator: gen, Collector: metrics.NewCollector(),
+		Catalog: catalog, Source: workload.DefaultSource{Gen: gen}, Collector: metrics.NewCollector(),
 		Meter: meter, RNG: rng,
 	})
 	check(err)

@@ -31,6 +31,7 @@ import (
 	"precinct/internal/node"
 	"precinct/internal/radio"
 	"precinct/internal/sim"
+	"precinct/internal/workload"
 )
 
 // Magic identifies a PReCinCt checkpoint file.
@@ -49,13 +50,18 @@ const Magic = "PRCNCKPT"
 // running aggregates (sample cap, total seen, Kahan latency sums, max,
 // per-class sums, reservoir RNG state) alongside the retained samples,
 // so a capped collector restores mid-reservoir bit-identically.
-const Version = 3
+//
+// Version 4: a trailing "workload" section carries the traffic source's
+// mutable state (kind tag, trace replay cursors, rank-churn epoch and
+// permutation), so non-stationary and trace-driven runs resume
+// bit-identically.
+const Version = 4
 
 // sectionNames is the canonical section order. Decode enforces it
 // exactly: a reordered or renamed section means the file was not written
 // by this code path and nothing can be assumed about its contents.
 var sectionNames = []string{
-	"meta", "sched", "rng", "mobility", "radio", "network", "metrics", "energy",
+	"meta", "sched", "rng", "mobility", "radio", "network", "metrics", "energy", "workload",
 }
 
 // castagnoli is the CRC-32C table used for section checksums.
@@ -82,6 +88,7 @@ type Snapshot struct {
 	Network  node.NetworkState
 	Metrics  metrics.State
 	Energy   energy.State
+	Workload workload.SourceState
 }
 
 // Encode serializes a snapshot into the container format. The output is
@@ -109,6 +116,7 @@ func Encode(s *Snapshot) ([]byte, error) {
 		{"network", &s.Network},
 		{"metrics", &s.Metrics},
 		{"energy", &s.Energy},
+		{"workload", &s.Workload},
 	} {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(enc.v); err != nil {
@@ -227,6 +235,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		{"network", &s.Network},
 		{"metrics", &s.Metrics},
 		{"energy", &s.Energy},
+		{"workload", &s.Workload},
 	} {
 		if err := gob.NewDecoder(bytes.NewReader(payloads[dec.name])).Decode(dec.v); err != nil {
 			return nil, fmt.Errorf("checkpoint: decode %s: %w", dec.name, err)

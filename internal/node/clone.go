@@ -52,7 +52,7 @@ func (n *Network) CloneForShard(w ShardWorld) (*Network, error) {
 		ch:      w.Channel,
 		table:   n.table,
 		catalog: n.catalog,
-		gen:     n.gen,
+		src:     n.src,
 		coll:    w.Collector,
 		meter:   w.Meter,
 		rng:     n.rng,
@@ -62,6 +62,7 @@ func (n *Network) CloneForShard(w ShardWorld) (*Network, error) {
 		truth:   n.truth,
 		started: true,
 	}
+	c.loc = chanLocator{c.ch}
 	c.ch.SetAlive(func(id radio.NodeID) bool { return c.peers[id].alive })
 	c.ch.SetHandler(c.handleFrame)
 	c.pool.disabled = n.pool.disabled

@@ -17,7 +17,7 @@ import (
 )
 
 // Options wires a Network to its substrates. Scheduler, Channel, Regions,
-// Catalog and Collector are required; Generator is optional (without it no
+// Catalog and Collector are required; Source is optional (without it no
 // autonomous request/update drivers run — tests inject traffic manually);
 // Meter is optional (energy is then absent from reports).
 type Options struct {
@@ -26,7 +26,10 @@ type Options struct {
 	Channel   *radio.Channel
 	Regions   *region.Table
 	Catalog   *workload.Catalog
-	Generator *workload.Generator
+	// Source drives autonomous traffic. Leave nil for harnesses that
+	// inject requests manually; wrap a Generator in
+	// workload.DefaultSource for the classic stationary workload.
+	Source    workload.Source
 	Collector *metrics.Collector
 	Meter     *energy.Meter
 	RNG       *sim.RNG
@@ -58,8 +61,12 @@ type Network struct {
 	ch      *radio.Channel
 	table   *region.Table
 	catalog *workload.Catalog
-	gen     *workload.Generator
-	coll    *metrics.Collector
+	src     workload.Source
+	// loc adapts this replica's channel to the workload.Locator the
+	// geo-aware sources consult; built once so the per-event Ctx carries
+	// an interface copy, not a fresh allocation.
+	loc  workload.Locator
+	coll *metrics.Collector
 	meter   *energy.Meter
 	rng     *sim.RNG
 	tracer  trace.Tracer
@@ -136,7 +143,7 @@ func New(opts Options) (*Network, error) {
 		ch:      opts.Channel,
 		table:   opts.Regions,
 		catalog: opts.Catalog,
-		gen:     opts.Generator,
+		src:     opts.Source,
 		coll:    opts.Collector,
 		meter:   opts.Meter,
 		rng:     opts.RNG,
@@ -144,6 +151,7 @@ func New(opts Options) (*Network, error) {
 		probe:   opts.Probe,
 		truth:   make([]uint64, opts.Catalog.Len()),
 	}
+	n.loc = chanLocator{n.ch}
 	n.tables = []*region.Table{opts.Regions}
 	n.peers = make([]*Peer, n.ch.N())
 	// The SoA layout allocates all peers as one slab: dense node indices
@@ -637,14 +645,24 @@ func (n *Network) resetMeters() {
 func (n *Network) StartDrivers() {
 	for _, p := range n.peers {
 		p.scheduleMobilityCheck()
-		if n.gen == nil {
+		if n.src == nil {
 			continue
 		}
 		p.scheduleNextRequest()
-		if n.gen.UpdatesEnabled() {
+		if n.src.UpdatesEnabled() {
 			p.scheduleNextUpdate()
 		}
 	}
+}
+
+// chanLocator adapts the radio channel to the workload.Locator the
+// geo-aware sources consult.
+type chanLocator struct{ ch *radio.Channel }
+
+// Locate returns the peer's current position in meters.
+func (l chanLocator) Locate(peer int) (x, y float64) {
+	p := l.ch.Position(radio.NodeID(peer))
+	return p.X, p.Y
 }
 
 // noteTopologyChange invalidates cached planarizations on every shard's

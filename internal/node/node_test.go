@@ -103,20 +103,24 @@ func build(t *testing.T, o harnessOpts) *harness {
 		o.mutate(&cfg)
 	}
 
-	var gen *workload.Generator
+	// src stays a nil interface when the harness drives traffic by hand;
+	// assigning a nil *Generator-backed source here would defeat the
+	// network's src == nil checks.
+	var src workload.Source
 	if o.generator {
-		gen, err = workload.NewGenerator(workload.GeneratorConfig{
+		gen, err := workload.NewGenerator(workload.GeneratorConfig{
 			Catalog: cat, ZipfTheta: 0.8, RequestInterval: 30, UpdateInterval: o.updateInt,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		src = workload.DefaultSource{Gen: gen}
 	}
 
 	coll := metrics.NewCollector()
 	net, err := New(Options{
 		Config: cfg, Scheduler: sched, Channel: ch, Regions: table,
-		Catalog: cat, Generator: gen, Collector: coll, Meter: meter, RNG: rng,
+		Catalog: cat, Source: src, Collector: coll, Meter: meter, RNG: rng,
 	})
 	if err != nil {
 		t.Fatal(err)

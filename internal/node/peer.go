@@ -9,6 +9,7 @@ import (
 	"precinct/internal/region"
 	"precinct/internal/sim"
 	"precinct/internal/trace"
+	"precinct/internal/workload"
 )
 
 // Proc kinds for the node layer's re-armable recurring processes. The
@@ -158,11 +159,18 @@ func (p *Peer) markSeen(id uint64) bool {
 	return false
 }
 
-// scheduleNextRequest arms the peer's Poisson request process: the gap
-// to the next request is drawn now, so the stream state at a checkpoint
+// srcCtx builds the workload context for a draw happening now. It is a
+// stack value — the interface fields are copies of per-network state —
+// so the hot request/update path allocates nothing for it.
+func (p *Peer) srcCtx() workload.Ctx {
+	return workload.Ctx{Peer: int(p.id), Now: p.net.sched.Now(), RNG: p.rng, Loc: p.net.loc}
+}
+
+// scheduleNextRequest arms the peer's request process: the gap to the
+// next request is drawn now, so the stream state at a checkpoint
 // boundary already accounts for every armed event.
 func (p *Peer) scheduleNextRequest() {
-	gap := p.net.gen.NextRequestGap(p.rng)
+	gap := p.net.src.NextRequestGap(p.srcCtx())
 	p.armRequest(p.net.sched.Now() + gap)
 }
 
@@ -173,16 +181,16 @@ func (p *Peer) scheduleNextRequest() {
 func (p *Peer) armRequest(at float64) {
 	p.net.sched.AtProcAs(sim.Proc{Kind: procRequest, Owner: int(p.id)}, at, func() {
 		if p.alive {
-			k := p.net.gen.PickKey(p.rng)
+			k := p.net.src.PickKey(p.srcCtx())
 			p.net.RequestFrom(p.id, k)
 		}
 		p.scheduleNextRequest()
 	}, int(p.id))
 }
 
-// scheduleNextUpdate arms the peer's Poisson update process.
+// scheduleNextUpdate arms the peer's update process.
 func (p *Peer) scheduleNextUpdate() {
-	gap := p.net.gen.NextUpdateGap(p.rng)
+	gap := p.net.src.NextUpdateGap(p.srcCtx())
 	p.armUpdate(p.net.sched.Now() + gap)
 }
 
@@ -193,7 +201,7 @@ func (p *Peer) scheduleNextUpdate() {
 func (p *Peer) armUpdate(at float64) {
 	p.net.sched.AtProcAs(sim.Proc{Kind: procUpdate, Owner: int(p.id)}, at, func() {
 		if p.alive {
-			k := p.net.gen.PickUpdateKey(p.rng)
+			k := p.net.src.PickUpdateKey(p.srcCtx())
 			p.net.UpdateFrom(p.id, k)
 		}
 		p.scheduleNextUpdate()

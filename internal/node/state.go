@@ -272,15 +272,15 @@ func (n *Network) allPending() []*pendingReq {
 func (n *Network) Rearm(p sim.Proc, at float64) error {
 	switch p.Kind {
 	case procRequest:
-		if n.gen == nil {
-			return fmt.Errorf("node: snapshot arms a request process but no generator is configured")
+		if n.src == nil {
+			return fmt.Errorf("node: snapshot arms a request process but no workload source is configured")
 		}
 		if p.Owner < 0 || p.Owner >= len(n.peers) {
 			return fmt.Errorf("node: request process for unknown peer %d", p.Owner)
 		}
 		n.peers[p.Owner].armRequest(at)
 	case procUpdate:
-		if n.gen == nil || !n.gen.UpdatesEnabled() {
+		if n.src == nil || !n.src.UpdatesEnabled() {
 			return fmt.Errorf("node: snapshot arms an update process but updates are not configured")
 		}
 		if p.Owner < 0 || p.Owner >= len(n.peers) {

@@ -151,13 +151,13 @@ func TestRestoreStateRejectsCorruptSnapshots(t *testing.T) {
 }
 
 func TestRearmRejectsUnknownAndUnconfigured(t *testing.T) {
-	// No generator: request/update processes have nothing to re-arm.
+	// No workload source: request/update processes have nothing to re-arm.
 	bare := build(t, defaultHarnessOpts())
 	cases := []struct {
 		p       sim.Proc
 		wantMsg string
 	}{
-		{sim.Proc{Kind: procRequest, Owner: 0}, "no generator"},
+		{sim.Proc{Kind: procRequest, Owner: 0}, "no workload source"},
 		{sim.Proc{Kind: procUpdate, Owner: 0}, "updates are not configured"},
 		{sim.Proc{Kind: procMobility, Owner: 999}, "unknown peer"},
 		{sim.Proc{Kind: procAdaptive}, "not configured"},

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfProbSumsToOneAcrossScales checks the distribution-property
+// contract on pinned support sizes (quick.Check covers random ones in
+// workload_test.go): probability masses over the whole support must sum
+// to 1 within floating-point tolerance, for uniform, paper-range and
+// heavy skews.
+func TestZipfProbSumsToOneAcrossScales(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{
+		{1, 0}, {10, 0}, {100, 0.8}, {1000, 0.8}, {1000, 0}, {500, 2.5},
+	} {
+		z, err := NewZipf(tc.n, tc.theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for r := 1; r <= tc.n; r++ {
+			p := z.Prob(r)
+			if p < 0 {
+				t.Fatalf("n=%d theta=%v: Prob(%d) = %v < 0", tc.n, tc.theta, r, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d theta=%v: probabilities sum to %v, want 1", tc.n, tc.theta, sum)
+		}
+		if z.Prob(0) != 0 || z.Prob(tc.n+1) != 0 {
+			t.Errorf("n=%d theta=%v: out-of-support ranks have nonzero mass", tc.n, tc.theta)
+		}
+	}
+}
+
+// TestZipfRankFrequencyMonotone draws a large deterministic sample and
+// checks that empirical frequency decreases (weakly, within sampling
+// noise) with rank, and that every rank's frequency tracks Prob.
+func TestZipfRankFrequencyMonotone(t *testing.T) {
+	const n, theta, samples = 50, 0.8, 500000
+	z, err := NewZipf(n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n+1)
+	for i := 0; i < samples; i++ {
+		counts[z.Rank(rng)]++
+	}
+	for r := 1; r <= n; r++ {
+		want := z.Prob(r)
+		got := float64(counts[r]) / samples
+		// Binomial standard deviation plus a safety factor; with 5e5
+		// samples this is a tight but deterministic bound.
+		tol := 5*math.Sqrt(want*(1-want)/samples) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Errorf("rank %d: empirical frequency %v, Prob %v (tol %v)", r, got, want, tol)
+		}
+	}
+	// Strict monotonicity of the underlying masses implies the empirical
+	// ordering can only invert within noise; compare against a noise
+	// budget rather than demanding exact ordering.
+	for r := 1; r < n; r++ {
+		if float64(counts[r+1]-counts[r])/samples > 5e-3 {
+			t.Errorf("rank %d drew %d, rank %d drew %d: frequency increased with rank beyond noise",
+				r, counts[r], r+1, counts[r+1])
+		}
+	}
+}
+
+// TestPoissonMeanConvergence checks that the empirical mean of Next
+// converges to the configured mean over a large deterministic sample.
+func TestPoissonMeanConvergence(t *testing.T) {
+	for _, mean := range []float64{0.5, 30, 1000} {
+		p, err := NewPoisson(mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		const samples = 200000
+		sum := 0.0
+		for i := 0; i < samples; i++ {
+			g := p.Next(rng)
+			if g < 0 {
+				t.Fatalf("mean %v: negative gap %v", mean, g)
+			}
+			sum += g
+		}
+		got := sum / samples
+		// Exponential stddev equals the mean; 5 sigma of the sample mean.
+		tol := 5 * mean / math.Sqrt(samples)
+		if math.Abs(got-mean) > tol {
+			t.Errorf("mean %v: empirical mean %v (tol %v)", mean, got, tol)
+		}
+	}
+}

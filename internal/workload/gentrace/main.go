@@ -1,0 +1,29 @@
+// Command gentrace regenerates the committed sample trace at
+// internal/workload/testdata/sample_trace.csv (run from the repository
+// root). It exists so the fixture provably comes from the synthetic
+// generator with pinned parameters rather than from an untracked
+// one-off script.
+package main
+
+import (
+	"os"
+
+	"precinct/internal/workload"
+)
+
+func main() {
+	f, err := os.Create("internal/workload/testdata/sample_trace.csv")
+	if err != nil {
+		panic(err)
+	}
+	if err := workload.WriteSyntheticTrace(f, workload.SyntheticTraceConfig{
+		Ops: 400, Keys: 60, ZipfTheta: 0.8,
+		SetFraction: 0.15, DeleteFraction: 0.05,
+		MinSize: 1024, MaxSize: 8192, Seed: 42,
+	}); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Locator resolves a peer's current position in meters. The node layer
+// provides an adapter over the radio channel; geo-aware sources (the
+// region-correlated hotspot) call it lazily, so sources that ignore
+// geometry cost the simulation no position lookups at all.
+type Locator interface {
+	Locate(peer int) (x, y float64)
+}
+
+// Ctx carries the per-event context a Source may consult when drawing
+// the next gap or key. RNG is the requesting peer's own stream — every
+// draw a source makes must come from it (or from a dedicated stream the
+// source registered at build time), never from global state, so runs
+// stay deterministic and checkpoint-exact. Loc may be nil in harnesses
+// without geometry; only geo-aware sources dereference it.
+type Ctx struct {
+	Peer int
+	Now  float64
+	RNG  *rand.Rand
+	Loc  Locator
+}
+
+// SourceState is the serializable snapshot of a Source. Kind always
+// names the source; the remaining fields are used by whichever source
+// kinds need them and stay empty otherwise. One open struct (rather
+// than per-kind opaque blobs) keeps the checkpoint container inspectable
+// and DeepEqual-comparable.
+type SourceState struct {
+	Kind string
+	// Epoch and Perm carry the rank-churn source's reshuffle state.
+	Epoch int64
+	Perm  []uint32
+	// Requests and Updates carry the trace source's per-peer replay
+	// cursors.
+	Requests []int64
+	Updates  []int64
+}
+
+// Source is the workload driver contract: it answers "when is this
+// peer's next request/update and for which key". Implementations must
+// be deterministic given the Ctx stream states and must draw the same
+// number of variates for the same call sequence regardless of wall
+// conditions, so that checkpoint/restore replays bit-identically.
+//
+// StateSnapshot/RestoreState capture any mutable state beyond the RNG
+// streams (which the sim.RNG registry snapshots separately). Stateless
+// sources return just their Kind and validate it on restore.
+type Source interface {
+	// Kind names the source ("default", "trace", "flash-crowd", ...).
+	Kind() string
+	// Catalog returns the shared item catalog this source draws over.
+	Catalog() *Catalog
+	// NextRequestGap draws the time until the peer's next request.
+	NextRequestGap(c Ctx) float64
+	// PickKey draws the key of a request firing now.
+	PickKey(c Ctx) Key
+	// UpdatesEnabled reports whether the source generates updates.
+	UpdatesEnabled() bool
+	// NextUpdateGap draws the time until the peer's next update. Panics
+	// if updates are disabled; call UpdatesEnabled first.
+	NextUpdateGap(c Ctx) float64
+	// PickUpdateKey draws the target of an update firing now.
+	PickUpdateKey(c Ctx) Key
+	// StateSnapshot captures the source's mutable state.
+	StateSnapshot() SourceState
+	// RestoreState adopts a snapshot taken from an identically
+	// configured source.
+	RestoreState(SourceState) error
+}
+
+// Source kind names, as they appear in Scenario.Workload and in
+// checkpoint SourceState records.
+const (
+	KindDefault    = "default"
+	KindTrace      = "trace"
+	KindFlashCrowd = "flash-crowd"
+	KindDiurnal    = "diurnal"
+	KindHotspot    = "hotspot"
+	KindRankChurn  = "rank-churn"
+)
+
+// DefaultSource adapts the stationary Zipf/Poisson Generator to the
+// Source interface. It delegates every draw to the generator with the
+// context's RNG in the same order the pre-Source code used, so the
+// default workload path stays byte-identical to the original behavior
+// (pinned by TestWorkloadDefaultGolden at the repository root).
+type DefaultSource struct {
+	Gen *Generator
+}
+
+// Kind returns KindDefault.
+func (s DefaultSource) Kind() string { return KindDefault }
+
+// Catalog returns the generator's catalog.
+func (s DefaultSource) Catalog() *Catalog { return s.Gen.Catalog() }
+
+// NextRequestGap draws from the Poisson request process.
+func (s DefaultSource) NextRequestGap(c Ctx) float64 { return s.Gen.NextRequestGap(c.RNG) }
+
+// PickKey draws a Zipf-popular key.
+func (s DefaultSource) PickKey(c Ctx) Key { return s.Gen.PickKey(c.RNG) }
+
+// UpdatesEnabled reports whether the generator has an update process.
+func (s DefaultSource) UpdatesEnabled() bool { return s.Gen.UpdatesEnabled() }
+
+// NextUpdateGap draws from the Poisson update process.
+func (s DefaultSource) NextUpdateGap(c Ctx) float64 { return s.Gen.NextUpdateGap(c.RNG) }
+
+// PickUpdateKey draws an update target.
+func (s DefaultSource) PickUpdateKey(c Ctx) Key { return s.Gen.PickUpdateKey(c.RNG) }
+
+// StateSnapshot returns the kind tag: all the default source's
+// randomness lives in the peer RNG streams, which the RNG registry
+// snapshots on its own.
+func (s DefaultSource) StateSnapshot() SourceState { return SourceState{Kind: KindDefault} }
+
+// RestoreState validates the kind tag.
+func (s DefaultSource) RestoreState(st SourceState) error {
+	return requireKind(st, KindDefault, false)
+}
+
+// requireKind validates a snapshot's kind tag and — for stateless
+// sources (wantCursors false) — that no stray state rode along.
+func requireKind(st SourceState, kind string, wantCursors bool) error {
+	if st.Kind != kind {
+		return fmt.Errorf("workload: snapshot is for source %q, this run uses %q", st.Kind, kind)
+	}
+	if !wantCursors && (len(st.Requests) != 0 || len(st.Updates) != 0) {
+		return fmt.Errorf("workload: %s snapshot carries replay cursors", kind)
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 mixer, used to derive per-source
+// constants (hotset membership, per-cell popularity) from the scenario
+// seed without touching any RNG stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

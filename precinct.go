@@ -126,6 +126,22 @@ type Scenario struct {
 	RequestInterval float64
 	UpdateInterval  float64
 
+	// Workload selects the traffic source (DESIGN.md section 15): "" or
+	// "default" is the stationary Zipf/Poisson generator; "trace"
+	// replays the cachelib-format trace at TracePath; "flash-crowd",
+	// "diurnal", "hotspot" and "rank-churn" are the non-stationary
+	// sources. Non-default workloads require a sequential run
+	// (Shards <= 1) — their sources mutate shared draw state.
+	Workload string
+	// TracePath is the trace file for Workload "trace" (CSV rows of
+	// op,key,key_size,size). The catalog is derived from the trace's
+	// distinct keys; Items/MinItemSize/MaxItemSize are ignored. A
+	// checkpointed trace run needs the same file present on resume.
+	TracePath string
+	// WorkloadCfg tunes the non-stationary sources; zero values pick
+	// scenario-derived defaults.
+	WorkloadCfg WorkloadParams
+
 	// Retrieval: "precinct", "flooding" or "expanding-ring".
 	Retrieval string
 	// Consistency: "none", "plain-push", "pull-every-time" or
@@ -187,6 +203,41 @@ type Scenario struct {
 	// perfect location knowledge (BeaconInterval 0) and static regions
 	// (no AdaptiveRegions); checkpointing a sharded run is not supported.
 	Shards int
+}
+
+// WorkloadParams tunes the non-stationary workload sources. Every zero
+// field falls back to a default derived from the scenario (documented
+// per field), so enabling a workload by name alone gives a sensible
+// adversarial setting.
+type WorkloadParams struct {
+	// FlashAt is when the flash crowd ignites (default: one third into
+	// the measured window) and FlashDuration how long it burns (default:
+	// a quarter of the measured window). FlashHotset keys from the cold
+	// half of the catalog (default: Items/100, at least 1) absorb
+	// FlashBoost of the request mass (default: 0.6).
+	FlashAt       float64
+	FlashDuration float64
+	FlashHotset   int
+	FlashBoost    float64
+
+	// DriftPeriod is the seconds per full rotation of the diurnal
+	// popularity ranking (default: the measured window, one full cycle
+	// per run).
+	DriftPeriod float64
+
+	// HotspotGrid partitions the area into Grid x Grid popularity cells
+	// (default: 3); each favors HotspotHotset keys (default: Items/50,
+	// at least 1) that absorb HotspotBoost of local requests (default:
+	// 0.5).
+	HotspotGrid   int
+	HotspotHotset int
+	HotspotBoost  float64
+
+	// ChurnEvery is the seconds between popularity-rank reshuffles
+	// (default: 60) and ChurnSwaps the random rank transpositions per
+	// reshuffle (default: Items/20, at least 1).
+	ChurnEvery float64
+	ChurnSwaps int
 }
 
 // Weights are the GD-LD utility weights: U = WR*accesses +
@@ -255,6 +306,7 @@ type built struct {
 	meter    *energy.Meter
 	catalog  *workload.Catalog
 	table    *region.Table
+	source   workload.Source
 
 	// Checkpoint support: the restore path needs direct access to the
 	// scheduler, RNG registry, collector and mobility model, plus the
@@ -437,6 +489,153 @@ func (s Scenario) radioConfig() radio.Config {
 }
 
 // build wires the scenario into a runnable simulation.
+// buildWorkload constructs the catalog and the traffic source the
+// scenario selects (DESIGN.md section 15). The default path makes
+// exactly the calls the pre-Source code made — same catalog, same
+// generator, no extra RNG streams — which is what keeps it
+// byte-identical (TestWorkloadDefaultGolden). The rank-churn source
+// registers its dedicated "workload/churn" stream here, at build time,
+// so a restored RNG registry sees the same stream set the captured one
+// had.
+func (s Scenario) buildWorkload(rng *sim.RNG) (*workload.Catalog, workload.Source, error) {
+	kind := s.Workload
+	if kind == "" {
+		kind = workload.KindDefault
+	}
+	if s.TracePath != "" && kind != workload.KindTrace {
+		return nil, nil, fmt.Errorf("precinct: TracePath is set but the workload is %q, not %q", kind, workload.KindTrace)
+	}
+	if kind == workload.KindTrace {
+		if s.TracePath == "" {
+			return nil, nil, fmt.Errorf("precinct: workload %q requires TracePath", kind)
+		}
+		tr, err := workload.ReadTraceFile(s.TracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := workload.NewTraceSource(workload.TraceSourceConfig{
+			Trace:           tr,
+			Peers:           s.Nodes,
+			RequestInterval: s.RequestInterval,
+			UpdateInterval:  s.UpdateInterval,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return src.Catalog(), src, nil
+	}
+
+	catalog, err := workload.NewCatalog(workload.CatalogConfig{
+		Items: s.Items, MinSize: s.MinItemSize, MaxSize: s.MaxItemSize,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Catalog:         catalog,
+		ZipfTheta:       s.ZipfTheta,
+		UpdateZipfTheta: s.UpdateZipfTheta,
+		RequestInterval: s.RequestInterval,
+		UpdateInterval:  s.UpdateInterval,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	w := s.WorkloadCfg
+	measured := s.Duration - s.Warmup
+	switch kind {
+	case workload.KindDefault:
+		return catalog, workload.DefaultSource{Gen: gen}, nil
+
+	case workload.KindFlashCrowd:
+		at := w.FlashAt
+		if at == 0 {
+			at = s.Warmup + measured/3
+		}
+		dur := w.FlashDuration
+		if dur == 0 {
+			dur = measured / 4
+		}
+		hot := w.FlashHotset
+		if hot == 0 {
+			hot = max(1, s.Items/100)
+		}
+		boost := w.FlashBoost
+		if boost == 0 {
+			boost = 0.6
+		}
+		src, err := workload.NewFlashCrowd(workload.FlashCrowdConfig{
+			Gen: gen, At: at, Duration: dur, Hotset: hot, Boost: boost, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return catalog, src, nil
+
+	case workload.KindDiurnal:
+		period := w.DriftPeriod
+		if period == 0 {
+			period = measured
+		}
+		src, err := workload.NewDiurnal(workload.DiurnalConfig{Gen: gen, Period: period})
+		if err != nil {
+			return nil, nil, err
+		}
+		return catalog, src, nil
+
+	case workload.KindHotspot:
+		grid := w.HotspotGrid
+		if grid == 0 {
+			grid = 3
+		}
+		hot := w.HotspotHotset
+		if hot == 0 {
+			hot = max(1, s.Items/50)
+		}
+		boost := w.HotspotBoost
+		if boost == 0 {
+			boost = 0.5
+		}
+		src, err := workload.NewHotspot(workload.HotspotConfig{
+			Gen: gen, AreaSide: s.AreaSide, Grid: grid, Hotset: hot, Boost: boost, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return catalog, src, nil
+
+	case workload.KindRankChurn:
+		every := w.ChurnEvery
+		if every == 0 {
+			every = 60
+		}
+		swaps := w.ChurnSwaps
+		if swaps == 0 {
+			swaps = max(1, s.Items/20)
+		}
+		src, err := workload.NewRankChurn(workload.RankChurnConfig{
+			Gen: gen, Every: every, Swaps: swaps, RNG: rng.Stream("workload/churn"),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return catalog, src, nil
+
+	default:
+		return nil, nil, fmt.Errorf("precinct: unknown workload %q", s.Workload)
+	}
+}
+
+// WorkloadKinds lists the selectable Scenario.Workload values, default
+// first.
+func WorkloadKinds() []string {
+	return []string{
+		workload.KindDefault, workload.KindTrace, workload.KindFlashCrowd,
+		workload.KindDiurnal, workload.KindHotspot, workload.KindRankChurn,
+	}
+}
+
 func (s Scenario) build() (*built, error) { return s.buildTraced(nil) }
 
 // buildTraced wires the scenario with an optional protocol tracer.
@@ -475,6 +674,9 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		}
 		if s.AdaptiveRegions {
 			return nil, fmt.Errorf("precinct: sharded runs do not support adaptive region management")
+		}
+		if s.Workload != "" && s.Workload != workload.KindDefault {
+			return nil, fmt.Errorf("precinct: sharded runs support only the default workload, got %q", s.Workload)
 		}
 	}
 
@@ -530,20 +732,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		return nil, err
 	}
 
-	catalog, err := workload.NewCatalog(workload.CatalogConfig{
-		Items: s.Items, MinSize: s.MinItemSize, MaxSize: s.MaxItemSize,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	gen, err := workload.NewGenerator(workload.GeneratorConfig{
-		Catalog:         catalog,
-		ZipfTheta:       s.ZipfTheta,
-		UpdateZipfTheta: s.UpdateZipfTheta,
-		RequestInterval: s.RequestInterval,
-		UpdateInterval:  s.UpdateInterval,
-	})
+	catalog, src, err := s.buildWorkload(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -613,7 +802,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 		Channel:   ch,
 		Regions:   table,
 		Catalog:   catalog,
-		Generator: gen,
+		Source:    src,
 		Collector: coll,
 		Meter:     meter,
 		RNG:       rng,
@@ -627,7 +816,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	}
 	b := &built{
 		scenario: s, network: network, channel: ch,
-		meter: meter, catalog: catalog, table: table,
+		meter: meter, catalog: catalog, table: table, source: src,
 		sched: sched, rng: rng, coll: coll, mob: mob,
 	}
 	if s.ChurnInterval > 0 {

@@ -1,0 +1,96 @@
+package precinct_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// workloadGoldenSeeds are the fuzzgen seeds pinned by the default-path
+// equivalence fixture. They span all retrieval schemes, consistency
+// schemes, mobility models, loss, churn and fault schedules.
+var workloadGoldenSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+
+// workloadGoldenEntry records one seed's observable behavior: the
+// SHA-256 of the protocol trace stream plus the full report triple.
+type workloadGoldenEntry struct {
+	Seed     int64
+	TraceSHA string
+	Report   precinct.Report
+	Protocol precinct.ProtocolStats
+	Radio    precinct.RadioStats
+}
+
+// TestWorkloadDefaultGolden pins the default (stationary Zipf/Poisson)
+// workload path to the behavior recorded before the workload subsystem
+// refactor: testdata/workload_golden.json was generated from the
+// pre-Source code, so a byte-identical trace and DeepEqual reports here
+// prove the Source indirection changed nothing on the default path.
+// Regenerate (only for an intentional behavior change) with
+// PRECINCT_UPDATE_WORKLOAD_GOLDEN=1 go test -run WorkloadDefaultGolden .
+func TestWorkloadDefaultGolden(t *testing.T) {
+	const path = "testdata/workload_golden.json"
+
+	if os.Getenv("PRECINCT_UPDATE_WORKLOAD_GOLDEN") == "1" {
+		entries := make([]workloadGoldenEntry, 0, len(workloadGoldenSeeds))
+		for _, seed := range workloadGoldenSeeds {
+			s := fuzzgen.Expand(seed)
+			res, traceBytes := runTracedBytes(t, s)
+			sum := sha256.Sum256(traceBytes)
+			entries = append(entries, workloadGoldenEntry{
+				Seed:     seed,
+				TraceSHA: hex.EncodeToString(sum[:]),
+				Report:   res.Report,
+				Protocol: res.Protocol,
+				Radio:    res.Radio,
+			})
+		}
+		j, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(j, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("workload golden fixture regenerated")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []workloadGoldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(workloadGoldenSeeds) {
+		t.Fatalf("fixture has %d entries, suite pins %d seeds", len(want), len(workloadGoldenSeeds))
+	}
+	for _, w := range want {
+		w := w
+		t.Run(fuzzgen.Expand(w.Seed).Name, func(t *testing.T) {
+			t.Parallel()
+			res, traceBytes := runTracedBytes(t, fuzzgen.Expand(w.Seed))
+			sum := sha256.Sum256(traceBytes)
+			if got := hex.EncodeToString(sum[:]); got != w.TraceSHA {
+				t.Errorf("seed %d: trace stream diverged from the pre-refactor recording (sha %s, want %s)",
+					w.Seed, got, w.TraceSHA)
+			}
+			if !reflect.DeepEqual(res.Report, w.Report) {
+				t.Errorf("seed %d: Report diverged:\n got:  %+v\n want: %+v", w.Seed, res.Report, w.Report)
+			}
+			if !reflect.DeepEqual(res.Protocol, w.Protocol) {
+				t.Errorf("seed %d: Protocol diverged:\n got:  %+v\n want: %+v", w.Seed, res.Protocol, w.Protocol)
+			}
+			if !reflect.DeepEqual(res.Radio, w.Radio) {
+				t.Errorf("seed %d: Radio diverged:\n got:  %+v\n want: %+v", w.Seed, res.Radio, w.Radio)
+			}
+		})
+	}
+}

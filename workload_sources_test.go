@@ -1,0 +1,207 @@
+package precinct_test
+
+// System-level proofs for the workload lab (DESIGN.md section 15):
+// every non-default source must be deterministic under a fixed seed,
+// resume from a checkpoint bit-identically, and hold the invariant
+// catalog — the same bar the default workload has cleared since PR 2/3.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"precinct"
+	"precinct/internal/invariant/fuzzgen"
+)
+
+// sampleTracePath is the committed cachelib-format fixture; see
+// internal/workload/gentrace for its provenance.
+const sampleTracePath = "internal/workload/testdata/sample_trace.csv"
+
+// workloadScenario builds a scenario running the given source kind,
+// derived from a fuzzgen seed so the suites sweep mobility models,
+// retrieval schemes and consistency configurations too.
+func workloadScenario(seed int64, kind string) precinct.Scenario {
+	s := fuzzgen.Expand(seed)
+	s.Shards = 0
+	s.Workload = kind
+	s.Name = s.Name + "/" + kind
+	if kind == "trace" {
+		s.TracePath = sampleTracePath
+		// The sample trace carries SET rows; replay them whenever the
+		// expanded scenario did not already enable a write workload.
+		if s.UpdateInterval == 0 {
+			s.UpdateInterval = 45
+			s.Consistency = "push-adaptive-pull"
+		}
+	}
+	return s
+}
+
+func workloadKindsUnderTest() []string {
+	return []string{"trace", "flash-crowd", "diurnal", "hotspot", "rank-churn"}
+}
+
+// TestWorkloadSourceDeterminism runs every source twice under the same
+// seed: the trace streams must be byte-identical and the results
+// DeepEqual, or the source leaked nondeterminism into the run.
+func TestWorkloadSourceDeterminism(t *testing.T) {
+	for i, kind := range workloadKindsUnderTest() {
+		sc := workloadScenario(int64(20+i), kind)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res1, trace1 := runTracedBytes(t, sc)
+			res2, trace2 := runTracedBytes(t, sc)
+			if !bytes.Equal(trace1, trace2) {
+				t.Errorf("%s: two runs under one seed produced different trace streams (%d vs %d bytes)",
+					kind, len(trace1), len(trace2))
+			}
+			if !reflect.DeepEqual(res1, res2) {
+				t.Errorf("%s: two runs under one seed produced different results", kind)
+			}
+			if res1.Report.Requests == 0 {
+				t.Errorf("%s: run issued no requests", kind)
+			}
+		})
+	}
+}
+
+// TestWorkloadResumeEquivalence checkpoints each source mid-flight and
+// resumes: result and concatenated trace stream must be bit-identical
+// to the uninterrupted run. This exercises the v4 workload section —
+// trace cursors and the rank-churn permutation cross the snapshot here.
+func TestWorkloadResumeEquivalence(t *testing.T) {
+	kinds := workloadKindsUnderTest()
+	if testing.Short() {
+		kinds = []string{"trace", "rank-churn"} // the stateful ones
+	}
+	for i, kind := range kinds {
+		sc := workloadScenario(int64(30+i), kind)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			var bufFull bytes.Buffer
+			full, err := precinct.RunTraced(sc, &bufFull)
+			if err != nil {
+				t.Fatalf("RunTraced: %v", err)
+			}
+			dir := t.TempDir()
+			mid := sc.Warmup + (sc.Duration-sc.Warmup)/2
+			var buf1, buf2 bytes.Buffer
+			if _, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 15, StopAfter: mid, TraceWriter: &buf1,
+			}); err != nil {
+				t.Fatalf("interrupted run: %v", err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "run.ckpt")); err != nil {
+				t.Fatalf("no snapshot after StopAfter: %v", err)
+			}
+			resumed, err := precinct.RunCheckpointed(sc, precinct.CheckpointOptions{
+				Dir: dir, Label: "run", Interval: 15, Resume: true, TraceWriter: &buf2,
+			})
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !reflect.DeepEqual(resumed, full) {
+				t.Errorf("%s: resumed result differs from uninterrupted run:\n resumed: %+v\n full:    %+v",
+					kind, resumed.Report, full.Report)
+			}
+			joined := append(append([]byte(nil), buf1.Bytes()...), buf2.Bytes()...)
+			if !bytes.Equal(joined, bufFull.Bytes()) {
+				t.Errorf("%s: trace streams differ: interrupted %d + resumed %d bytes vs full %d bytes",
+					kind, buf1.Len(), buf2.Len(), bufFull.Len())
+			}
+		})
+	}
+}
+
+// TestWorkloadInvariants runs fuzzgen's workload variants (randomized
+// source parameters over randomized base scenarios) plus a trace run
+// under the full invariant catalog.
+func TestWorkloadInvariants(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	scs := make([]precinct.Scenario, 0, n+1)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		scs = append(scs, fuzzgen.WithWorkload(fuzzgen.Expand(seed), seed))
+	}
+	scs = append(scs, workloadScenario(40, "trace"))
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, inv, err := precinct.RunChecked(sc)
+			if err != nil {
+				t.Fatalf("RunChecked: %v", err)
+			}
+			if !inv.Ok() {
+				t.Fatalf("invariant violations: %s", inv)
+			}
+			if res.Report.Requests == 0 {
+				t.Error("run issued no requests")
+			}
+		})
+	}
+}
+
+// TestWorkloadScenarioValidation pins the wiring error paths: unknown
+// kinds, stray or missing trace paths, and the sharded-run gate.
+func TestWorkloadScenarioValidation(t *testing.T) {
+	base := fuzzgen.Expand(50)
+
+	s := base
+	s.Workload = "tidal"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unknown workload: err = %v", err)
+	}
+
+	s = base
+	s.TracePath = sampleTracePath
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "TracePath") {
+		t.Errorf("stray TracePath: err = %v", err)
+	}
+
+	s = base
+	s.Workload = "trace"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "TracePath") {
+		t.Errorf("missing TracePath: err = %v", err)
+	}
+
+	s = base
+	s.Workload = "trace"
+	s.TracePath = filepath.Join(t.TempDir(), "absent.csv")
+	if err := s.Validate(); err == nil {
+		t.Error("nonexistent trace file accepted")
+	}
+
+	s = precinct.DefaultScenario()
+	s.Duration, s.Warmup = 60, 10
+	s.Shards = 2
+	s.Workload = "flash-crowd"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("sharded non-default workload: err = %v", err)
+	}
+	s.Workload = "default"
+	if err := s.Validate(); err != nil {
+		t.Errorf("sharded default workload rejected: %v", err)
+	}
+}
+
+// TestTraceWorkloadCatalogFromTrace checks the trace path derives its
+// catalog from the trace (60 distinct keys in the fixture), ignoring
+// the scenario's Items knob.
+func TestTraceWorkloadCatalogFromTrace(t *testing.T) {
+	sc := workloadScenario(60, "trace")
+	sc.Items = 5 // would be an absurd catalog if honored
+	res, err := precinct.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests == 0 {
+		t.Fatal("trace run issued no requests")
+	}
+}
