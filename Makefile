@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-workloads bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke workload-smoke cover soak soak-100k ci
+.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-workloads bench-policies bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke workload-smoke policy-smoke cover soak soak-100k ci
 
 all: build
 
@@ -70,6 +70,13 @@ bench-scale:
 bench-workloads:
 	$(GO) run ./cmd/precinct-bench -workloads BENCH_workloads.json
 
+# Regenerate the committed policy-lab numbers (BENCH_policies.json):
+# every registered replacement policy over the same 1000-node scenario
+# under two workloads, plus a k=2 replica cell (DESIGN.md section 16).
+# Run on a quiet machine.
+bench-policies:
+	$(GO) run ./cmd/precinct-bench -policies BENCH_policies.json
+
 # Bench regression gate: re-run a fast probe subset (radio neighbor
 # queries + two mid-size scale cells) and compare against the committed
 # baselines; more than TOLERANCE slower, or more allocations, exits 3.
@@ -101,9 +108,10 @@ bench-compare-advisory:
 # the floors when coverage improves; never lower them to admit a drop.
 COVER_FLOOR_CACHE ?= 85.6
 COVER_FLOOR_NODE ?= 81.5
+COVER_FLOOR_REGION ?= 85.0
 cover:
 	@fail=0; \
-	for spec in "internal/cache $(COVER_FLOOR_CACHE)" "internal/node $(COVER_FLOOR_NODE)"; do \
+	for spec in "internal/cache $(COVER_FLOOR_CACHE)" "internal/node $(COVER_FLOOR_NODE)" "internal/region $(COVER_FLOOR_REGION)"; do \
 		set -- $$spec; pkg=$$1; floor=$$2; \
 		pct=$$($(GO) test -cover ./$$pkg/ | awk -F'coverage: ' '/coverage:/{split($$2,a,"%"); print a[1]}'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output"; fail=1; continue; fi; \
@@ -162,6 +170,22 @@ workload-smoke:
 		-update-interval 60 -consistency push-adaptive-pull > /dev/null && \
 	echo "workload-smoke: every source passed the invariant catalog"
 
+# Policy-lab smoke (DESIGN.md section 16): every registered replacement
+# policy through the real CLI on a short lossy scenario under the full
+# runtime invariant catalog, plus one k=2 replica-region cell so the
+# multi-rank custody checkers run end to end. The policy list comes
+# from the binary itself (-list-policies), so a newly registered policy
+# is enrolled here automatically.
+policy-smoke:
+	@flags="-nodes 40 -loss 0.05 -warmup 20 -duration 150 -check" && \
+	for p in $$($(GO) run ./cmd/precinct-sim -list-policies); do \
+		echo "policy-smoke: $$p" && \
+		$(GO) run ./cmd/precinct-sim $$flags -policy $$p > /dev/null || exit 1; \
+	done && \
+	echo "policy-smoke: replicas=2" && \
+	$(GO) run ./cmd/precinct-sim $$flags -replicas 2 > /dev/null && \
+	echo "policy-smoke: every policy passed the invariant catalog"
+
 # The build-tagged endurance tier (soak_test.go): one 2000-node, 30%
 # loss scenario for a long horizon under the invariant catalog, plus
 # checkpoint/resume and heap/linear equivalence at that scale. Minutes,
@@ -178,4 +202,4 @@ soak:
 soak-100k:
 	$(GO) test -tags soak -run Soak100k -timeout 60m -v .
 
-ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke workload-smoke bench-compare-allocs bench-compare-advisory
+ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke workload-smoke policy-smoke bench-compare-allocs bench-compare-advisory

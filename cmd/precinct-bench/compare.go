@@ -27,6 +27,7 @@ import (
 	"os"
 	"testing"
 
+	"precinct"
 	"precinct/internal/radio"
 )
 
@@ -77,14 +78,15 @@ func compareFloorProbe(name, metric string, base, curr, tol, slack float64) {
 }
 
 // runBenchCompare re-runs the probe subset and compares against the
-// baselines at baseRadio, baseScale and baseWorkloads. It returns
-// whether any probe regressed beyond tol. With allocsOnly, timing
-// metrics (ns/op, wall_seconds) are compared advisory and only the
-// deterministic allocation metrics can regress the build. With
+// baselines at baseRadio, baseScale, baseWorkloads and basePolicies. It
+// returns whether any probe regressed beyond tol. With allocsOnly,
+// timing metrics (ns/op, wall_seconds) are compared advisory and only
+// the deterministic allocation metrics can regress the build. With
 // advisory, every metric is advisory: overruns are labeled but nothing
 // regresses the build. The workload probes (byte hit ratio and latency
-// per source kind) are always advisory.
-func runBenchCompare(baseRadio, baseScale, baseWorkloads string, tol float64, allocsOnly, advisory bool) (bool, error) {
+// per source kind) and the per-policy hit-ratio floors are always
+// advisory.
+func runBenchCompare(baseRadio, baseScale, baseWorkloads, basePolicies string, tol float64, allocsOnly, advisory bool) (bool, error) {
 	timingAdvisory := allocsOnly || advisory
 	var radioBase radioBenchReport
 	if err := loadJSON(baseRadio, &radioBase); err != nil {
@@ -232,6 +234,37 @@ func runBenchCompare(baseRadio, baseScale, baseWorkloads string, tol float64, al
 		}
 		compareFloorProbe(base.Name, "byte_hit_ratio", base.ByteHitRatio, e.ByteHitRatio, tol, 0.005)
 		compareProbe(base.Name, "mean_latency_s", base.MeanLatency, e.MeanLatency, tol, 0.01, true)
+	}
+
+	// Policy probes: every registered policy on the stationary workload,
+	// re-run at the baseline's durations, each held advisory to its
+	// committed byte-hit-ratio floor. Like the workload probes these are
+	// deterministic — a drift means a policy's behavior changed, and the
+	// remedy is regenerating BENCH_policies.json and eyeballing the
+	// table, never a failed build. A policy present in the registry but
+	// missing from the baseline is an error: the sweep must be
+	// regenerated whenever a policy is added.
+	var polBase policyBenchReport
+	if err := loadJSON(basePolicies, &polBase); err != nil {
+		return false, fmt.Errorf("policy baseline: %w", err)
+	}
+	polByName := map[string]policyEntry{}
+	for _, e := range polBase.Results {
+		polByName[e.Name] = e
+	}
+	fmt.Printf("policy probes vs %s (tolerance %.0f%%, advisory):\n", basePolicies, tol*100)
+	for _, policy := range precinct.PolicyNames() {
+		name := fmt.Sprintf("policy/%s/default", policy)
+		base, ok := polByName[name]
+		if !ok {
+			return false, fmt.Errorf("baseline %s has no entry %q; regenerate it", basePolicies, name)
+		}
+		s := policyBenchScenario(policy, "default", 0, polBase.Quick)
+		e, err := runPolicyCell(s, policy, "default", 0)
+		if err != nil {
+			return false, err
+		}
+		compareFloorProbe(base.Name, "byte_hit_ratio", base.ByteHitRatio, e.ByteHitRatio, tol, 0.005)
 	}
 
 	switch {

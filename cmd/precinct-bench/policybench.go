@@ -1,0 +1,181 @@
+package main
+
+// Policy-lab benchmark suite, run via -policies. It runs every
+// registered replacement policy (DESIGN.md section 16) over the same
+// 1000-node scale-tier scenario under two workloads — the stationary
+// Zipf baseline and the flash-crowd stressor — plus one k=2
+// replica-region cell for the paper's GD-LD policy, and emits a
+// machine-readable JSON report (BENCH_policies.json at the repository
+// root holds the committed numbers; see EXPERIMENTS.md §Policy lab).
+// Each cell records the headline cache metrics so the competitor
+// policies' hit-ratio and latency trade-offs are tracked alongside
+// their cost.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"precinct"
+)
+
+type policyEntry struct {
+	// Name is "policy/<policy>/<workload>", with a "/rep<k>" suffix on
+	// replica cells.
+	Name           string  `json:"name"`
+	Policy         string  `json:"policy"`
+	Workload       string  `json:"workload"`
+	Replicas       int     `json:"replicas"`
+	Nodes          int     `json:"nodes"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Requests       uint64  `json:"requests"`
+	Completed      uint64  `json:"completed"`
+	ByteHitRatio   float64 `json:"byte_hit_ratio"`
+	FalseHitRatio  float64 `json:"false_hit_ratio"`
+	MeanLatency    float64 `json:"mean_latency_s"`
+	P50Latency     float64 `json:"p50_latency_s"`
+	P95Latency     float64 `json:"p95_latency_s"`
+	SearchMessages uint64  `json:"search_messages"`
+}
+
+type policyBenchReport struct {
+	Go      string        `json:"go"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	Cores   int           `json:"cores"`
+	Quick   bool          `json:"quick"`
+	Results []policyEntry `json:"results"`
+	// Summary holds the per-policy fields bench-compare reads advisory.
+	Summary map[string]float64 `json:"summary"`
+}
+
+// policyBenchWorkloads is the workload axis: the stationary baseline the
+// paper evaluates on, and the flash-crowd source whose popularity
+// inversion separates recency- from frequency-leaning policies.
+func policyBenchWorkloads() []string {
+	return []string{"default", "flash-crowd"}
+}
+
+// policyBenchScenario builds one cell: the 1000-node scale-tier scenario
+// (constant density, lossless radio so hit-ratio differences come from
+// the policy alone) running the named policy under the given workload
+// with the given replica-region count (0 keeps the scenario default).
+func policyBenchScenario(policy, kind string, replicas int, quick bool) precinct.Scenario {
+	s := scaleScenario(1000, 0, quick)
+	s.Policy = policy
+	s.Workload = kind
+	// A third of the default per-peer cache: at the 1000-node tier the
+	// aggregate cache otherwise covers most of the catalog and every
+	// policy converges to the same hit ratio; real replacement pressure
+	// is what separates them.
+	s.CacheFraction = 0.005
+	s.Name = fmt.Sprintf("policy-%s-%s", policy, kind)
+	if replicas > 1 {
+		s.Replicas = replicas
+		s.Name = fmt.Sprintf("%s-rep%d", s.Name, replicas)
+	}
+	return s
+}
+
+// runPolicyCell executes one cell and collapses the result into a
+// report entry.
+func runPolicyCell(s precinct.Scenario, policy, kind string, replicas int) (policyEntry, error) {
+	t0 := time.Now()
+	res, stats, err := precinct.RunWithStats(s)
+	wall := time.Since(t0)
+	if err != nil {
+		return policyEntry{}, err
+	}
+	r := res.Report
+	name := fmt.Sprintf("policy/%s/%s", policy, kind)
+	if replicas > 1 {
+		name = fmt.Sprintf("%s/rep%d", name, replicas)
+	}
+	e := policyEntry{
+		Name:           name,
+		Policy:         policy,
+		Workload:       kind,
+		Replicas:       replicas,
+		Nodes:          s.Nodes,
+		SimSeconds:     s.Duration,
+		WallSeconds:    wall.Seconds(),
+		Events:         stats.Events,
+		Requests:       r.Requests,
+		Completed:      r.Completed,
+		ByteHitRatio:   r.ByteHitRatio,
+		FalseHitRatio:  r.FalseHitRatio,
+		MeanLatency:    r.MeanLatency,
+		P50Latency:     r.P50Latency,
+		P95Latency:     r.P95Latency,
+		SearchMessages: r.SearchMessages,
+	}
+	if stats.Events > 0 && wall > 0 {
+		e.EventsPerSec = float64(stats.Events) / wall.Seconds()
+	}
+	return e, nil
+}
+
+// writePolicyBench runs the policy sweep and writes the JSON report to
+// path. quick shrinks durations for smoke use in CI.
+func writePolicyBench(path string, quick bool) error {
+	rep := policyBenchReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Cores:   runtime.GOMAXPROCS(0),
+		Quick:   quick,
+		Summary: map[string]float64{},
+	}
+
+	type cell struct {
+		policy, kind string
+		replicas     int
+	}
+	var cells []cell
+	for _, policy := range precinct.PolicyNames() {
+		for _, kind := range policyBenchWorkloads() {
+			cells = append(cells, cell{policy, kind, 0})
+		}
+	}
+	// One replica-layer cell: the paper's policy with two replica
+	// regions per key, so the k>1 custody cost is tracked too.
+	cells = append(cells, cell{"gd-ld", "default", 2})
+
+	fmt.Printf("policy lab, 1000-node tier (%d cores):\n", rep.Cores)
+	for _, c := range cells {
+		s := policyBenchScenario(c.policy, c.kind, c.replicas, quick)
+		e, err := runPolicyCell(s, c.policy, c.kind, c.replicas)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		if e.Requests == 0 {
+			return fmt.Errorf("%s: no requests issued", s.Name)
+		}
+		rep.Results = append(rep.Results, e)
+		fmt.Printf("  %-34s %8.2fs wall %10.0f ev/s  hit %.3f  false %.4f  mean %.3fs  p95 %.3fs\n",
+			e.Name, e.WallSeconds, e.EventsPerSec, e.ByteHitRatio, e.FalseHitRatio,
+			e.MeanLatency, e.P95Latency)
+		key := c.policy + "/" + c.kind
+		if c.replicas > 1 {
+			key = fmt.Sprintf("%s/rep%d", key, c.replicas)
+		}
+		rep.Summary[key+"_byte_hit_ratio"] = e.ByteHitRatio
+		rep.Summary[key+"_mean_latency_s"] = e.MeanLatency
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

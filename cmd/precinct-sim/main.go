@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"precinct"
 )
@@ -96,10 +97,12 @@ func main() {
 	retrieval := flag.String("retrieval", def.Retrieval, "precinct | flooding | expanding-ring")
 	consistencyF := flag.String("consistency", def.Consistency, "none | plain-push | pull-every-time | push-adaptive-pull")
 	alpha := flag.Float64("ttr-alpha", def.TTRAlpha, "TTR smoothing factor in [0,1)")
-	policy := flag.String("policy", def.Policy, "gd-ld | gd-size | lru | lfu")
+	policy := flag.String("policy", def.Policy, "replacement policy: "+strings.Join(precinct.PolicyNames(), " | "))
+	listPolicies := flag.Bool("list-policies", false, "print the registered replacement policies, one per line, and exit")
 	cacheFrac := flag.Float64("cache-frac", def.CacheFraction, "cache size as fraction of catalog (negative disables)")
 	enRoute := flag.Bool("enroute", def.EnRoute, "en-route cache answering")
 	replication := flag.Bool("replication", def.Replication, "maintain replica regions")
+	replicas := flag.Int("replicas", def.Replicas, "replica regions per key (0 or 1 = the paper's single replica region)")
 	adaptive := flag.Bool("adaptive", false, "dynamic region management")
 	warmup := flag.Float64("warmup", def.Warmup, "warmup time in s (excluded from metrics)")
 	duration := flag.Float64("duration", def.Duration, "total simulated time in s")
@@ -117,6 +120,13 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` after the run")
 	flag.Parse()
+
+	if *listPolicies {
+		for _, name := range precinct.PolicyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	if err := validateCheckpointFlags(*ckptDir, *ckptInterval, *resume, *stopAfter); err != nil {
 		die(err)
@@ -158,6 +168,7 @@ func main() {
 		"cache-frac":       func() { s.CacheFraction = *cacheFrac },
 		"enroute":          func() { s.EnRoute = *enRoute },
 		"replication":      func() { s.Replication = *replication },
+		"replicas":         func() { s.Replicas = *replicas },
 		"adaptive":         func() { s.AdaptiveRegions = *adaptive },
 		"warmup":           func() { s.Warmup = *warmup },
 		"duration":         func() { s.Duration = *duration },
@@ -294,6 +305,9 @@ func report(s precinct.Scenario, res precinct.Result, verbose bool) {
 	r := res.Report
 	fmt.Printf("scenario: %d nodes, %.0f m area, %d regions, retrieval=%s, consistency=%s, policy=%s\n",
 		s.Nodes, s.AreaSide, s.Regions, s.Retrieval, s.Consistency, s.Policy)
+	if s.Replication && s.Replicas > 1 {
+		fmt.Printf("replicas:           %d regions per key\n", s.Replicas)
+	}
 	if s.Workload != "" && s.Workload != "default" {
 		if s.Workload == "trace" {
 			fmt.Printf("workload:           trace (%s)\n", s.TracePath)

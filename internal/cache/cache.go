@@ -449,9 +449,11 @@ type StoredItem struct {
 	Key     workload.Key
 	Size    int
 	Version uint64
-	// Replica marks the copy that belongs to the key's replica region
-	// rather than its home region.
-	Replica bool
+	// ReplicaRank is the copy's replica rank: 0 for the primary copy in
+	// the key's home region, r >= 1 for the copy belonging to the key's
+	// rank-r replica region (the (r+1)-th nearest region center to the
+	// key's hash location).
+	ReplicaRank int
 	// UpdatedAt is the sim time of the last accepted update.
 	UpdatedAt float64
 	// TTR is the current Time-to-Refresh estimate in seconds,

@@ -8,26 +8,18 @@ import (
 	"precinct/internal/workload"
 )
 
-// policyForTest builds a named policy, failing the test on error.
+// policyForTest builds a named policy through the registry, failing the
+// test on error. Going through the registry means a newly registered
+// policy is automatically pulled into every registry-driven suite — it
+// cannot escape the heap/linear equivalence proof or the contract
+// battery by being forgotten here.
 func policyForTest(t *testing.T, name string) Policy {
 	t.Helper()
-	switch name {
-	case "gd-ld":
-		p, err := NewGDLD(DefaultWeights())
-		if err != nil {
-			t.Fatal(err)
-		}
-		return p
-	case "gd-size":
-		return GDSize{}
-	case "lru":
-		return LRU{}
-	case "lfu":
-		return LFU{}
-	default:
-		t.Fatalf("unknown policy %q", name)
-		return nil
+	p, err := NewPolicy(name, Params{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	return p
 }
 
 // cacheOp is one step of a fuzzed operation stream.
@@ -107,12 +99,13 @@ func replay(t *testing.T, c *Cache, ops []cacheOp) []workload.Key {
 
 // TestHeapLinearOpEquivalence replays fuzzed operation streams on a
 // heap-indexed cache and on the retained linear reference, for every
-// policy, and requires identical eviction sequences, counters and final
-// contents. This is the unit-level half of the equivalence proof
-// (DESIGN.md section 11); TestCacheIndexEquivalence at the repo root is
-// the whole-scenario half.
+// registered policy, and requires identical eviction sequences, counters
+// and final contents. This is the unit-level half of the equivalence
+// proof (DESIGN.md section 11); TestCacheIndexEquivalence at the repo
+// root is the whole-scenario half. Iterating Names() makes the suite
+// self-extending: registering a policy enrolls it here.
 func TestHeapLinearOpEquivalence(t *testing.T) {
-	for _, policy := range []string{"gd-ld", "gd-size", "lru", "lfu"} {
+	for _, policy := range Names() {
 		t.Run(policy, func(t *testing.T) {
 			for seed := int64(1); seed <= 8; seed++ {
 				ops := genOps(seed*7919, 1200)

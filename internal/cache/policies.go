@@ -1,0 +1,84 @@
+package cache
+
+// This file holds competitor replacement policies from the related work,
+// beyond the paper's own GD-LD/GD-Size pair and the LRU/LFU baselines
+// (cache.go). All are pure functions of the Entry, so one value serves
+// every peer; they enter the test suite through the registry
+// (registry.go): the heap/linear differential replay and the policy
+// contract battery iterate Names(), so adding a policy here and
+// registering it is the whole proof obligation (DESIGN.md section 16).
+
+// GDSF is Greedy-Dual-Size-Frequency (Cherkasova; the replacement-policy
+// survey's strongest size-aware web baseline): utility frequency/size,
+// aged greedy-dual style. Against GD-Size it keeps popular large items;
+// against GD-LD it lacks the geographic distance term.
+type GDSF struct{}
+
+// Name implements Policy.
+func (GDSF) Name() string { return "GDSF" }
+
+// Aged implements Policy.
+func (GDSF) Aged() bool { return true }
+
+// Utility implements Policy: (1+accesses)/size. The +1 keeps a freshly
+// admitted, never re-accessed item from collapsing to zero utility
+// regardless of size.
+func (GDSF) Utility(e *Entry) float64 {
+	f := float64(1 + e.AccessCount)
+	if e.Size <= 0 {
+		return f
+	}
+	return f / float64(e.Size)
+}
+
+// PopDist is the popularity×distance utility with geographic weighting
+// in the spirit of Avrachenkov et al.'s geographically-constrained
+// caching: an item's value grows multiplicatively with both its regional
+// popularity and how far away its home region is, so remote popular
+// items are retained hardest. Aged greedy-dual style like GD-LD.
+type PopDist struct {
+	W Weights
+}
+
+// NewPopDist builds the policy, validating the weights. Only WR and WD
+// participate (popularity and per-meter distance); WS is accepted so one
+// Weights value configures every weighted policy, but ignored.
+func NewPopDist(w Weights) (*PopDist, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &PopDist{W: w}, nil
+}
+
+// Name implements Policy.
+func (p *PopDist) Name() string { return "Pop-Dist" }
+
+// Aged implements Policy.
+func (p *PopDist) Aged() bool { return true }
+
+// Utility implements Policy: wr*(1+accesses) * (1 + wd*reg_dst). The
+// additive 1 inside the distance factor keeps same-distance-zero items
+// ordered by popularity instead of collapsing to zero.
+func (p *PopDist) Utility(e *Entry) float64 {
+	return p.W.WR * float64(1+e.AccessCount) * (1 + p.W.WD*e.RegionDist)
+}
+
+// PopRank ranks items by popularity with a bounded recency tie-break, in
+// the spirit of Wang et al.'s DTN cooperative caching, which orders
+// content by popularity rank and breaks ties toward recently seen items.
+// Not aged: like LRU/LFU it orders by absolute bookkeeping, not by a
+// greedy-dual inflated value.
+type PopRank struct{}
+
+// Name implements Policy.
+func (PopRank) Name() string { return "Pop-Rank" }
+
+// Aged implements Policy.
+func (PopRank) Aged() bool { return false }
+
+// Utility implements Policy: accesses + a recency fraction strictly
+// inside [0,1), so recency can reorder items only within one popularity
+// rank, never across ranks.
+func (PopRank) Utility(e *Entry) float64 {
+	return float64(e.AccessCount) + 1 - 1/(1+e.LastAccess)
+}

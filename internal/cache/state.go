@@ -104,6 +104,9 @@ func (s *Store) RestoreState(items []StoredItem) error {
 		if it.Size <= 0 {
 			return fmt.Errorf("cache: snapshot stored item %d has non-positive size %d", it.Key, it.Size)
 		}
+		if it.ReplicaRank < 0 {
+			return fmt.Errorf("cache: snapshot stored item %d has negative replica rank %d", it.Key, it.ReplicaRank)
+		}
 		if _, dup := m[it.Key]; dup {
 			return fmt.Errorf("cache: snapshot has duplicate stored item for key %d", it.Key)
 		}

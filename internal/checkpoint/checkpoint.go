@@ -55,7 +55,11 @@ const Magic = "PRCNCKPT"
 // mutable state (kind tag, trace replay cursors, rank-churn epoch and
 // permutation), so non-stationary and trace-driven runs resume
 // bit-identically.
-const Version = 4
+//
+// Version 5: stored items and pending requests carry integer replica
+// ranks (StoredItem.ReplicaRank, PendingReqState.ReplicaRank) instead of
+// the boolean replica flag, supporting k > 1 replica regions per key.
+const Version = 5
 
 // sectionNames is the canonical section order. Decode enforces it
 // exactly: a reordered or renamed section means the file was not written

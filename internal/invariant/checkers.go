@@ -65,10 +65,12 @@ func (*AdmissionChecker) OnCacheAdmit(_ *Context, id radio.NodeID, requesterRegi
 }
 
 // CustodyChecker verifies key ownership (Section 2): at any instant a key
-// has at most one live primary custodian and at most one live replica
-// custodian (copies can be zero while in flight or after losses), and a
-// re-homing pass leaves a peer holding only copies that either belong to
-// its current region or have no eligible custodian anywhere.
+// has at most one live custodian per replica rank — one primary (rank 0)
+// and one per replica region (copies can be zero while in flight or
+// after losses) — every stored rank stays within the configured replica
+// count, and a re-homing pass leaves a peer holding only copies that
+// either belong to its current region or have no eligible custodian
+// anywhere.
 type CustodyChecker struct{}
 
 // Name implements Checker.
@@ -77,8 +79,8 @@ func (*CustodyChecker) Name() string { return "custody" }
 // Sweep implements Checker.
 func (*CustodyChecker) Sweep(ctx *Context) []string {
 	var out []string
-	type holders struct{ primary, replica int }
-	seen := make(map[workload.Key]*holders)
+	maxRank := ctx.Net.Replicas()
+	seen := make(map[workload.Key][]int)
 	for i := 0; i < ctx.Net.Peers(); i++ {
 		p := ctx.Net.Peer(radio.NodeID(i))
 		if !p.Alive() {
@@ -87,24 +89,31 @@ func (*CustodyChecker) Sweep(ctx *Context) []string {
 		st := p.Store()
 		for _, k := range st.Keys() {
 			it, _ := st.Get(k)
+			if it.ReplicaRank < 0 || it.ReplicaRank > maxRank {
+				out = append(out, fmt.Sprintf(
+					"peer %d stores key %d at replica rank %d outside [0, %d]",
+					i, uint32(k), it.ReplicaRank, maxRank))
+				continue
+			}
 			h := seen[k]
-			if h == nil {
-				h = &holders{}
-				seen[k] = h
+			if len(h) <= it.ReplicaRank {
+				h = append(h, make([]int, it.ReplicaRank+1-len(h))...)
 			}
-			if it.Replica {
-				h.replica++
-			} else {
-				h.primary++
-			}
+			h[it.ReplicaRank]++
+			seen[k] = h
 		}
 	}
 	for k, h := range seen {
-		if h.primary > 1 {
-			out = append(out, fmt.Sprintf("key %d has %d live primary custodians", uint32(k), h.primary))
-		}
-		if h.replica > 1 {
-			out = append(out, fmt.Sprintf("key %d has %d live replica custodians", uint32(k), h.replica))
+		for rank, count := range h {
+			if count <= 1 {
+				continue
+			}
+			if rank == 0 {
+				out = append(out, fmt.Sprintf("key %d has %d live primary custodians", uint32(k), count))
+			} else {
+				out = append(out, fmt.Sprintf(
+					"key %d has %d live rank-%d replica custodians", uint32(k), count, rank))
+			}
 		}
 	}
 	return out
@@ -122,10 +131,13 @@ func (*CustodyChecker) AfterRehome(ctx *Context, p *node.Peer, evacuate bool) []
 		it, _ := st.Get(k)
 		var proper region.Region
 		var ok bool
-		if it.Replica {
-			proper, ok = t.ReplicaRegion(k)
-		} else {
+		switch {
+		case it.ReplicaRank == 0:
 			proper, ok = t.HomeRegion(k)
+		case it.ReplicaRank == 1:
+			proper, ok = t.ReplicaRegion(k)
+		default:
+			proper, ok = t.ReplicaRegionAt(k, it.ReplicaRank)
 		}
 		if !ok {
 			// No proper region exists (e.g. a replica copy on a
@@ -266,7 +278,9 @@ func (c *SchedulerChecker) Finalize(ctx *Context) []string {
 // RegionChecker verifies the geographic hash layer (Section 2): the
 // region table is structurally sound on every version peers still hold,
 // and every catalog key maps to a home region and — whenever at least two
-// regions exist — a distinct replica region.
+// regions exist — a distinct replica region. With k > 1 replica regions
+// configured, the k replica ranks the table can satisfy must be pairwise
+// distinct and distinct from the home region.
 type RegionChecker struct{}
 
 // Name implements Checker.
@@ -302,6 +316,30 @@ func (*RegionChecker) Sweep(ctx *Context) []string {
 		}
 		if rep.ID == home.ID {
 			out = append(out, fmt.Sprintf("key %d: replica region %d equals home region", k, int(home.ID)))
+		}
+		if reps := ctx.Net.Replicas(); reps > 1 {
+			// Rank 1 must agree with the single-replica lookup, and the
+			// ranks the table can satisfy must be pairwise distinct.
+			used := map[region.ID]int{home.ID: 0}
+			for r := 1; r <= reps && r < t.Len(); r++ {
+				rr, ok := t.ReplicaRegionAt(key, r)
+				if !ok {
+					out = append(out, fmt.Sprintf(
+						"key %d has no rank-%d replica region on a %d-region table", k, r, t.Len()))
+					break
+				}
+				if r == 1 && rr.ID != rep.ID {
+					out = append(out, fmt.Sprintf(
+						"key %d: rank-1 replica region %d disagrees with the single-replica lookup %d",
+						k, int(rr.ID), int(rep.ID)))
+				}
+				if prev, dup := used[rr.ID]; dup {
+					out = append(out, fmt.Sprintf(
+						"key %d: rank-%d replica region %d collides with rank %d",
+						k, r, int(rr.ID), prev))
+				}
+				used[rr.ID] = r
+			}
 		}
 	}
 	return out

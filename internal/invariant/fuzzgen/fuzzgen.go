@@ -216,6 +216,27 @@ func ShuffleFaults(s precinct.Scenario, seed int64) precinct.Scenario {
 // so suites wire it separately).
 var NonDefaultWorkloads = []string{"flash-crowd", "diurnal", "hotspot", "rank-churn"}
 
+// WithReplicas derives a k-replica variant of a scenario: replication
+// forced on with k replica regions per key (DESIGN.md section 16). The
+// Name gains a "/rep<k>" tag so failures name the replica layer. Expand's
+// own RNG draw sequence is untouched — the transform layers the new axis
+// on top, so every existing golden trace stays valid.
+func WithReplicas(s precinct.Scenario, k int) precinct.Scenario {
+	s.Replication = true
+	s.Replicas = k
+	s.Name = fmt.Sprintf("%s/rep%d", s.Name, k)
+	return s
+}
+
+// WithPolicy derives a policy-lab variant of a scenario running the
+// named replacement policy. Like WithReplicas it never touches Expand's
+// draw sequence, so the policy axis composes with every seed.
+func WithPolicy(s precinct.Scenario, policy string) precinct.Scenario {
+	s.Policy = policy
+	s.Name = s.Name + "/" + policy
+	return s
+}
+
 // WithWorkload derives a workload-lab variant of a scenario: the seed
 // picks one of the non-stationary sources and perturbs its parameters
 // deterministically. Shards is cleared (non-default workloads are

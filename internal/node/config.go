@@ -12,6 +12,7 @@ import (
 
 	"precinct/internal/cache"
 	"precinct/internal/consistency"
+	"precinct/internal/region"
 )
 
 // RetrievalScheme selects the data retrieval protocol.
@@ -90,8 +91,15 @@ type Config struct {
 	// EnRoute lets peers on the path to the home region answer requests
 	// from their caches (Section 3.1).
 	EnRoute bool
-	// Replication maintains one replica region per key (Section 2.4).
+	// Replication maintains replica regions per key (Section 2.4).
 	Replication bool
+	// Replicas is the number of replica regions per key when Replication
+	// is on: the rank-r replica (1 <= r <= Replicas) lives in the
+	// (r+1)-th nearest region to the key's hash location. 0 selects the
+	// paper's single replica region; values above 1 home each key in the
+	// k best regions with load-aware replica placement (DESIGN.md
+	// section 16). Capped at region.MaxReplicaRank.
+	Replicas int
 
 	// RegionTTL bounds intra-region floods in hops.
 	RegionTTL int
@@ -145,6 +153,7 @@ func DefaultConfig() Config {
 		CacheBytes:            64 * 1024,
 		EnRoute:               true,
 		Replication:           true,
+		Replicas:              1,
 		RegionTTL:             4,
 		NetworkTTL:            16,
 		MaxRingTTL:            16,
@@ -172,6 +181,9 @@ func (c Config) Validate() error {
 	}
 	if c.CacheBytes < 0 {
 		return fmt.Errorf("node: negative cache capacity %d", c.CacheBytes)
+	}
+	if c.Replicas < 0 || c.Replicas > region.MaxReplicaRank {
+		return fmt.Errorf("node: replica count %d outside [0, %d]", c.Replicas, region.MaxReplicaRank)
 	}
 	if c.RegionTTL <= 0 || c.NetworkTTL <= 0 || c.MaxRingTTL <= 0 || c.MaxRouteHops <= 0 {
 		return fmt.Errorf("node: TTLs and hop caps must be positive")

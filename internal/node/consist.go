@@ -47,27 +47,27 @@ func (n *Network) UpdateFrom(origin radio.NodeID, k workload.Key) {
 		n.broadcast(origin, m)
 	default:
 		// None, PullEveryTime, PushAdaptivePull: the update travels to
-		// the home region (and the replica region when replication is
+		// the home region (and each replica region when replication is
 		// on); caches elsewhere converge by pulling.
-		n.pushUpdateToRegion(p, k, newVersion, true)
-		if n.cfg.Replication {
-			n.pushUpdateToRegion(p, k, newVersion, false)
+		n.pushUpdateToRegion(p, k, newVersion, 0)
+		for r := 1; r <= n.replicaCount(); r++ {
+			n.pushUpdateToRegion(p, k, newVersion, r)
 		}
 	}
 }
 
-// pushUpdateToRegion routes an update toward the key's home (or replica)
-// region and floods it there.
-func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, home bool) {
+// pushUpdateToRegion routes an update toward the key's home region
+// (rank 0) or its rank-r replica region, and floods it there.
+func (n *Network) pushUpdateToRegion(p *Peer, k workload.Key, version uint64, rank int) {
 	var regionOK bool
 	var regionID = p.regionID
 	var center = n.ch.Position(p.id)
-	if home {
+	if rank == 0 {
 		if r, ok := p.table().HomeRegion(k); ok {
 			regionID, center, regionOK = r.ID, r.Center(), true
 		}
 	} else {
-		if r, ok := p.table().ReplicaRegion(k); ok {
+		if r, ok := replicaRegionAt(p.table(), k, rank); ok {
 			regionID, center, regionOK = r.ID, r.Center(), true
 		}
 	}

@@ -95,7 +95,9 @@ type handoffItem struct {
 	Version   uint64
 	UpdatedAt float64
 	TTR       float64
-	Replica   bool
+	// ReplicaRank is 0 for the primary copy and r >= 1 for the copy
+	// belonging to the key's rank-r replica region.
+	ReplicaRank int
 }
 
 // message is the single protocol payload type; fields are used according

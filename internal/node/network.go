@@ -262,8 +262,12 @@ func (n *Network) newCache() (*cache.Cache, error) {
 }
 
 // placeKeys stores each key at a peer inside its home region (the peer
-// nearest the region center), plus one inside the replica region when
-// replication is enabled. Keys start at version 1.
+// nearest the region center), plus one inside each of its replica
+// regions when replication is enabled. Keys start at version 1. With a
+// single replica region (the paper's scheme) the custodian is the peer
+// nearest the region center; with Replicas > 1 replica custodians are
+// chosen load-aware — the least-loaded live peer of each replica region
+// (DESIGN.md section 16).
 func (n *Network) placeKeys() {
 	for _, k := range n.catalog.Keys() {
 		n.truth[k] = 1
@@ -282,17 +286,50 @@ func (n *Network) placeKeys() {
 		} else {
 			n.stats.HomelessKeys++
 		}
-		if n.cfg.Replication {
+		reps := n.replicaCount()
+		if reps == 1 {
+			// The paper's single replica region, custodian nearest the
+			// center — kept verbatim so k<=1 runs are bit-identical to
+			// the pre-k layer.
 			if rep, ok := n.table.ReplicaRegion(k); ok {
 				if holder := n.peerNearestCenter(n.table, rep.ID); holder != nil {
 					replica := item
-					replica.Replica = true
+					replica.ReplicaRank = 1
 					holder.store.Put(replica)
 				}
+			}
+			continue
+		}
+		for r := 1; r <= reps; r++ {
+			rep, ok := n.table.ReplicaRegionAt(k, r)
+			if !ok {
+				break // fewer regions than requested ranks
+			}
+			if holder := n.peerLeastLoaded(n.table, rep.ID); holder != nil {
+				replica := item
+				replica.ReplicaRank = r
+				holder.store.Put(replica)
 			}
 		}
 	}
 }
+
+// replicaCount returns the effective number of replica regions per key:
+// 0 with replication off, otherwise the configured count with 0 meaning
+// the legacy single replica region.
+func (n *Network) replicaCount() int {
+	if !n.cfg.Replication {
+		return 0
+	}
+	if n.cfg.Replicas <= 1 {
+		return 1
+	}
+	return n.cfg.Replicas
+}
+
+// Replicas returns the effective number of replica regions per key (0
+// when replication is off).
+func (n *Network) Replicas() int { return n.replicaCount() }
 
 // peerNearestCenter returns the live peer inside the region (under the
 // given table's geometry) closest to its center, or nil when the region
@@ -320,6 +357,36 @@ func (n *Network) peerNearestCenterExcluding(t *region.Table, id region.ID, excl
 		d := pos.Dist2(r.Center())
 		if best == nil || d < bestD {
 			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// peerLeastLoaded returns the live peer inside the region holding the
+// fewest stored keys (ties broken by distance to the region center, then
+// node ID), or nil when the region is empty. Used for load-aware replica
+// placement when Replicas > 1 (La et al.): spreading custody by load
+// keeps any one peer from accumulating every replica of a hot region.
+func (n *Network) peerLeastLoaded(t *region.Table, id region.ID) *Peer {
+	r, ok := t.Region(id)
+	if !ok {
+		return nil
+	}
+	var best *Peer
+	bestLoad := 0
+	bestD := 0.0
+	for _, p := range n.peers {
+		if !p.alive {
+			continue
+		}
+		pos := n.ch.Position(p.id)
+		if !t.Contains(id, pos) {
+			continue
+		}
+		load := p.store.Len()
+		d := pos.Dist2(r.Center())
+		if best == nil || load < bestLoad || (load == bestLoad && d < bestD) {
+			best, bestLoad, bestD = p, load, d
 		}
 	}
 	return best

@@ -242,13 +242,20 @@ func (p *Peer) checkMobility() {
 }
 
 // properRegion returns the region a stored copy belongs to under the
-// current table: the key's home region for primary copies, the replica
-// region for replica copies.
+// current table: the key's home region for primary copies (rank 0), the
+// rank-r replica region for rank-r replica copies.
 func (p *Peer) properRegion(it *cache.StoredItem) (region.Region, bool) {
-	if it.Replica {
+	switch {
+	case it.ReplicaRank == 0:
+		return p.table().HomeRegion(it.Key)
+	case it.ReplicaRank == 1:
+		// Equivalent to ReplicaRegionAt(k, 1) — kept on the original
+		// call so the paper's single-replica runs touch only code that
+		// predates the k-replica layer.
 		return p.table().ReplicaRegion(it.Key)
+	default:
+		return p.table().ReplicaRegionAt(it.Key, it.ReplicaRank)
 	}
-	return p.table().HomeRegion(it.Key)
 }
 
 // rehomeKeys transfers every stored copy whose proper region is not the
@@ -290,7 +297,7 @@ func (p *Peer) rehomeKeys(evacuate bool) {
 		}
 		g.items = append(g.items, handoffItem{
 			Key: it.Key, Size: it.Size, Version: it.Version,
-			UpdatedAt: it.UpdatedAt, TTR: it.TTR, Replica: it.Replica,
+			UpdatedAt: it.UpdatedAt, TTR: it.TTR, ReplicaRank: it.ReplicaRank,
 		})
 		p.store.Remove(k)
 	}
@@ -344,7 +351,7 @@ func (p *Peer) adoptItems(items []handoffItem) {
 		}
 		p.store.Put(cache.StoredItem{
 			Key: it.Key, Size: it.Size, Version: it.Version,
-			UpdatedAt: it.UpdatedAt, TTR: it.TTR, Replica: it.Replica,
+			UpdatedAt: it.UpdatedAt, TTR: it.TTR, ReplicaRank: it.ReplicaRank,
 		})
 	}
 }

@@ -70,7 +70,7 @@ func TestSeparateMovesKeysToProperNewHomes(t *testing.T) {
 			it, _ := p.Store().Get(k)
 			var want region.Region
 			var ok bool
-			if it.Replica {
+			if it.ReplicaRank > 0 {
 				want, ok = table.ReplicaRegion(k)
 			} else {
 				want, ok = table.HomeRegion(k)
@@ -125,7 +125,7 @@ func TestReplicaCopiesKeepRole(t *testing.T) {
 		p := h.net.Peer(radio.NodeID(i))
 		for _, k := range p.Store().Keys() {
 			it, _ := p.Store().Get(k)
-			if it.Replica {
+			if it.ReplicaRank > 0 {
 				holder, key, found = p, k, true
 				break
 			}
@@ -142,7 +142,7 @@ func TestReplicaCopiesKeepRole(t *testing.T) {
 		if !p.Alive() {
 			continue
 		}
-		if it, ok := p.Store().Get(key); ok && it.Replica {
+		if it, ok := p.Store().Get(key); ok && it.ReplicaRank > 0 {
 			return // role preserved
 		}
 	}
@@ -166,7 +166,7 @@ func TestStoreCopiesSelfHealAfterStranding(t *testing.T) {
 			it, _ := p.Store().Get(k)
 			var want region.Region
 			var ok bool
-			if it.Replica {
+			if it.ReplicaRank > 0 {
 				want, ok = h.table.ReplicaRegion(k)
 			} else {
 				want, ok = h.table.HomeRegion(k)

@@ -7,6 +7,7 @@ import (
 	"precinct/internal/consistency"
 	"precinct/internal/metrics"
 	"precinct/internal/radio"
+	"precinct/internal/region"
 	"precinct/internal/sim"
 	"precinct/internal/trace"
 	"precinct/internal/workload"
@@ -37,6 +38,10 @@ type pendingReq struct {
 
 	// ringTTL is the current expanding-ring radius.
 	ringTTL int
+	// replicaRank is the highest replica rank a routed attempt was
+	// successfully forwarded to (0 = none yet); the replica phase walks
+	// ranks upward until the configured replica count is exhausted.
+	replicaRank int
 	// cachedVersion is the local copy's version during a poll.
 	cachedVersion uint64
 	// truthAtIssue is the authoritative version when the request was
@@ -185,28 +190,49 @@ func (n *Network) startHomePhase(p *Peer, req *pendingReq) bool {
 	return true
 }
 
-// startReplicaPhase retries against the replica region (fault tolerance,
-// Section 2.4).
+// replicaRegionAt resolves the rank-r replica region of a key under the
+// given table. Rank 1 goes through the original single-replica lookup —
+// provably equal to ReplicaRegionAt(k, 1) including tie-breaks, but kept
+// on the original call so the paper's single-replica runs touch only
+// code that predates the k-replica layer.
+func replicaRegionAt(t *region.Table, k workload.Key, r int) (region.Region, bool) {
+	if r == 1 {
+		return t.ReplicaRegion(k)
+	}
+	return t.ReplicaRegionAt(k, r)
+}
+
+// startReplicaPhase retries against the next untried replica region
+// (fault tolerance, Section 2.4). With the paper's single replica region
+// there is exactly one attempt; with Replicas > 1 each call advances to
+// the next rank, so a request walks the k replica regions in rank order
+// before failing. It reports whether a routed attempt left the
+// requester. Ranks whose region is the requester's own (already covered
+// by a flood) or that cannot be routed to are skipped; only a
+// successfully forwarded rank is recorded, so an unreachable rank is
+// retried if a later phase falls back here again.
 func (n *Network) startReplicaPhase(p *Peer, req *pendingReq) bool {
-	if !n.cfg.Replication {
-		return false
+	reps := n.replicaCount()
+	for r := req.replicaRank + 1; r <= reps; r++ {
+		rep, ok := replicaRegionAt(p.table(), req.key, r)
+		if !ok || rep.ID == p.regionID {
+			continue
+		}
+		req.phase = phaseReplica
+		m := n.newMsg(message{
+			Kind: kindRoutedSearch, ID: req.id, Key: req.key,
+			Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
+			TargetRegion: rep.ID, TargetPos: rep.Center(),
+		})
+		if !n.forwardRouted(p, m) {
+			n.releaseMsg(m)
+			continue
+		}
+		req.replicaRank = r
+		n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
+		return true
 	}
-	rep, ok := p.table().ReplicaRegion(req.key)
-	if !ok || rep.ID == p.regionID {
-		return false
-	}
-	req.phase = phaseReplica
-	m := n.newMsg(message{
-		Kind: kindRoutedSearch, ID: req.id, Key: req.key,
-		Origin: p.id, OriginPos: n.ch.Position(p.id), OriginRegion: p.regionID,
-		TargetRegion: rep.ID, TargetPos: rep.Center(),
-	})
-	if !n.forwardRouted(p, m) {
-		n.releaseMsg(m)
-		return false
-	}
-	n.armReqTimeout(req, n.sched.Now()+n.cfg.RemoteTimeout)
-	return true
+	return false
 }
 
 // floodSearch broadcasts a network-wide search (flooding / ring round).
@@ -279,7 +305,15 @@ func (n *Network) onTimeout(id uint64) {
 		req.ringTTL = next
 		n.floodSearch(p, req, next)
 		n.armReqTimeout(req, n.sched.Now()+n.ringWait(next))
-	case phaseReplica, phaseFlood:
+	case phaseReplica:
+		// Walk the remaining replica ranks before giving up (only one
+		// rank exists under the paper's scheme, so this falls straight
+		// through to the failure).
+		if n.startReplicaPhase(p, req) {
+			return
+		}
+		n.fail(req)
+	case phaseFlood:
 		n.fail(req)
 	}
 }

@@ -52,6 +52,7 @@ type PendingReqState struct {
 	Record        bool
 	Phase         int
 	RingTTL       int
+	ReplicaRank   int
 	CachedVersion uint64
 	TruthAtIssue  uint64
 	HasReply      bool
@@ -93,6 +94,7 @@ func (n *Network) StateSnapshot() (NetworkState, error) {
 			Record:        req.record,
 			Phase:         int(req.phase),
 			RingTTL:       req.ringTTL,
+			ReplicaRank:   req.replicaRank,
 			CachedVersion: req.cachedVersion,
 			TruthAtIssue:  req.truthAtIssue,
 		}
@@ -223,6 +225,10 @@ func (n *Network) RestoreState(st NetworkState) error {
 		if ps.Phase < int(phaseRegional) || ps.Phase > int(phaseFlood) {
 			return fmt.Errorf("node: snapshot pending request %d has unknown phase %d", ps.ID, ps.Phase)
 		}
+		if ps.ReplicaRank < 0 || ps.ReplicaRank > region.MaxReplicaRank {
+			return fmt.Errorf("node: snapshot pending request %d has replica rank %d outside [0, %d]",
+				ps.ID, ps.ReplicaRank, region.MaxReplicaRank)
+		}
 		if _, dup := n.peers[ps.Origin].pendingGet(ps.ID); dup {
 			return fmt.Errorf("node: snapshot carries pending request %d twice", ps.ID)
 		}
@@ -238,6 +244,7 @@ func (n *Network) RestoreState(st NetworkState) error {
 			record:        ps.Record,
 			phase:         reqPhase(ps.Phase),
 			ringTTL:       ps.RingTTL,
+			replicaRank:   ps.ReplicaRank,
 			cachedVersion: ps.CachedVersion,
 			truthAtIssue:  ps.TruthAtIssue,
 		}

@@ -248,6 +248,63 @@ func (t *Table) ReplicaRegion(k workload.Key) (Region, bool) {
 	return t.nearestCenter(t.HashLocation(k), home.ID), true
 }
 
+// MaxReplicaRank bounds the replica rank ReplicaRegionAt serves. It
+// exists to keep the rank-selection scratch allocation-free; the node
+// layer caps Config.Replicas to it.
+const MaxReplicaRank = 8
+
+// ReplicaRegionAt returns the key's rank-r region: rank 0 is the home
+// region (nearest center to the hash location), rank r ≥ 1 the (r+1)-th
+// nearest center — so ReplicaRegionAt(k, 1) equals ReplicaRegion(k),
+// including on ties (the full ranking orders by (distance, ID)). The
+// ranking is a pure function of the table and the key, so custody of a
+// rank-r copy stays recomputable after table changes exactly like the
+// home region. ok is false for negative ranks, ranks above
+// MaxReplicaRank, and ranks the table is too small for.
+func (t *Table) ReplicaRegionAt(k workload.Key, rank int) (Region, bool) {
+	if rank < 0 || rank > MaxReplicaRank || rank >= len(t.regions) {
+		return Region{}, false
+	}
+	p := t.HashLocation(k)
+	if rank == 0 {
+		return t.nearestCenter(p, Invalid), true
+	}
+	var excl [MaxReplicaRank]ID
+	var cur Region
+	for i := 0; i <= rank; i++ {
+		cur = t.nearestCenterExcluding(p, excl[:i])
+		if i < MaxReplicaRank {
+			excl[i] = cur.ID
+		}
+	}
+	return cur, true
+}
+
+// nearestCenterExcluding is nearestCenter over an exclusion set: the
+// region whose center is closest to p among those not listed. Ties break
+// to the lower ID. The caller guarantees at least one region remains.
+func (t *Table) nearestCenterExcluding(p geo.Point, exclude []ID) Region {
+	best := Region{ID: Invalid}
+	bestD := 0.0
+	for _, r := range t.regions {
+		skip := false
+		for _, id := range exclude {
+			if r.ID == id {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		d := r.Center().Dist2(p)
+		if best.ID == Invalid || d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
 // Add inserts a new region with the given bounds, expanding the service
 // area if needed, and returns it.
 func (t *Table) Add(bounds geo.Rect) (Region, error) {

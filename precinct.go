@@ -150,10 +150,13 @@ type Scenario struct {
 	// TTRAlpha is the Equation 2 smoothing factor in [0,1).
 	TTRAlpha float64
 
-	// Policy: "gd-ld", "gd-size", "lru" or "lfu".
+	// Policy selects the cache replacement policy by registry name
+	// (PolicyNames lists them): the paper's "gd-ld" and "gd-size", the
+	// "lru"/"lfu" baselines, and the related-work competitors "gdsf",
+	// "pop-dist" and "pop-rank" (DESIGN.md section 16).
 	Policy string
-	// GDLDWeights overrides the GD-LD utility weights (the zero value
-	// keeps the defaults).
+	// GDLDWeights overrides the utility weights of the weighted policies
+	// (gd-ld, pop-dist); the zero value keeps the defaults.
 	GDLDWeights Weights
 	// CacheFraction sizes each peer's dynamic cache as a fraction of
 	// the total catalog size (the paper sweeps 0.005–0.025). Negative
@@ -166,6 +169,13 @@ type Scenario struct {
 	// replica regions.
 	EnRoute     bool
 	Replication bool
+	// Replicas is the number of replica regions per key when Replication
+	// is on: a key's rank-r replica lives in the (r+1)-th nearest region
+	// to its hash location. 0 and 1 select the paper's single replica
+	// region (bit-identical to the pre-k layer); higher values home each
+	// key in the k best regions with load-aware placement (DESIGN.md
+	// section 16).
+	Replicas int
 
 	// Warmup excludes the initial cache-fill phase from metrics;
 	// Duration is the total simulated time. Seconds.
@@ -401,25 +411,17 @@ func (b *built) rearm(p sim.Proc, at float64) error {
 	}
 }
 
-// policyByName constructs a replacement policy.
+// policyByName constructs a replacement policy through the cache
+// registry. The zero Weights value keeps each policy's defaults.
 func policyByName(name string, w Weights) (cache.Policy, error) {
-	switch name {
-	case "gd-ld":
-		cw := cache.Weights{WR: w.WR, WD: w.WD, WS: w.WS}
-		if cw == (cache.Weights{}) {
-			cw = cache.DefaultWeights()
-		}
-		return cache.NewGDLD(cw)
-	case "gd-size":
-		return cache.GDSize{}, nil
-	case "lru":
-		return cache.LRU{}, nil
-	case "lfu":
-		return cache.LFU{}, nil
-	default:
-		return nil, fmt.Errorf("precinct: unknown cache policy %q", name)
-	}
+	return cache.NewPolicy(name, cache.Params{
+		Weights: cache.Weights{WR: w.WR, WD: w.WD, WS: w.WS},
+	})
 }
+
+// PolicyNames lists the selectable Scenario.Policy values (every policy
+// registered with the cache layer), sorted.
+func PolicyNames() []string { return cache.Names() }
 
 // lossStreams builds the per-sender frame-loss RNG streams the radio
 // layer consumes. One stream per sender keeps loss draws independent of
@@ -763,6 +765,7 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 	cfg.LegacyLayout = s.LegacyLayout
 	cfg.EnRoute = s.EnRoute
 	cfg.Replication = s.Replication
+	cfg.Replicas = s.Replicas
 	cfg.Warmup = s.Warmup
 	if s.AdaptiveRegions {
 		cfg.Adaptive.Enabled = true
