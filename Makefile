@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-workloads bench-policies bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke workload-smoke policy-smoke cover soak soak-100k ci
+.PHONY: all vet build test race race-parallel check fuzz-smoke bench-smoke bench-radio bench-scale bench-workloads bench-policies bench-parallel bench-parallel-smoke bench-compare bench-compare-allocs bench-compare-advisory resume-smoke scale-smoke workload-smoke policy-smoke cover soak soak-100k ci
 
 all: build
 
@@ -22,11 +22,17 @@ race:
 # The sharded scheduler's dedicated race gate (DESIGN.md section 13):
 # the pooling and grid/linear equivalence suites, the canonical-trace
 # tests and the parallel-equivalence suite — every scenario of which
-# runs at -shards 2 and 4 — under the race detector. -short caps the
-# large-N seeds (the full sizes run race-free in `test`; under race the
-# parallel suite caps itself the same way via the race build tag).
+# runs across the fuzzgen shard axis (2, 3, 4, 5, 8 shards) — under the
+# race detector, at both GOMAXPROCS=1 (forced interleaving through one
+# OS thread: every barrier handoff and park/wake path runs) and
+# GOMAXPROCS=4 (true concurrency where the host has the cores; on a
+# smaller host the runtime multiplexes, which still schedules
+# differently than 1). -short caps the large-N seeds (the full sizes
+# run race-free in `test`; under race the parallel suite caps itself
+# the same way via the race build tag).
 race-parallel:
-	$(GO) test -race -short -count=1 -run 'Parallel|Pooling|Equivalence|Canonicalize|Shuffle' .
+	GOMAXPROCS=1 $(GO) test -race -short -count=1 -run 'Parallel|Pooling|Equivalence|Canonicalize|Shuffle' .
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'Parallel|Pooling|Equivalence|Canonicalize|Shuffle' .
 	$(GO) test -race -count=1 ./internal/pool ./internal/trace
 
 # The runtime invariant suite (DESIGN.md section 9) under the race
@@ -76,6 +82,22 @@ bench-workloads:
 # Run on a quiet machine.
 bench-policies:
 	$(GO) run ./cmd/precinct-bench -policies BENCH_policies.json
+
+# Regenerate the committed parallel-scaling numbers (BENCH_parallel.json):
+# the sharded scheduler swept over shards {1,2,4} x cores {1,2,4} on the
+# 10000-node acceptance cell, GOMAXPROCS pinned per column. Columns the
+# host cannot run (cores > NumCPU) are skipped and logged — regenerate
+# on a multi-core machine to fill them in. Run on a quiet machine.
+bench-parallel:
+	$(GO) run ./cmd/precinct-bench -parallel BENCH_parallel.json
+
+# The ci smoke for the sweep: same grid on a 500-node quick cell,
+# written to a throwaway file — proves the sweep machinery end to end
+# without touching the committed baseline.
+bench-parallel-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/precinct-bench -quick -parallel "$$dir/parallel.json" && \
+	echo "bench-parallel-smoke: sweep completed"
 
 # Bench regression gate: re-run a fast probe subset (radio neighbor
 # queries + two mid-size scale cells) and compare against the committed
@@ -202,4 +224,4 @@ soak:
 soak-100k:
 	$(GO) test -tags soak -run Soak100k -timeout 60m -v .
 
-ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke workload-smoke policy-smoke bench-compare-allocs bench-compare-advisory
+ci: vet build test race race-parallel check cover bench-smoke fuzz-smoke resume-smoke scale-smoke workload-smoke policy-smoke bench-parallel-smoke bench-compare-allocs bench-compare-advisory

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"precinct"
@@ -78,15 +79,15 @@ func compareFloorProbe(name, metric string, base, curr, tol, slack float64) {
 }
 
 // runBenchCompare re-runs the probe subset and compares against the
-// baselines at baseRadio, baseScale, baseWorkloads and basePolicies. It
-// returns whether any probe regressed beyond tol. With allocsOnly,
-// timing metrics (ns/op, wall_seconds) are compared advisory and only
-// the deterministic allocation metrics can regress the build. With
-// advisory, every metric is advisory: overruns are labeled but nothing
-// regresses the build. The workload probes (byte hit ratio and latency
-// per source kind) and the per-policy hit-ratio floors are always
-// advisory.
-func runBenchCompare(baseRadio, baseScale, baseWorkloads, basePolicies string, tol float64, allocsOnly, advisory bool) (bool, error) {
+// baselines at baseRadio, baseScale, baseWorkloads, basePolicies and
+// baseParallel. It returns whether any probe regressed beyond tol. With
+// allocsOnly, timing metrics (ns/op, wall_seconds) are compared
+// advisory and only the deterministic allocation metrics can regress
+// the build. With advisory, every metric is advisory: overruns are
+// labeled but nothing regresses the build. The workload probes (byte
+// hit ratio and latency per source kind), the per-policy hit-ratio
+// floors and the parallel speedup floor are always advisory.
+func runBenchCompare(baseRadio, baseScale, baseWorkloads, basePolicies, baseParallel string, tol float64, allocsOnly, advisory bool) (bool, error) {
 	timingAdvisory := allocsOnly || advisory
 	var radioBase radioBenchReport
 	if err := loadJSON(baseRadio, &radioBase); err != nil {
@@ -187,7 +188,25 @@ func runBenchCompare(baseRadio, baseScale, baseWorkloads, basePolicies string, t
 			return false, fmt.Errorf("%s: event count diverged from baseline (%d vs %d); the workload changed — regenerate %s",
 				name, e.Events, base.Events, baseScale)
 		}
-		if compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol, 1, timingAdvisory) {
+		// A sharded cell's wall clock is only a scaling number when both
+		// sides had at least as many cores as shards. A baseline recorded
+		// on a smaller host (coordination_overhead_only), or a probe run
+		// on one, measures barrier overhead instead — the two numbers were
+		// never comparable, so the timing probe is skipped rather than
+		// failed. Allocations and event counts stay binding above: those
+		// are deterministic regardless of cores.
+		skipTiming := false
+		switch {
+		case cell.shards > 1 && (base.CoordinationOverheadOnly || (base.Cores > 0 && base.Cores < cell.shards)):
+			fmt.Printf("  %-34s %-16s skipped: baseline recorded on %d cores < %d shards (coordination overhead, not comparable)\n",
+				name, "wall_seconds", base.Cores, cell.shards)
+			skipTiming = true
+		case cell.shards > 1 && runtime.GOMAXPROCS(0) < cell.shards:
+			fmt.Printf("  %-34s %-16s skipped: this host runs %d cores < %d shards (coordination overhead, not comparable)\n",
+				name, "wall_seconds", runtime.GOMAXPROCS(0), cell.shards)
+			skipTiming = true
+		}
+		if !skipTiming && compareProbe(name, "wall_seconds", base.WallSeconds, e.WallSeconds, tol, 1, timingAdvisory) {
 			regressed = true
 		}
 		if compareProbe(name, "allocs_per_event", base.AllocsPerEvent, e.AllocsPerEvent, tol, 0.05, advisory) {
@@ -265,6 +284,54 @@ func runBenchCompare(baseRadio, baseScale, baseWorkloads, basePolicies string, t
 			return false, err
 		}
 		compareFloorProbe(base.Name, "byte_hit_ratio", base.ByteHitRatio, e.ByteHitRatio, tol, 0.005)
+	}
+
+	// Parallel speedup floor: re-run the tentpole pair (sequential and
+	// shards=4, both at 4 cores) on the baseline's workload cell and hold
+	// the measured speedup to the committed floor — always advisory,
+	// because wall-clock ratios move with the machine. The probe only
+	// runs when both sides could genuinely express the parallelism: a
+	// baseline generated on a small host has no speedup key to hold, and
+	// a small comparison host would measure coordination overhead, so
+	// both cases print a skip line instead of a meaningless verdict.
+	var parBase parallelBenchReport
+	if err := loadJSON(baseParallel, &parBase); err != nil {
+		return false, fmt.Errorf("parallel baseline: %w", err)
+	}
+	fmt.Printf("parallel probes vs %s (always advisory):\n", baseParallel)
+	const probeShards = 4
+	baseSpeedup, haveSpeedup := parBase.Summary[fmt.Sprintf("shards%d_cores%d_speedup", probeShards, probeShards)]
+	switch {
+	case !haveSpeedup:
+		fmt.Printf("  %-34s %-16s skipped: baseline generated on a %d-CPU host has no %d-core speedup cell (regenerate %s on a bigger host)\n",
+			"parallel/shards=4/cores=4", "speedup", parBase.NumCPU, probeShards, baseParallel)
+	case runtime.NumCPU() < probeShards:
+		fmt.Printf("  %-34s %-16s skipped: this host has %d logical CPUs < %d shards (coordination overhead, not comparable)\n",
+			"parallel/shards=4/cores=4", "speedup", runtime.NumCPU(), probeShards)
+	default:
+		entryCores := runtime.GOMAXPROCS(probeShards)
+		seqScen := parallelScenario(parBase.Quick)
+		seqEntry, err := runScaleCell(seqScen)
+		if err != nil {
+			runtime.GOMAXPROCS(entryCores)
+			return false, err
+		}
+		parScen := parallelScenario(parBase.Quick)
+		parScen.Shards = probeShards
+		parEntry, err := runScaleCell(parScen)
+		runtime.GOMAXPROCS(entryCores)
+		if err != nil {
+			return false, err
+		}
+		if parEntry.Events != seqEntry.Events {
+			return false, fmt.Errorf("parallel probe: executed %d events, sequential reference executed %d; the workload changed — regenerate %s",
+				parEntry.Events, seqEntry.Events, baseParallel)
+		}
+		speedup := 0.0
+		if parEntry.WallSeconds > 0 {
+			speedup = seqEntry.WallSeconds / parEntry.WallSeconds
+		}
+		compareFloorProbe("parallel/shards=4/cores=4", "speedup", baseSpeedup, speedup, tol, 0.05)
 	}
 
 	switch {

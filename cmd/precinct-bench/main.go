@@ -70,6 +70,7 @@ func main() {
 	scaleJSON := flag.String("scale", "", "run the large-N scale-tier benchmark grid, write JSON results to `file`, and exit (-quick shrinks the grid)")
 	workloadsJSON := flag.String("workloads", "", "run the workload-lab suite (every source at the 1000-node tier), write JSON results to `file`, and exit")
 	policiesJSON := flag.String("policies", "", "run the policy-lab sweep (every registered policy at the 1000-node tier), write JSON results to `file`, and exit")
+	parallelJSON := flag.String("parallel", "", "run the parallel-scaling sweep (shards x cores at the 10000-node tier), write JSON results to `file`, and exit (-quick shrinks the cell)")
 	cores := flag.Int("cores", 0, "cap GOMAXPROCS for the whole process (0 = all cores); the scale suite records the value")
 	compare := flag.Bool("compare", false, "re-run a benchmark subset and compare against the committed baselines; exit 3 on regression")
 	allocsOnly := flag.Bool("allocs-only", false, "with -compare, gate only the deterministic allocation metrics; timing is compared advisory")
@@ -78,6 +79,7 @@ func main() {
 	baseScale := flag.String("baseline-scale", "BENCH_scale.json", "scale baseline for -compare")
 	baseWorkloads := flag.String("baseline-workloads", "BENCH_workloads.json", "workload baseline for -compare (hit-ratio probes, always advisory)")
 	basePolicies := flag.String("baseline-policies", "BENCH_policies.json", "policy baseline for -compare (per-policy hit-ratio probes, always advisory)")
+	baseParallel := flag.String("baseline-parallel", "BENCH_parallel.json", "parallel-scaling baseline for -compare (speedup floor, always advisory)")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs baseline for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
@@ -122,8 +124,15 @@ func main() {
 		}
 		return
 	}
+	if *parallelJSON != "" {
+		if err := writeParallelBench(*parallelJSON, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
-		regressed, err := runBenchCompare(*baseRadio, *baseScale, *baseWorkloads, *basePolicies, *tolerance, *allocsOnly, *advisory)
+		regressed, err := runBenchCompare(*baseRadio, *baseScale, *baseWorkloads, *basePolicies, *baseParallel, *tolerance, *allocsOnly, *advisory)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "precinct-bench:", err)
 			os.Exit(1)

@@ -1,0 +1,127 @@
+package main
+
+// Parallel-scaling benchmark suite, run via -parallel. It sweeps the
+// sharded scheduler (DESIGN.md section 13) over a shards x cores grid
+// on one fixed cell of the scale tier — the 10000-node, 30%-loss
+// acceptance shape (DESIGN.md section 14) — pinning GOMAXPROCS per
+// column so each speedup compares a sharded run against a sequential
+// reference measured under identical conditions.
+//
+// The accounting is honest by construction: a column whose core count
+// exceeds the host's logical CPUs is skipped (and logged, so the gap
+// is visible in the output rather than silently absent), and a sharded
+// cell that ran with fewer cores than shards is marked
+// coordination_overhead_only with no speedup key — such a number
+// measures barrier overhead, not scaling. Regenerating the committed
+// report (make bench-parallel, BENCH_parallel.json) on a bigger host
+// adds the missing columns; bench-compare consumes the speedup keys as
+// always-advisory floors.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"precinct"
+)
+
+type parallelBenchReport struct {
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// NumCPU is the host's logical CPU count at generation time. Columns
+	// with cores > NumCPU were skipped; a comparison host with more CPUs
+	// should regenerate rather than probe against missing cells.
+	NumCPU  int          `json:"num_cpu"`
+	Quick   bool         `json:"quick"`
+	Results []scaleEntry `json:"results"`
+	// Summary holds wall clock per cell and, for cells where cores >=
+	// shards, the wall-clock speedup over that column's sequential
+	// reference.
+	Summary map[string]float64 `json:"summary"`
+}
+
+// parallelScenario is the sweep's single workload cell. Full runs use
+// the 10000-node acceptance shape the tentpole speedup target is
+// defined on; quick shrinks to a 500-node cell for smoke use.
+func parallelScenario(quick bool) precinct.Scenario {
+	if quick {
+		return scaleScenario(500, 0.3, true)
+	}
+	return scaleScenario(10000, 0.3, false)
+}
+
+// writeParallelBench runs the shards x cores sweep and writes the JSON
+// report to path. GOMAXPROCS is restored to its entry value on return.
+func writeParallelBench(path string, quick bool) error {
+	entryCores := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(entryCores)
+
+	rep := parallelBenchReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Quick:   quick,
+		Summary: map[string]float64{},
+	}
+	coreCounts := []int{1, 2, 4}
+	shardCounts := []int{1, 2, 4}
+
+	fmt.Printf("parallel scaling sweep (host has %d logical CPUs):\n", rep.NumCPU)
+	for _, cores := range coreCounts {
+		if cores > rep.NumCPU {
+			// Not silently: the committed report must show which columns
+			// a small host could not measure.
+			fmt.Printf("  cores=%d skipped: host has only %d logical CPUs (regenerate on a bigger host to add this column)\n",
+				cores, rep.NumCPU)
+			continue
+		}
+		runtime.GOMAXPROCS(cores)
+		var seq scaleEntry
+		for _, shards := range shardCounts {
+			s := parallelScenario(quick)
+			s.Shards = shards
+			e, err := runScaleCell(s)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			e.Name = fmt.Sprintf("parallel/n=%d/loss=%g/shards=%d/cores=%d", e.Nodes, e.Loss, e.Shards, cores)
+			rep.Results = append(rep.Results, e)
+			note := ""
+			if e.CoordinationOverheadOnly {
+				note = "  (coordination overhead only)"
+			}
+			fmt.Printf("  %-42s %8.2fs wall %10.0f ev/s %6.1f allocs/ev%s\n",
+				e.Name, e.WallSeconds, e.EventsPerSec, e.AllocsPerEvent, note)
+			key := fmt.Sprintf("shards%d_cores%d", shards, cores)
+			rep.Summary[key+"_wall_seconds"] = e.WallSeconds
+			rep.Summary[key+"_allocs_per_event"] = e.AllocsPerEvent
+			if shards == 1 {
+				seq = e
+				continue
+			}
+			// Same invariant as the scale grid: a sharded run that did
+			// different work makes every ratio below meaningless.
+			if e.Events != seq.Events {
+				return fmt.Errorf("%s: executed %d events, sequential reference executed %d",
+					e.Name, e.Events, seq.Events)
+			}
+			if !e.CoordinationOverheadOnly && seq.WallSeconds > 0 && e.WallSeconds > 0 {
+				rep.Summary[key+"_speedup"] = seq.WallSeconds / e.WallSeconds
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

@@ -59,15 +59,35 @@ type scaleEntry struct {
 	ByteHitRatio    float64 `json:"byte_hit_ratio"`
 	MeanLatency     float64 `json:"mean_latency_s"`
 	P95Latency      float64 `json:"p95_latency_s"`
+	// Cores is the GOMAXPROCS this cell ran under. A sharded cell with
+	// Cores < Shards cannot express parallelism; its timing measures
+	// coordination overhead only, and CoordinationOverheadOnly marks it
+	// so readers (and bench-compare) never mistake the number for a
+	// scaling result.
+	Cores                    int  `json:"cores"`
+	CoordinationOverheadOnly bool `json:"coordination_overhead_only,omitempty"`
+	// Parallel protocol counters (sharded cells only): how many
+	// concurrent windows ran, how many of those were skipped by idle
+	// shards, how many single-threaded barrier drains and cross-shard
+	// exchange rounds occurred, and how many deliveries crossed shards.
+	Windows           uint64 `json:"windows,omitempty"`
+	EmptyShardWindows uint64 `json:"empty_shard_windows,omitempty"`
+	BarrierDrains     uint64 `json:"barrier_drains,omitempty"`
+	OutboxFlushes     uint64 `json:"outbox_flushes,omitempty"`
+	RemoteDeliveries  uint64 `json:"remote_deliveries,omitempty"`
 }
 
 type scaleBenchReport struct {
 	Go     string `json:"go"`
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
-	// Cores is the GOMAXPROCS the suite ran under; sharded-run speedups
-	// are only meaningful with at least as many cores as shards.
+	// Cores is the GOMAXPROCS the suite ran under and NumCPU the host's
+	// logical CPU count; sharded-run speedups are only meaningful with
+	// at least as many cores as shards, and cells that violate that are
+	// marked coordination_overhead_only with their speedup keys
+	// suppressed.
 	Cores   int          `json:"cores"`
+	NumCPU  int          `json:"num_cpu"`
 	Quick   bool         `json:"quick"`
 	Results []scaleEntry `json:"results"`
 	// Summary holds the headline numbers the regression gate tracks.
@@ -183,6 +203,15 @@ func runScaleCell(s precinct.Scenario) (scaleEntry, error) {
 		ByteHitRatio: res.Report.ByteHitRatio,
 		MeanLatency:  res.Report.MeanLatency,
 		P95Latency:   res.Report.P95Latency,
+		Cores:        runtime.GOMAXPROCS(0),
+	}
+	if shards > 1 {
+		e.CoordinationOverheadOnly = e.Cores < shards
+		e.Windows = stats.Windows
+		e.EmptyShardWindows = stats.EmptyShardWindows
+		e.BarrierDrains = stats.BarrierDrains
+		e.OutboxFlushes = stats.OutboxFlushes
+		e.RemoteDeliveries = stats.RemoteDeliveries
 	}
 	if stats.Events > 0 {
 		e.EventsPerSec = float64(stats.Events) / wall.Seconds()
@@ -201,6 +230,7 @@ func writeScaleBench(path string, quick bool) error {
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		Cores:   runtime.GOMAXPROCS(0),
+		NumCPU:  runtime.NumCPU(),
 		Quick:   quick,
 		Summary: map[string]float64{},
 	}
@@ -272,7 +302,12 @@ func writeScaleBench(path string, quick bool) error {
 		rep.Summary[key+"_mem_bytes_per_node"] = e.MemBytesPerNode
 	}
 	// Per-cell scaling efficiency: wall-clock speedup of each sharded run
-	// over the sequential reference of the same cell.
+	// over the sequential reference of the same cell. Cells measured
+	// with fewer cores than shards are suppressed — a "speedup" from a
+	// host that cannot run the shards concurrently measures coordination
+	// overhead, not scaling, and committing it under a _speedup key
+	// misled every prior reading of this file. Those cells keep their
+	// raw timings and carry coordination_overhead_only instead.
 	seqWall := map[string]float64{}
 	for _, e := range rep.Results {
 		if e.Shards == 1 {
@@ -280,7 +315,7 @@ func writeScaleBench(path string, quick bool) error {
 		}
 	}
 	for _, e := range rep.Results {
-		if e.Shards > 1 {
+		if e.Shards > 1 && !e.CoordinationOverheadOnly {
 			cell := fmt.Sprintf("n%d_loss%g", e.Nodes, e.Loss)
 			if base := seqWall[cell]; base > 0 && e.WallSeconds > 0 {
 				rep.Summary[fmt.Sprintf("%s_shards%d_speedup", cell, e.Shards)] = base / e.WallSeconds

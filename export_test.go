@@ -2,6 +2,26 @@ package precinct
 
 import "precinct/internal/node"
 
+// ShardAssignmentForTest exposes the peer→shard split a sharded run of
+// the scenario would use, so tests can aim faults at one shard's whole
+// node set. It rebuilds the world the same way buildParallel does, so
+// the returned assignment matches the real run's exactly.
+func ShardAssignmentForTest(s Scenario) ([]int32, error) {
+	var weights []uint64
+	if s.shardBalanceMode() == ShardBalanceLoad {
+		w, err := measureShardLoad(s)
+		if err != nil {
+			return nil, err
+		}
+		weights = w
+	}
+	b, err := s.buildFull(nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return shardAssignment(b, s.Shards, weights), nil
+}
+
 // RunProbedForTest executes the scenario with a node-layer probe
 // attached — the hook the cache equivalence suite uses to observe whole
 // runs' eviction sequences. Probes are pure observers, so the run is

@@ -237,6 +237,33 @@ func WithPolicy(s precinct.Scenario, policy string) precinct.Scenario {
 	return s
 }
 
+// ShardCounts is the shard-count axis the parallel equivalence suite
+// sweeps: the even counts the suite always covered plus odd and
+// non-divisor counts, so node populations that do not split evenly
+// (Expand draws 16–40 nodes — most are not divisible by 3, 5 or 8)
+// exercise the uneven strip cuts and the one-node-minimum guarantee.
+var ShardCounts = []int{2, 3, 4, 5, 8}
+
+// WithShards derives a sharded-execution variant of a scenario: the
+// shard count is forced, and the knobs the sharded envelope forbids
+// (beaconing, adaptive regions) are cleared. Like the other transforms
+// it never touches Expand's draw sequence. The seed additionally picks
+// the shard-balance mode, so both the load-probe split and the legacy
+// equal-count split stay covered.
+func WithShards(s precinct.Scenario, shards int, seed int64) precinct.Scenario {
+	s.BeaconInterval = 0
+	s.AdaptiveRegions = false
+	s.Shards = shards
+	if seed%2 == 1 {
+		s.ShardBalance = precinct.ShardBalanceCount
+		s.Name = fmt.Sprintf("%s/shards%d-count", s.Name, shards)
+	} else {
+		s.ShardBalance = precinct.ShardBalanceLoad
+		s.Name = fmt.Sprintf("%s/shards%d-load", s.Name, shards)
+	}
+	return s
+}
+
 // WithWorkload derives a workload-lab variant of a scenario: the seed
 // picks one of the non-stationary sources and perturbs its parameters
 // deterministically. Shards is cleared (non-default workloads are

@@ -153,3 +153,58 @@ func BenchmarkUnicast80Nodes(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOutboxExchange measures one full cross-shard exchange batch:
+// parking deliveries in the sender shard's outbox (with key
+// reservation), injecting them into the receiver shard's scheduler,
+// resetting the outbox in place, and firing the delivered events. This
+// is the per-frame cost of shard crossing; steady state must be
+// allocation-free so sharded runs stay within the pooling envelope.
+func BenchmarkOutboxExchange(b *testing.B) {
+	const n = 64
+	const batch = 16
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1200, rng.Float64()*1200)
+	}
+	counters := sim.NewCounters(n)
+	build := func(self int32, shardOf []int32) (*Channel, *sim.Scheduler) {
+		mob, err := mobility.NewStatic(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := sim.NewSchedulerWithCounters(counters)
+		sched.SplitGlobal()
+		ch, err := New(DefaultConfig(), sched, mob, nil, perSenderLoss(n, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch.SetHandler(func(NodeID, Frame) {})
+		ch.EnableSharding(shardOf, self, nil)
+		return ch, sched
+	}
+	shardOf := make([]int32, n)
+	for i := n / 2; i < n; i++ {
+		shardOf[i] = 1
+	}
+	sender, _ := build(0, shardOf)
+	receiver, rsched := build(1, shardOf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			to := NodeID(n/2 + j)
+			sender.scheduleDelivery(0.001, to, Frame{From: 0, To: to, Size: 64}, 0.0005)
+		}
+		box := sender.Outbox()
+		if len(box) != batch {
+			b.Fatalf("parked %d deliveries, want %d", len(box), batch)
+		}
+		for k := range box {
+			receiver.Inject(box[k])
+		}
+		sender.ResetOutbox()
+		rsched.RunBefore(0.002)
+	}
+}

@@ -415,13 +415,32 @@ func (ch *Channel) EnableSharding(shardOf []int32, self int32, clonePayload func
 	ch.clonePayload = clonePayload
 }
 
-// DrainOutbox returns the cross-shard deliveries parked since the last
-// drain and resets the outbox. Only the parallel runner calls it, at
-// barriers.
-func (ch *Channel) DrainOutbox() []RemoteDelivery {
-	out := ch.outbox
-	ch.outbox = ch.outbox[len(ch.outbox):]
-	return out
+// OutboxLen reports how many cross-shard deliveries are parked. Shard
+// workers read it at the end of a window to tell the coordinator
+// whether a flush round is needed before the next window.
+func (ch *Channel) OutboxLen() int { return len(ch.outbox) }
+
+// Outbox exposes the parked cross-shard deliveries for a flush. The
+// view is valid until the next transmission on this channel; the
+// caller consumes it and then calls ResetOutbox. Only the parallel
+// runner touches it, at barriers.
+func (ch *Channel) Outbox() []RemoteDelivery { return ch.outbox }
+
+// ResetOutbox empties the outbox while retaining the backing array, so
+// steady-state window exchange parks entries into already-owned
+// storage instead of growing a fresh slice every flush. Entries are
+// zeroed first: a retained array must never pin a delivered payload.
+// The NoPooling reference path releases the array instead, keeping its
+// allocation behavior honest.
+func (ch *Channel) ResetOutbox() {
+	if ch.noRecycle {
+		ch.outbox = nil
+		return
+	}
+	for i := range ch.outbox {
+		ch.outbox[i] = RemoteDelivery{}
+	}
+	ch.outbox = ch.outbox[:0]
 }
 
 // Inject schedules a reception that was sent from another shard. The

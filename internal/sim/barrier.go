@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WindowBarrier is a reusable rendezvous for a fixed set of n
+// participants: every Await call blocks until all n have arrived, then
+// all n proceed into the next round together. It replaces the parallel
+// runner's per-window start/done channel handshake (2 channel operations
+// per worker per window) with a single sense-reversing barrier: one
+// atomic add per arrival, and the release is observed through an epoch
+// counter, so on a host with enough cores a waiting participant never
+// leaves its OS thread.
+//
+// Waiters spin briefly on the epoch before parking on a condition
+// variable. The spin budget is zero when GOMAXPROCS < n: with fewer
+// runnable threads than participants, spinning only steals cycles from
+// the participant everyone is waiting on.
+type WindowBarrier struct {
+	n     int32
+	count atomic.Int32
+	epoch atomic.Uint32
+	spin  int
+	mu    sync.Mutex
+	cond  *sync.Cond
+}
+
+// spinBudget bounds how many epoch loads a waiter performs before
+// parking. Crossing a window barrier costs roughly a microsecond of
+// peer work, so a few thousand loads cover the common case where the
+// last participant is already on its way.
+const spinBudget = 4096
+
+// NewWindowBarrier returns a barrier for n participants.
+func NewWindowBarrier(n int) *WindowBarrier {
+	b := &WindowBarrier{n: int32(n)}
+	b.cond = sync.NewCond(&b.mu)
+	if runtime.GOMAXPROCS(0) >= n {
+		b.spin = spinBudget
+	}
+	return b
+}
+
+// Await blocks until all n participants have called it. The last
+// arrival resets the arrival count and bumps the epoch, releasing the
+// others; the count is reset before the epoch advances, so a released
+// participant re-entering Await for the next round can never observe
+// the previous round's count.
+func (b *WindowBarrier) Await() {
+	e := b.epoch.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		// The epoch bump happens under the mutex: a waiter that decided
+		// to park did so after checking the epoch under the same mutex,
+		// so the bump-then-broadcast can never slip between its check
+		// and its wait (no lost wakeup).
+		b.mu.Lock()
+		b.epoch.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < b.spin; i++ {
+		if b.epoch.Load() != e {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	b.mu.Lock()
+	for b.epoch.Load() == e {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

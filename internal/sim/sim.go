@@ -213,6 +213,14 @@ type Scheduler struct {
 	free      []*event
 	noRecycle bool
 
+	// execCounts, when non-nil, tallies fired events per execution
+	// context at index execAs+1 (index 0 is network-global work). The
+	// shard-load probe turns it on for a short sequential prefix run to
+	// measure how much event work each peer actually generates; it is
+	// nil — and the fire path pays one predictable branch — everywhere
+	// else.
+	execCounts []uint64
+
 	// afterEvent, when non-nil, runs after every executed event with the
 	// clock at that event's time. Observers (the invariant runner) hang
 	// off this; the hook must not schedule or cancel events.
@@ -270,6 +278,15 @@ func (s *Scheduler) Cur() int { return int(s.cur) }
 // original creator so canonical tie-breaks survive the boundary. Pass
 // -1 to return to the neutral context.
 func (s *Scheduler) SetCur(c int) { s.cur = int32(c) }
+
+// CountExec enables per-context fired-event tallies for n peer
+// contexts (plus the -1 global context at index 0). Counting starts
+// from the call; events fired earlier are not represented.
+func (s *Scheduler) CountExec(n int) { s.execCounts = make([]uint64, n+1) }
+
+// ExecCounts returns the per-context tallies enabled by CountExec
+// (index execAs+1), or nil when counting is off.
+func (s *Scheduler) ExecCounts() []uint64 { return s.execCounts }
 
 // SetAfterEvent installs an observer called after each executed event.
 // Pass nil to remove it. The observer must not mutate the queue.
@@ -596,6 +613,11 @@ func (s *Scheduler) Cancel(h Handle) bool {
 func (s *Scheduler) fire(next *event) {
 	fn, fnCtx, ctx := next.fn, next.fnCtx, next.ctx
 	s.cur = next.execAs
+	if s.execCounts != nil {
+		if i := int(next.execAs) + 1; i >= 0 && i < len(s.execCounts) {
+			s.execCounts[i]++
+		}
+	}
 	s.recycleEvent(next)
 	if fn != nil {
 		fn()

@@ -22,11 +22,23 @@ package precinct
 // scheduler would have used. The result is report-identical to the
 // sequential run: same Report, same protocol/radio counters, same
 // canonical trace.
+//
+// Synchronization is a decentralized round protocol over one reusable
+// rendezvous (sim.WindowBarrier): each round, every participant
+// publishes its queue-head times and outbox depth, crosses the barrier
+// once, and computes the identical next decision — flush, barrier
+// drain, or window — from the published snapshot. A pure window costs a
+// single barrier crossing (the next round's rendezvous doubles as the
+// join), cross-shard exchange runs only in rounds where a frame is
+// actually pending, and a shard with nothing due before the horizon
+// skips its window entirely.
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"precinct/internal/energy"
 	"precinct/internal/geo"
@@ -36,6 +48,57 @@ import (
 	"precinct/internal/sim"
 	"precinct/internal/trace"
 )
+
+// Scenario.ShardBalance values.
+const (
+	// ShardBalanceLoad — the default — sizes shards by measured event
+	// load: a short sequential probe run tallies fired events per peer,
+	// and the x-sorted peer order is cut into contiguous strips of
+	// equal cumulative load.
+	ShardBalanceLoad = "load"
+	// ShardBalanceCount cuts the x-sorted peer order into equal-count
+	// strips (the pre-probe behavior). Cheaper to set up and fully
+	// predictable, at the price of load imbalance when event rates vary
+	// across the area.
+	ShardBalanceCount = "count"
+)
+
+// shardBalanceMode resolves the empty default.
+func (s Scenario) shardBalanceMode() string {
+	if s.ShardBalance == "" {
+		return ShardBalanceLoad
+	}
+	return s.ShardBalance
+}
+
+// shardStatus is one shard's published round snapshot: float64 bits of
+// its earliest local and global event times (+Inf when empty) and its
+// parked cross-shard delivery count. Slots are double-buffered by round
+// parity: a participant that has raced ahead into round r+1 publishes
+// into the other buffer, so the round-r snapshot stays frozen while
+// slower participants are still reading it. (Without this, a fast shard
+// could finish its window, loop, and overwrite its slot before a slow
+// shard computed the round's decision — the two would then disagree on
+// the decision and fall out of lockstep.) It cannot race further ahead
+// than that: entering round r+2 requires every participant to have
+// crossed round r+1's rendezvous, which they only do after reading
+// round r. Padded so one shard's publishes stay on one cache line.
+type shardStatus struct {
+	local  [2]atomic.Uint64
+	global [2]atomic.Uint64
+	outbox [2]atomic.Uint64
+	_      [16]byte
+}
+
+// parallelStats counts coordinator-side protocol activity; only
+// participant 0 writes it, after the run it feeds RunStats.
+type parallelStats struct {
+	windows           uint64
+	emptyShardWindows uint64
+	barrierDrains     uint64
+	flushes           uint64
+	remote            uint64
+}
 
 // parallelRun is an assembled sharded simulation. Index 0 of every slice
 // is the primary world built by buildFull; indices 1.. are replicas.
@@ -49,15 +112,78 @@ type parallelRun struct {
 	meters    []*energy.Meter
 	bufs      []*trace.Buffer // per-shard trace buffers; nil when untraced
 	lookahead float64
+
+	bar    *sim.WindowBarrier
+	status []shardStatus
+	loads  []uint64 // probe-measured weight per shard; nil in count mode
+	stats  parallelStats
+}
+
+// probeWindow is the simulated prefix the shard-load probe replays:
+// long enough to see steady-state request/update/mobility rates, short
+// enough to stay a small fraction of the real run.
+func probeWindow(duration float64) float64 {
+	w := 0.04 * duration
+	if w < 2 {
+		w = 2
+	}
+	if w > 15 {
+		w = 15
+	}
+	if w > duration {
+		w = duration
+	}
+	return w
+}
+
+// measureShardLoad replays a short sequential prefix of the scenario
+// and returns one weight per peer: 1 + the number of events the
+// scheduler fired in that peer's execution context. The probe world is
+// built from the scenario's own seed and discarded, so it perturbs
+// nothing and the weights — hence the shard assignment — are a pure
+// deterministic function of the scenario.
+func measureShardLoad(s Scenario) ([]uint64, error) {
+	probe := s
+	probe.Shards = 0
+	probe.ShardBalance = ""
+	probe.Duration = probeWindow(s.Duration)
+	if probe.Warmup >= probe.Duration {
+		probe.Warmup = 0
+	}
+	if len(probe.Faults) > 0 {
+		// Faults beyond the probe horizon fail validation (and cannot
+		// fire anyway); keep only the ones inside the window.
+		kept := probe.Faults[:0:0]
+		for _, f := range probe.Faults {
+			if f.At <= probe.Duration {
+				kept = append(kept, f)
+			}
+		}
+		probe.Faults = kept
+	}
+	b, err := probe.buildFull(nil, true)
+	if err != nil {
+		return nil, fmt.Errorf("precinct: shard-load probe: %w", err)
+	}
+	b.sched.CountExec(probe.Nodes)
+	b.network.Run(probe.Duration)
+	counts := b.sched.ExecCounts()
+	weights := make([]uint64, probe.Nodes)
+	for i := range weights {
+		weights[i] = 1 + counts[i+1]
+	}
+	return weights, nil
 }
 
 // shardAssignment maps every peer to a shard by sorting the initial node
-// layout along x (ties by y, then id) and slicing it into equal-count
-// strips. Spatial contiguity keeps most radio traffic shard-local early
-// on; ownership is static, so peers that later roam across strips simply
-// generate more cross-shard deliveries — correctness never depends on
-// where a peer is, only on who owns it.
-func shardAssignment(b *built, shards int) []int32 {
+// layout along x (ties by y, then id) and slicing it into contiguous
+// strips: equal peer counts when weights is nil, equal cumulative weight
+// otherwise, always at least one peer per shard. Spatial contiguity
+// keeps most radio traffic shard-local early on; ownership is static, so
+// peers that later roam across strips simply generate more cross-shard
+// deliveries — correctness never depends on where a peer is, only on who
+// owns it.
+func shardAssignment(b *built, shards int, weights []uint64) []int32 {
 	n := b.scenario.Nodes
 	type placed struct {
 		pos geo.Point
@@ -77,16 +203,50 @@ func shardAssignment(b *built, shards int) []int32 {
 		return pts[a].id < pts[c].id
 	})
 	out := make([]int32, n)
+	if weights == nil {
+		for rank, p := range pts {
+			out[p.id] = int32(rank * shards / n)
+		}
+		return out
+	}
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	// Greedy equal-load cuts: walk the sorted order accumulating
+	// weight; move to the next shard once this shard's share of the
+	// total is covered — or when the remaining peers are exactly enough
+	// to give every remaining shard one, which guarantees no shard ends
+	// up empty no matter how skewed the weights are.
+	var cum uint64
+	shard := 0
 	for rank, p := range pts {
-		out[p.id] = int32(rank * shards / n)
+		out[p.id] = int32(shard)
+		cum += weights[p.id]
+		if shard < shards-1 {
+			mustAdvance := n-rank-1 == shards-shard-1
+			hitShare := cum*uint64(shards) >= total*uint64(shard+1)
+			if mustAdvance || hitShare {
+				shard++
+			}
+		}
 	}
 	return out
 }
 
-// buildParallel assembles the sharded simulation: the primary world via
-// buildFull, then one replica world per additional shard, then the
-// network clones bound to their shards.
+// buildParallel assembles the sharded simulation: the shard-load probe
+// (unless ShardBalance is "count"), the primary world via buildFull,
+// one replica world per additional shard, then the network clones bound
+// to their shards.
 func (s Scenario) buildParallel(tracer trace.Tracer) (*parallelRun, error) {
+	var weights []uint64
+	if s.shardBalanceMode() == ShardBalanceLoad {
+		w, err := measureShardLoad(s)
+		if err != nil {
+			return nil, err
+		}
+		weights = w
+	}
 	var bufs []*trace.Buffer
 	var primaryTracer trace.Tracer
 	if tracer != nil {
@@ -111,6 +271,8 @@ func (s Scenario) buildParallel(tracer trace.Tracer) (*parallelRun, error) {
 		meters:    make([]*energy.Meter, s.Shards),
 		bufs:      bufs,
 		lookahead: b.channel.Config().Lookahead(),
+		bar:       sim.NewWindowBarrier(s.Shards),
+		status:    make([]shardStatus, s.Shards),
 	}
 	p.scheds[0], p.channels[0], p.clones[0] = b.sched, b.channel, b.network
 	p.colls[0], p.meters[0] = b.coll, b.meter
@@ -156,74 +318,133 @@ func (s Scenario) buildParallel(tracer trace.Tracer) (*parallelRun, error) {
 		p.scheds[k], p.channels[k], p.clones[k] = sched, ch, clone
 		p.colls[k], p.meters[k] = coll, meter
 	}
-	p.shardOf = shardAssignment(b, s.Shards)
+	p.shardOf = shardAssignment(b, s.Shards, weights)
+	if weights != nil {
+		p.loads = make([]uint64, s.Shards)
+		for id, w := range weights {
+			p.loads[p.shardOf[id]] += w
+		}
+	}
 	if err := b.network.EnableSharding(p.shardOf, p.clones); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-// run drives the window loop to the end time. Shard 0 executes on the
-// calling goroutine; shards 1.. on persistent workers that park between
-// windows. All cross-goroutine synchronization is by the start/done
-// channel handshake, which orders every shard's window against the
-// coordinator's barrier work.
+// run drives the round protocol to the end time. Shard 0 (the
+// coordinator, which also executes all single-threaded work) runs on
+// the calling goroutine; shards 1.. on their own goroutines. All
+// participants rejoin before run returns.
 func (p *parallelRun) run(until float64) {
-	type worker struct {
-		start chan float64
-		done  chan struct{}
-	}
-	workers := make([]worker, len(p.scheds)-1)
-	for i := range workers {
-		w := worker{start: make(chan float64, 1), done: make(chan struct{}, 1)}
-		workers[i] = w
-		go func(sc *sim.Scheduler) {
-			for h := range w.start {
-				sc.RunBefore(h)
-				w.done <- struct{}{}
-			}
-		}(p.scheds[i+1])
-	}
-	defer func() {
-		for _, w := range workers {
-			close(w.start)
-		}
-	}()
-
 	p.b.network.StartParallel(until)
-	for {
-		// T: earliest shard-local event; G: earliest global event.
-		T, G := math.Inf(1), math.Inf(1)
-		for _, sc := range p.scheds {
-			if t, ok := sc.PeekLocal(); ok && t < T {
-				T = t
-			}
-			if t, ok := sc.PeekGlobal(); ok && t < G {
-				G = t
-			}
-		}
-		M := math.Min(T, G)
-		if M > until {
-			break
-		}
-		// The window may extend one lookahead past the earliest event but
-		// never past a due global event or the end of the run.
-		if H := math.Min(math.Min(T+p.lookahead, G), until); H > T {
-			for _, w := range workers {
-				w.start <- H
-			}
-			p.scheds[0].RunBefore(H)
-			for _, w := range workers {
-				<-w.done
-			}
-		} else {
-			p.drainBarrier(M)
-		}
-		p.flushOutboxes()
+	var wg sync.WaitGroup
+	for i := 1; i < len(p.scheds); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.participant(i, until)
+		}(i)
 	}
+	p.participant(0, until)
+	wg.Wait()
 	for _, sc := range p.scheds {
 		if sc.Now() < until {
 			sc.AdvanceTo(until)
+		}
+	}
+}
+
+// participant is one shard's side of the round protocol. Every round:
+// publish this shard's queue-head times and outbox depth, rendezvous,
+// and compute the identical decision every other participant reaches
+// from the same published snapshot — all inputs are written before the
+// barrier, so the snapshot is frozen while anyone reads it:
+//
+//   - a cross-shard frame is pending anywhere → flush round: the
+//     coordinator moves parked deliveries to their shards while the rest
+//     wait, then everyone republishes (an injected arrival may move a
+//     queue head earlier than the stale snapshot says).
+//   - every pending event is past `until` → done.
+//   - a global event (or the end of the run) is due at or before the
+//     earliest local event → barrier round: the coordinator drains the
+//     due instant single-threaded in canonical key order, flushing
+//     inline anything the drained events parked, while the rest wait.
+//   - otherwise → window round: every shard with local work strictly
+//     below the horizon H = min(T+lookahead, G, until) runs it
+//     concurrently; shards with nothing due skip. No explicit join: the
+//     next round's rendezvous is the join, so a window costs one
+//     barrier crossing.
+//
+// Decisions are bit-identical across participants because they are pure
+// float64 arithmetic over the identical published bits, so everyone
+// always agrees on the round type and the rendezvous count stays in
+// lockstep.
+func (p *parallelRun) participant(i int, until float64) {
+	sc := p.scheds[i]
+	ch := p.channels[i]
+	st := &p.status[i]
+	for r := uint(0); ; r++ {
+		pr := r & 1
+		lt, gt := math.Inf(1), math.Inf(1)
+		if t, ok := sc.PeekLocal(); ok {
+			lt = t
+		}
+		if t, ok := sc.PeekGlobal(); ok {
+			gt = t
+		}
+		st.local[pr].Store(math.Float64bits(lt))
+		st.global[pr].Store(math.Float64bits(gt))
+		st.outbox[pr].Store(uint64(ch.OutboxLen()))
+		p.bar.Await()
+
+		T, G := math.Inf(1), math.Inf(1)
+		cross := false
+		for k := range p.status {
+			s := &p.status[k]
+			if t := math.Float64frombits(s.local[pr].Load()); t < T {
+				T = t
+			}
+			if t := math.Float64frombits(s.global[pr].Load()); t < G {
+				G = t
+			}
+			if s.outbox[pr].Load() > 0 {
+				cross = true
+			}
+		}
+		if cross {
+			if i == 0 {
+				p.stats.flushes++
+				p.flushOutboxes()
+			}
+			p.bar.Await()
+			continue
+		}
+		M := math.Min(T, G)
+		if M > until {
+			return
+		}
+		if H := math.Min(math.Min(T+p.lookahead, G), until); H > T {
+			if i == 0 {
+				p.stats.windows++
+				for k := range p.status {
+					if math.Float64frombits(p.status[k].local[pr].Load()) >= H {
+						p.stats.emptyShardWindows++
+					}
+				}
+			}
+			if lt < H {
+				sc.RunBefore(H)
+			}
+		} else {
+			if i == 0 {
+				p.stats.barrierDrains++
+				p.drainBarrier(M)
+				// A drained event may transmit across shards; those
+				// deliveries are flushed here, while every other
+				// participant is parked at the rendezvous below.
+				p.flushOutboxes()
+			}
+			p.bar.Await()
 		}
 	}
 }
@@ -266,14 +487,24 @@ func (p *parallelRun) drainBarrier(m float64) {
 }
 
 // flushOutboxes moves cross-shard deliveries parked during the last
-// window (or barrier) to their receiving shards. Every parked arrival
-// lies at least one lookahead past its send time, hence strictly beyond
-// the window that produced it — never in the receiver's past.
+// window (or barrier) to their receiving shards, then resets each
+// outbox in place so the backing arrays are reused round after round.
+// Every parked arrival lies at least one lookahead past its send time,
+// hence strictly beyond the window that produced it — never in the
+// receiver's past. Only the coordinator calls this, and only while all
+// other participants are stopped at a rendezvous.
 func (p *parallelRun) flushOutboxes() {
 	for _, ch := range p.channels {
-		for _, rd := range ch.DrainOutbox() {
+		box := ch.Outbox()
+		if len(box) == 0 {
+			continue
+		}
+		p.stats.remote += uint64(len(box))
+		for k := range box {
+			rd := box[k]
 			p.channels[p.shardOf[rd.To]].Inject(rd)
 		}
+		ch.ResetOutbox()
 	}
 }
 
@@ -287,7 +518,9 @@ func runParallel(s Scenario, tracer trace.Tracer) (Result, RunStats, error) {
 	p.run(s.Duration)
 
 	var events uint64
-	for _, sc := range p.scheds {
+	shardEvents := make([]uint64, len(p.scheds))
+	for k, sc := range p.scheds {
+		shardEvents[k] = sc.Executed()
 		events += sc.Executed()
 	}
 	for k := 1; k < len(p.clones); k++ {
@@ -319,5 +552,14 @@ func runParallel(s Scenario, tracer trace.Tracer) (Result, RunStats, error) {
 		Report:   fromMetrics(p.b.network.Report()),
 		Protocol: fromStats(protoStats),
 		Radio:    fromRadio(radioStats),
-	}, RunStats{Events: events}, nil
+	}, RunStats{
+		Events:            events,
+		Windows:           p.stats.windows,
+		EmptyShardWindows: p.stats.emptyShardWindows,
+		BarrierDrains:     p.stats.barrierDrains,
+		OutboxFlushes:     p.stats.flushes,
+		RemoteDeliveries:  p.stats.remote,
+		ShardEvents:       shardEvents,
+		ShardLoads:        p.loads,
+	}, nil
 }

@@ -34,12 +34,12 @@ func tracedEvents(s precinct.Scenario) (precinct.Result, []trace.Event, error) {
 	return res, events, err
 }
 
-// compareModes runs a scenario sequentially and with the given shard
-// counts, requiring identical Report/Protocol/Radio and byte-identical
-// canonical traces from every mode.
-func compareModes(t *testing.T, s precinct.Scenario, shardCounts ...int) {
+// compareAgainstSequential runs the base scenario sequentially, then
+// every sharded variant, requiring identical Report/Protocol/Radio and
+// byte-identical canonical traces from each.
+func compareAgainstSequential(t *testing.T, base precinct.Scenario, variants []precinct.Scenario) {
 	t.Helper()
-	seq, seqEvents, err := tracedEvents(parallelize(s, 0))
+	seq, seqEvents, err := tracedEvents(parallelize(base, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,22 +48,19 @@ func compareModes(t *testing.T, s precinct.Scenario, shardCounts ...int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, shards := range shardCounts {
-		if shards > s.Nodes {
-			continue
-		}
-		par, parEvents, err := tracedEvents(parallelize(s, shards))
+	for _, v := range variants {
+		par, parEvents, err := tracedEvents(v)
 		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
+			t.Fatalf("%s (shards=%d): %v", v.Name, v.Shards, err)
 		}
 		if !reflect.DeepEqual(seq.Report, par.Report) {
-			t.Errorf("shards=%d: Report diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Report, par.Report)
+			t.Errorf("%s (shards=%d): Report diverged:\nsequential: %+v\nparallel:   %+v", v.Name, v.Shards, seq.Report, par.Report)
 		}
 		if !reflect.DeepEqual(seq.Protocol, par.Protocol) {
-			t.Errorf("shards=%d: ProtocolStats diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Protocol, par.Protocol)
+			t.Errorf("%s (shards=%d): ProtocolStats diverged:\nsequential: %+v\nparallel:   %+v", v.Name, v.Shards, seq.Protocol, par.Protocol)
 		}
 		if !reflect.DeepEqual(seq.Radio, par.Radio) {
-			t.Errorf("shards=%d: RadioStats diverged:\nsequential: %+v\nparallel:   %+v", shards, seq.Radio, par.Radio)
+			t.Errorf("%s (shards=%d): RadioStats diverged:\nsequential: %+v\nparallel:   %+v", v.Name, v.Shards, seq.Radio, par.Radio)
 		}
 		trace.Canonicalize(parEvents)
 		parBytes, err := trace.EncodeLines(parEvents)
@@ -71,24 +68,51 @@ func compareModes(t *testing.T, s precinct.Scenario, shardCounts ...int) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(seqBytes, parBytes) {
-			t.Errorf("shards=%d: canonical traces differ (%d vs %d events)",
-				shards, len(seqEvents), len(parEvents))
+			t.Errorf("%s (shards=%d): canonical traces differ (%d vs %d events)",
+				v.Name, v.Shards, len(seqEvents), len(parEvents))
 		}
 	}
+}
+
+// compareModes runs a scenario sequentially and with the given shard
+// counts (preserving the scenario's ShardBalance setting), requiring
+// identical Report/Protocol/Radio and byte-identical canonical traces
+// from every mode.
+func compareModes(t *testing.T, s precinct.Scenario, shardCounts ...int) {
+	t.Helper()
+	var variants []precinct.Scenario
+	for _, shards := range shardCounts {
+		if shards > s.Nodes {
+			continue
+		}
+		variants = append(variants, parallelize(s, shards))
+	}
+	compareAgainstSequential(t, s, variants)
 }
 
 // TestParallelEquivalence enforces the sharded-execution determinism
 // contract: for fuzz-generated scenarios across every mobility model,
 // retrieval scheme, consistency scheme, loss/collision setting, fault
 // schedule and churn — including lossy large-N scale scenarios — a run
-// sharded over 2 or 4 goroutines reports identically to the sequential
-// run, down to byte-identical canonical traces.
+// sharded over fuzzgen.ShardCounts goroutines (2, 3, 4, 5 and 8,
+// including counts that do not divide the node population) reports
+// identically to the sequential run, down to byte-identical canonical
+// traces. The seed alternates the shard-balance mode, so both the
+// load-probe split and the legacy equal-count split are proven.
 func TestParallelEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("fuzz/seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			compareModes(t, fuzzgen.Expand(seed), 2, 4)
+			base := fuzzgen.Expand(seed)
+			var variants []precinct.Scenario
+			for _, shards := range fuzzgen.ShardCounts {
+				if shards > base.Nodes {
+					continue
+				}
+				variants = append(variants, fuzzgen.WithShards(base, shards, seed))
+			}
+			compareAgainstSequential(t, base, variants)
 		})
 	}
 	// The race detector multiplies the cost of the large-N seeds several
@@ -131,7 +155,7 @@ func TestParallelUnpooledEquivalence(t *testing.T) {
 			t.Parallel()
 			s := fuzzgen.Expand(seed)
 			s.NoPooling = true
-			compareModes(t, s, 4)
+			compareModes(t, s, 3, 4)
 		})
 	}
 }

@@ -213,6 +213,16 @@ type Scenario struct {
 	// perfect location knowledge (BeaconInterval 0) and static regions
 	// (no AdaptiveRegions); checkpointing a sharded run is not supported.
 	Shards int
+
+	// ShardBalance selects how peers are split into shards: "load" (the
+	// default) measures per-peer event load with a short sequential
+	// probe run and cuts the x-sorted peer order into contiguous strips
+	// of equal cumulative load; "count" keeps the legacy equal-count
+	// strips. Either way the assignment is a deterministic function of
+	// the scenario. Ignored when Shards <= 1; omitted from JSON when
+	// empty so checkpoint metadata written before the field existed
+	// round-trips byte-identically.
+	ShardBalance string `json:",omitempty"`
 }
 
 // WorkloadParams tunes the non-stationary workload sources. Every zero
@@ -681,6 +691,11 @@ func (s Scenario) buildFull(tracer trace.Tracer, arm bool) (*built, error) {
 			return nil, fmt.Errorf("precinct: sharded runs support only the default workload, got %q", s.Workload)
 		}
 	}
+	switch s.ShardBalance {
+	case "", ShardBalanceLoad, ShardBalanceCount:
+	default:
+		return nil, fmt.Errorf("precinct: unknown shard balance %q (want %q or %q)", s.ShardBalance, ShardBalanceLoad, ShardBalanceCount)
+	}
 
 	rng := sim.NewRNG(s.Seed)
 	sched := sim.NewScheduler()
@@ -880,6 +895,26 @@ func run(s Scenario, tracer trace.Tracer) (Result, error) {
 type RunStats struct {
 	// Events is the number of discrete events the scheduler executed.
 	Events uint64
+
+	// Parallel-run protocol counters, all zero for sequential runs.
+	// Windows is the number of concurrent execution windows;
+	// EmptyShardWindows counts shard-windows skipped because the shard
+	// had nothing due before the horizon. BarrierDrains is the number
+	// of single-threaded barrier rounds (global events and end-of-run
+	// instants); OutboxFlushes the number of cross-shard exchange
+	// rounds, moving RemoteDeliveries deliveries in total.
+	Windows           uint64
+	EmptyShardWindows uint64
+	BarrierDrains     uint64
+	OutboxFlushes     uint64
+	RemoteDeliveries  uint64
+
+	// ShardEvents is the number of events each shard's scheduler fired;
+	// ShardLoads the probe-measured weight assigned to each shard under
+	// ShardBalance "load" (nil under "count"). Together they quantify
+	// how balanced the split actually was.
+	ShardEvents []uint64
+	ShardLoads  []uint64
 }
 
 // RunWithStats executes the scenario like Run and additionally reports
